@@ -1,0 +1,108 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+Four knobs of Algorithm 1, each measured for quality impact (Wiener index
+of the solutions) and cost:
+
+* root restriction — Lemma 5 restricts candidate roots to ``Q``; the
+  ablation compares against trying every vertex as a root;
+* λ grid resolution β — coarser grids are faster but may miss the right
+  size/distance balance;
+* AdjustDistances — the Lemma-2 rebalancing the worst-case guarantee needs;
+* selection criterion — exact Wiener re-scoring (Remark 1) vs the A proxy.
+"""
+
+import random
+
+import pytest
+
+from repro.core.wiener_steiner import wiener_steiner
+from repro.graphs.generators import connectify, erdos_renyi
+from repro.workloads.random_queries import random_query
+
+
+def _instance(seed: int = 5, n: int = 300):
+    rng = random.Random(seed)
+    graph = connectify(erdos_renyi(n, 8.0 / n, rng=rng), rng=rng)
+    query = random_query(graph, 6, rng)
+    return graph, query
+
+
+class TestRootRestriction:
+    def test_roots_from_query(self, benchmark):
+        graph, query = _instance()
+        result = benchmark.pedantic(
+            wiener_steiner, args=(graph, query), rounds=1, iterations=1
+        )
+        benchmark.extra_info["wiener"] = result.wiener_index
+
+    def test_roots_all_vertices(self, benchmark):
+        """Lemma 5 costs at most 3x in the objective; measure the trade."""
+        graph, query = _instance(n=120)  # smaller: |V| roots is expensive
+        result = benchmark.pedantic(
+            wiener_steiner,
+            args=(graph, query),
+            kwargs={"roots": list(graph.nodes())},
+            rounds=1,
+            iterations=1,
+        )
+        restricted = wiener_steiner(graph, query)
+        assert result.wiener_index <= restricted.wiener_index + 1e-9
+        benchmark.extra_info["wiener"] = result.wiener_index
+
+
+class TestLambdaGrid:
+    @pytest.mark.parametrize("beta", [0.25, 0.5, 1.0, 2.0])
+    def test_beta(self, benchmark, beta):
+        graph, query = _instance()
+        result = benchmark.pedantic(
+            wiener_steiner,
+            args=(graph, query),
+            kwargs={"beta": beta},
+            rounds=1,
+            iterations=1,
+        )
+        benchmark.extra_info["beta"] = beta
+        benchmark.extra_info["wiener"] = result.wiener_index
+        benchmark.extra_info["candidates"] = result.metadata["candidates"]
+
+
+class TestAdjustDistances:
+    @pytest.mark.parametrize("adjust", [True, False])
+    def test_adjust(self, benchmark, adjust):
+        graph, query = _instance()
+        result = benchmark.pedantic(
+            wiener_steiner,
+            args=(graph, query),
+            kwargs={"adjust": adjust},
+            rounds=1,
+            iterations=1,
+        )
+        benchmark.extra_info["adjust"] = adjust
+        benchmark.extra_info["wiener"] = result.wiener_index
+
+
+class TestSelectionCriterion:
+    @pytest.mark.parametrize("selection", ["a", "wiener"])
+    def test_selection(self, benchmark, selection):
+        graph, query = _instance()
+        result = benchmark.pedantic(
+            wiener_steiner,
+            args=(graph, query),
+            kwargs={"selection": selection},
+            rounds=1,
+            iterations=1,
+        )
+        benchmark.extra_info["selection"] = selection
+        benchmark.extra_info["wiener"] = result.wiener_index
+
+    def test_exact_scoring_never_worse(self, benchmark):
+        graph, query = _instance(seed=9)
+        exact = benchmark.pedantic(
+            wiener_steiner,
+            args=(graph, query),
+            kwargs={"selection": "wiener"},
+            rounds=1,
+            iterations=1,
+        )
+        proxy = wiener_steiner(graph, query, selection="a")
+        assert exact.wiener_index <= proxy.wiener_index + 1e-9

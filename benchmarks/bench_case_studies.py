@@ -1,0 +1,12 @@
+"""Benchmark: Figure 6 — the PPI case study."""
+
+from bench_util import run_once
+from repro.experiments import case_studies
+
+
+def test_figure6_ppi(benchmark):
+    result = run_once(benchmark, case_studies.run)
+    # The connector's added vertices are exactly the planted disease hubs.
+    assert set(result.added_hubs) == {"p53", "HSP90", "GSK3B", "SNCA"}
+    assert all(hop.disease_overlap for hop in result.next_hops)
+    benchmark.extra_info["table"] = case_studies.render(result)

@@ -1,0 +1,13 @@
+"""Benchmark: Figure 1 — karate-club connectors (exact + ws-q)."""
+
+from bench_util import run_once
+from repro.experiments import figure1
+
+
+def test_figure1_karate(benchmark):
+    panels = run_once(benchmark, figure1.run)
+    dc, sc = panels
+    assert dc.exact_wiener == 43
+    assert sc.exact_wiener == 18
+    assert sc.exact.added_nodes == frozenset([1, 6])
+    benchmark.extra_info["table"] = figure1.render(panels)

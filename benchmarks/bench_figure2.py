@@ -1,0 +1,18 @@
+"""Benchmark: Figure 2 — the Steiner-vs-Wiener gadget and its scaling law."""
+
+from bench_util import run_once
+from repro.experiments import figure2
+
+
+def test_figure2_gadget(benchmark):
+    result = run_once(benchmark, figure2.run)
+    assert (result.wiener_line, result.wiener_one_root,
+            result.wiener_both_roots) == (165, 151, 142)
+    benchmark.extra_info["table"] = figure2.render(result, [])
+
+
+def test_figure2_scaling(benchmark):
+    rows = run_once(benchmark, figure2.run_scaling, (10, 20, 40))
+    gaps = [row.gap for row in rows]
+    assert gaps == sorted(gaps)  # the Θ(h) gap grows with h
+    assert gaps[-1] > 2 * gaps[0]

@@ -1,0 +1,25 @@
+"""Benchmark: Figure 3 — solution statistics vs |Q| and query spread.
+
+Reduced sweep on the oregon stand-in; asserts the direction of the paper's
+trends rather than absolute values.
+"""
+
+from bench_util import run_once
+from repro.experiments import figure3
+
+
+def test_figure3_sweeps(benchmark):
+    size_sweep, distance_sweep = run_once(
+        benchmark,
+        figure3.run,
+        "oregon",
+        (5, 10),       # sizes
+        (2.0, 4.0),    # distances
+        1,             # runs
+    )
+    sizes = size_sweep.series(lambda s: float(s.size))
+    # ws-q stays at most as large as the community methods at every point.
+    for i in range(len(size_sweep.xs)):
+        assert sizes["ws-q"][i] <= sizes["ppr"][i]
+        assert sizes["ws-q"][i] <= sizes["ctp"][i]
+    benchmark.extra_info["table"] = figure3.render(size_sweep, distance_sweep)

@@ -1,0 +1,15 @@
+"""Benchmark: Figure 4 — ws-q vs st on the Steiner benchmark suites."""
+
+from bench_util import run_once
+from repro.experiments import figure4
+
+
+def test_figure4_cdfs(benchmark):
+    results = run_once(benchmark, figure4.run, 3, 3)
+    all_comparisons = results["puc"] + results["vienna"]
+    assert len(all_comparisons) == 6
+    # ws-q's Wiener index is never meaningfully worse than st's …
+    assert all(c.wiener_ratio >= 0.95 for c in all_comparisons)
+    # … and wins somewhere (the whole point of the objective).
+    assert any(c.wiener_ratio > 1.0 for c in all_comparisons)
+    benchmark.extra_info["table"] = figure4.render(results)

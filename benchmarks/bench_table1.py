@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Table 1 (dataset summaries).
+
+Summarizes the small/medium stand-ins; the full table over all 13 datasets
+is available via ``repro table1``.
+"""
+
+from bench_util import run_once
+from repro.experiments import table1
+
+
+def test_table1_summaries(benchmark):
+    rows = run_once(
+        benchmark, table1.run, ("football", "jazz", "celegans", "email")
+    )
+    assert len(rows) == 4
+    for row in rows:
+        assert row.summary.num_nodes > 0
+        assert 0 < row.summary.density < 1
+    benchmark.extra_info["table"] = table1.render(rows)

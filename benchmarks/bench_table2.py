@@ -1,0 +1,26 @@
+"""Benchmark: Table 2 — ws-q vs certified solver bounds.
+
+Reduced to the two smallest datasets and |Q| ∈ {3, 5} with a tight solver
+budget; the full table is ``repro table2``.
+"""
+
+from bench_util import run_once
+from repro.experiments import table2
+
+
+def test_table2_small_queries(benchmark):
+    rows = run_once(
+        benchmark,
+        table2.run,
+        ("football", "jazz"),
+        (3, 5),
+        5_000,   # node_budget
+        8.0,     # time_budget_seconds
+    )
+    assert len(rows) == 4
+    for row in rows:
+        assert row.solver_lower <= row.solver_upper <= row.ws_q + 1e-9
+    # The paper's small-|Q| cells are optimal or near-optimal; at least one
+    # reduced cell should certify ws-q within 10% here too.
+    assert any(row.error_high <= 0.10 for row in rows)
+    benchmark.extra_info["table"] = table2.render(rows)

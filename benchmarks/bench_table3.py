@@ -1,0 +1,27 @@
+"""Benchmark: Table 3 — solution characterization across the five methods.
+
+One dataset (email stand-in), |Q| = 10 at average distance 4, two runs.
+Asserts the paper's headline ordering: ws-q's solutions are smaller and
+more central than the community-oriented methods'.
+"""
+
+from bench_util import run_once
+from repro.experiments import table3
+
+
+def test_table3_email(benchmark):
+    table = run_once(
+        benchmark,
+        table3.run,
+        ("email",),  # datasets
+        10,          # query_size
+        4.0,         # avg_distance
+        2,           # runs
+    )
+    stats = table["email"]
+    assert stats["ws-q"].size <= stats["ppr"].size
+    assert stats["ws-q"].size <= stats["cps"].size
+    assert stats["ws-q"].size <= stats["ctp"].size
+    assert stats["ws-q"].wiener <= stats["ctp"].wiener
+    assert stats["ws-q"].betweenness >= stats["ctp"].betweenness
+    benchmark.extra_info["table"] = table3.render(table)

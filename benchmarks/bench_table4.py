@@ -1,0 +1,26 @@
+"""Benchmark: Table 4 — sc vs dc community workloads on the dblp stand-in.
+
+Asserts the paper's finding: community methods blow up on queries spanning
+different communities far more than ws-q/st do.
+"""
+
+from bench_util import run_once
+from repro.experiments import table4
+
+
+def test_table4_dblp(benchmark):
+    rows = run_once(
+        benchmark,
+        table4.run,
+        ("dblp",),   # datasets
+        (3, 5),      # sizes
+        3,           # queries_per_size
+    )
+    by_method = {row.method: row for row in rows}
+    # dc queries must cost the community methods more than ws-q.
+    assert by_method["cps"].dc_size > by_method["ws-q"].dc_size
+    assert by_method["ppr"].dc_size > by_method["ws-q"].dc_size
+    assert by_method["ctp"].dc_size > by_method["ws-q"].dc_size
+    # ws-q's own dc/sc ratio stays modest (paper: ~1.4).
+    assert by_method["ws-q"].ratio < 3.0
+    benchmark.extra_info["table"] = table4.render(rows)

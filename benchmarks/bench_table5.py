@@ -1,0 +1,15 @@
+"""Benchmark: Table 5 / Figure 7 — the Twitter #kdd2014 case study."""
+
+from bench_util import run_once
+from repro.experiments import table5
+
+
+def test_table5_twitter(benchmark):
+    result = run_once(benchmark, table5.run)
+    added = {user for group in result.added for user in group}
+    # The connectors must surface at least one of the planted celebrities.
+    assert added & {"kdnuggets", "drewconway"}
+    # Added users rank well within their communities (paper: top-10).
+    community_ranks = [row.degree_rank_community for row in result.influence]
+    assert min(community_ranks) <= 3
+    benchmark.extra_info["table"] = table5.render(result)

@@ -1,0 +1,35 @@
+"""Shared configuration for the benchmark harness.
+
+Each ``bench_*`` file regenerates one paper table or figure (at a reduced
+but shape-preserving scale) under ``pytest --benchmark-only``; the
+rendered output is attached to the benchmark's ``extra_info`` so a run of
+the harness doubles as a reproduction report.
+
+Heavy experiment benchmarks use ``benchmark.pedantic`` with a single round:
+we are timing a whole experiment, not a microsecond kernel.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def karate():
+    from repro.datasets import karate_club
+
+    return karate_club()
+
+
+@pytest.fixture(scope="session")
+def oregon_standin():
+    from repro.datasets import load_dataset
+
+    return load_dataset("oregon")
+
+
+@pytest.fixture(scope="session")
+def email_standin():
+    from repro.datasets import load_dataset
+
+    return load_dataset("email")

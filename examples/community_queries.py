@@ -1,0 +1,47 @@
+"""Comparing methods on same-community vs cross-community queries.
+
+Reproduces the paper's §6.4 insight at example scale: community-search
+methods implicitly assume the query vertices share a community and blow up
+when they do not; the minimum Wiener connector stays small either way.
+
+Run with::
+
+    python examples/community_queries.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.baselines import METHODS
+from repro.datasets import load_community_dataset
+from repro.workloads import different_communities_query, same_community_query
+
+
+def main() -> None:
+    data = load_community_dataset("dblp")
+    graph = data.graph
+    print(f"dblp stand-in: {graph.num_nodes} vertices, {graph.num_edges} "
+          f"edges, {len(data.communities)} ground-truth communities\n")
+
+    rng = random.Random(42)
+    queries = {
+        "same community (sc)": same_community_query(data, 5, rng),
+        "different communities (dc)": different_communities_query(data, 5, rng),
+    }
+
+    for label, query in queries.items():
+        spanned = len(data.communities_of(query))
+        print(f"{label}: Q = {sorted(query)} spans {spanned} communities")
+        for tag in ("ws-q", "st", "ppr", "cps", "ctp"):
+            result = METHODS[tag](graph, query)
+            print(f"  {tag:5s} |V(H)| = {result.size:5d}   "
+                  f"W(H) = {result.wiener_index:,.0f}")
+        print()
+
+    print("The community methods (ppr, cps, ctp) grow sharply on the dc")
+    print("query; ws-q adds only the few bridge vertices it needs.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""Case study: disease genes in a protein-protein-interaction network.
+
+Reproduces the paper's §7 / Figure 6 scenario: given four proteins studied
+in different disease contexts (BMP1, JAK2, PSEN, SLC6A4), the minimum
+Wiener connector surfaces the hub proteins that link them (p53, HSP90,
+GSK3B, SNCA) — exactly the kind of vertices "network medicine" is after,
+because they suggest protein-disease and disease-disease associations.
+
+Run with::
+
+    python examples/protein_interactions.py
+"""
+
+from __future__ import annotations
+
+from repro import minimum_wiener_connector
+from repro.baselines import ppr_connector
+from repro.datasets import ppi_network
+
+
+def main() -> None:
+    data = ppi_network()
+    graph = data.graph
+    print(f"synthetic PPI network: {graph.num_nodes} proteins, "
+          f"{graph.num_edges} interactions")
+    print(f"query proteins: {', '.join(data.query)}\n")
+
+    result = minimum_wiener_connector(graph, data.query)
+    print("minimum Wiener connector:")
+    print(f"  {result.summary()}")
+    for protein in sorted(result.added_nodes):
+        diseases = "/".join(data.diseases.get(protein, ("unannotated",)))
+        print(f"  added {protein:8s} ({diseases})")
+
+    print("\nnext-hop analysis (which protein links each query gene in):")
+    subgraph = result.subgraph
+    for gene in data.query:
+        neighbors = sorted(subgraph.neighbors(gene), key=str)
+        annotated = [p for p in neighbors if p in data.diseases]
+        hop = annotated[0] if annotated else neighbors[0]
+        print(f"  {gene:8s} -> {hop:8s} "
+              f"({'/'.join(data.diseases.get(hop, ()))})")
+
+    # Contrast with a community-oriented method: same query, much larger
+    # neighborhood instead of a handful of linking hubs.
+    ppr = ppr_connector(graph, data.query)
+    print(f"\nfor comparison, ppr returns {ppr.size} proteins "
+          f"(ws-q: {result.size})")
+
+
+if __name__ == "__main__":
+    main()

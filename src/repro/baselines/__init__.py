@@ -1,0 +1,44 @@
+"""The comparison methods of the paper's evaluation (§6.1).
+
+======  ==========================================================
+tag     method
+======  ==========================================================
+ws-q    WienerSteiner, the paper's algorithm (:mod:`repro.core`)
+st      Steiner tree (Mehlhorn's 2-approximation)
+ppr     personalized PageRank seed expansion
+cps     Center-piece Subgraph (RWR + Hadamard product)
+ctp     Cocktail-Party community search (BFS-restricted greedy)
+======  ==========================================================
+
+``METHODS`` maps tags to callables with the uniform signature
+``(graph, query) -> ConnectorResult`` for the experiment harness.
+"""
+
+from collections.abc import Callable, Iterable
+
+from repro.baselines.cps import cps_connector
+from repro.baselines.ctp import ctp_connector
+from repro.baselines.ppr import ppr_connector
+from repro.baselines.steiner_baseline import steiner_connector
+from repro.core.result import ConnectorResult
+from repro.core.wiener_steiner import wiener_steiner
+from repro.graphs.graph import Graph, Node
+
+ConnectorMethod = Callable[[Graph, Iterable[Node]], ConnectorResult]
+
+METHODS: dict[str, ConnectorMethod] = {
+    "ws-q": wiener_steiner,
+    "st": steiner_connector,
+    "ppr": ppr_connector,
+    "cps": cps_connector,
+    "ctp": ctp_connector,
+}
+
+__all__ = [
+    "METHODS",
+    "ConnectorMethod",
+    "cps_connector",
+    "ctp_connector",
+    "ppr_connector",
+    "steiner_connector",
+]

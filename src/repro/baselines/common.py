@@ -1,0 +1,89 @@
+"""Shared machinery for the score-and-expand baselines (``ppr`` and ``cps``).
+
+Both random-walk baselines produce a relevance score per vertex and then
+grow a solution greedily: starting from the query set, repeatedly add the
+highest-scoring missing vertex until the query vertices become connected in
+the induced subgraph (§6.1: "we greedily add to the solution the
+highest-score vertex, until we connect the vertices in Q").
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+from repro.errors import DisconnectedGraphError, InvalidQueryError
+from repro.graphs.graph import Graph, Node
+from repro.graphs.unionfind import UnionFind
+
+
+def validate_query(graph: Graph, query: Iterable[Node]) -> frozenset[Node]:
+    """Return the query as a frozenset, raising on empty/unknown vertices."""
+    query_set = frozenset(query)
+    if not query_set:
+        raise InvalidQueryError("query set must be non-empty")
+    missing = [q for q in query_set if not graph.has_node(q)]
+    if missing:
+        raise InvalidQueryError(
+            f"query vertices not in graph: {sorted(map(repr, missing))}"
+        )
+    return query_set
+
+
+def greedy_connect(
+    graph: Graph,
+    query: frozenset[Node],
+    scores: Mapping[Node, float],
+) -> set[Node]:
+    """Grow ``query`` by descending score until it induces a connected set.
+
+    Connectivity is tracked incrementally with a union–find over the
+    vertices added so far, so the whole expansion costs
+    ``O(|V| log |V| + |E| α(|V|))``.
+
+    Raises
+    ------
+    DisconnectedGraphError
+        If even the full vertex set fails to connect the query (the host
+        graph does not connect them).
+    """
+    solution: set[Node] = set(query)
+    forest = UnionFind(solution)
+    for u in solution:
+        for v in graph.neighbors(u):
+            if v in solution:
+                forest.union(u, v)
+
+    query_list = list(query)
+    anchor = query_list[0]
+
+    def connected() -> bool:
+        return all(forest.connected(anchor, q) for q in query_list[1:])
+
+    if connected():
+        return solution
+
+    ranked = sorted(
+        (node for node in graph.nodes() if node not in solution),
+        key=lambda node: (-scores.get(node, 0.0), repr(node)),
+    )
+    for node in ranked:
+        solution.add(node)
+        forest.add(node)
+        for neighbor in graph.neighbors(node):
+            if neighbor in solution:
+                forest.union(node, neighbor)
+        if connected():
+            return _query_component(forest, solution, anchor)
+    raise DisconnectedGraphError("query vertices are not connected in the host graph")
+
+
+def _query_component(
+    forest: UnionFind, solution: set[Node], anchor: Node
+) -> set[Node]:
+    """Drop vertices the greedy pass added that never attached to the query.
+
+    High-scoring vertices may join the solution without (yet) touching the
+    query's component; keeping them would make the induced subgraph
+    disconnected, which is not a valid connector.
+    """
+    return {node for node in solution if forest.connected(node, anchor)}

@@ -1,0 +1,146 @@
+"""``ctp`` — the Cocktail-Party / community-search baseline
+(Sozio & Gionis, KDD'10), in the size-limited variant the paper runs.
+
+The original parameter-free algorithm greedily peels minimum-degree
+vertices from the *whole* graph and returns the intermediate subgraph with
+the largest minimum degree that still connects the query.  The paper found
+this "typically returns too large solutions (often with a size comparable
+to the original graph)", so §6.1 prescribes the variant implemented here:
+
+1. from each query vertex, grow a BFS ball until it covers the whole query
+   set (each ball is a connected subgraph containing ``Q``);
+2. keep the smallest of these ``|Q|`` balls;
+3. run the Sozio–Gionis greedy peeling on that ball.
+
+Step 3 exploits Sozio & Gionis' structural characterization instead of
+literal vertex-by-vertex peeling: the greedy's optimum — the connected
+subgraph containing ``Q`` of maximum minimum degree — is exactly the
+component containing ``Q`` of the largest ``k``-core that keeps the query
+together.  A k-core decomposition finds it in ``O(|E|)``, which is what
+makes the large Table-3/Table-4 workloads tractable in pure Python.  The
+literal peeling loop is retained as ``greedy_peel`` for small graphs and
+for cross-checking the equivalence in tests.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Iterable
+
+from repro.baselines.common import validate_query
+from repro.core.result import ConnectorResult
+from repro.errors import DisconnectedGraphError
+from repro.graphs.cores import max_core_component_with
+from repro.graphs.graph import Graph, Node
+from repro.graphs.traversal import bfs_distances
+from repro.graphs.components import connected_components
+
+
+def ctp_connector(graph: Graph, query: Iterable[Node]) -> ConnectorResult:
+    """Return the ``ctp`` baseline solution for ``query``."""
+    started = time.perf_counter()
+    query_set = validate_query(graph, query)
+
+    ball = _smallest_covering_ball(graph, query_set)
+    subgraph = graph.subgraph(ball)
+    solution, min_degree = max_core_component_with(subgraph, query_set)
+
+    return ConnectorResult(
+        host=graph,
+        nodes=frozenset(solution),
+        query=query_set,
+        method="ctp",
+        metadata={
+            "ball_size": len(ball),
+            "min_degree": min_degree,
+            "runtime_seconds": time.perf_counter() - started,
+        },
+    )
+
+
+def _smallest_covering_ball(graph: Graph, query_set: frozenset[Node]) -> set[Node]:
+    """Step 1–2: the smallest BFS ball (over query-vertex centers) covering Q."""
+    best: set[Node] | None = None
+    for center in sorted(query_set, key=repr):
+        distances = bfs_distances(graph, center)
+        missing = [q for q in query_set if q not in distances]
+        if missing:
+            raise DisconnectedGraphError(
+                f"query vertices {sorted(map(repr, missing))} unreachable "
+                f"from {center!r}"
+            )
+        radius = max(distances[q] for q in query_set)
+        ball = {node for node, dist in distances.items() if dist <= radius}
+        if best is None or len(ball) < len(best):
+            best = ball
+    assert best is not None
+    return best
+
+
+def greedy_peel(subgraph: Graph, query_set: frozenset[Node]) -> set[Node]:
+    """Sozio–Gionis greedy: peel min-degree vertices, track the best subgraph.
+
+    The literal peeling loop — quadratic, so only suitable for small
+    graphs; the production path goes through the k-core characterization.
+    Returns the vertex set of the intermediate subgraph with maximum
+    minimum degree (ties: fewest vertices) among all feasible steps.
+    """
+    current = subgraph.copy()
+    _restrict_to_query_component(current, query_set)
+
+    best_nodes = set(current.nodes())
+    best_min_degree = _min_degree(current)
+
+    while current.num_nodes > len(query_set):
+        victim = _min_degree_removable(current, query_set)
+        if victim is None:
+            break
+        current.remove_node(victim)
+        if not _restrict_to_query_component(current, query_set):
+            break
+        min_degree = _min_degree(current)
+        if min_degree > best_min_degree or (
+            min_degree == best_min_degree and current.num_nodes < len(best_nodes)
+        ):
+            best_min_degree = min_degree
+            best_nodes = set(current.nodes())
+    return best_nodes
+
+
+def _min_degree(graph: Graph) -> int:
+    if graph.num_nodes == 0:
+        return 0
+    return min(graph.degree(node) for node in graph.nodes())
+
+
+def _min_degree_removable(graph: Graph, query_set: frozenset[Node]) -> Node | None:
+    """The minimum-degree non-query vertex, or None if only query remains."""
+    best: Node | None = None
+    best_degree = None
+    for node in graph.nodes():
+        if node in query_set:
+            continue
+        degree = graph.degree(node)
+        if best_degree is None or degree < best_degree:
+            best = node
+            best_degree = degree
+    return best
+
+
+def _restrict_to_query_component(graph: Graph, query_set: frozenset[Node]) -> bool:
+    """Drop every component not containing Q; False if Q got split."""
+    components = connected_components(graph)
+    home = None
+    for component in components:
+        if query_set <= component:
+            home = component
+            break
+        if query_set & component:
+            return False  # the query is split across components
+    if home is None:
+        return False
+    for component in components:
+        if component is not home:
+            for node in component:
+                graph.remove_node(node)
+    return True

@@ -1,0 +1,89 @@
+"""Command-line interface: ``repro <experiment>`` or ``python -m repro``.
+
+Examples
+--------
+::
+
+    repro list                 # show available experiments
+    repro figure2              # the Steiner-vs-Wiener gadget (instant)
+    repro table2               # approximation quality vs certified bounds
+    repro query email 3 17 42  # run ws-q on a dataset with an ad-hoc query
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments import EXPERIMENTS
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'The Minimum Wiener Connector Problem' "
+            "(SIGMOD 2015): run paper experiments or ad-hoc queries."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    sub.add_parser("list", help="list available experiments")
+
+    for name, module in EXPERIMENTS.items():
+        doc = (module.__doc__ or "").strip().splitlines()
+        summary = doc[0] if doc else name
+        sub.add_parser(name, help=summary)
+
+    query = sub.add_parser("query", help="run ws-q on a dataset with a query set")
+    query.add_argument("dataset", help="stand-in dataset name (see `repro list`)")
+    query.add_argument("vertices", nargs="+", type=int, help="query vertex ids")
+    query.add_argument("--method", default="ws-q",
+                       help="ws-q, st, ppr, cps or ctp (default ws-q)")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command is None:
+        parser.print_help()
+        return 2
+    if args.command == "list":
+        from repro.datasets import dataset_names
+
+        print("experiments:")
+        for name, module in EXPERIMENTS.items():
+            doc = (module.__doc__ or "").strip().splitlines()
+            print(f"  {name:10s} {doc[0] if doc else ''}")
+        print("\ndatasets (synthetic stand-ins):")
+        print("  " + ", ".join(dataset_names()))
+        return 0
+    if args.command == "query":
+        return _run_query(args)
+    EXPERIMENTS[args.command].main()
+    return 0
+
+
+def _run_query(args: argparse.Namespace) -> int:
+    from repro.baselines import METHODS
+    from repro.datasets import load_dataset
+
+    if args.method not in METHODS:
+        print(f"unknown method {args.method!r}; choose from {sorted(METHODS)}",
+              file=sys.stderr)
+        return 2
+    graph = load_dataset(args.dataset)
+    missing = [v for v in args.vertices if not graph.has_node(v)]
+    if missing:
+        print(f"vertices not in graph: {missing} (graph has 0..{graph.num_nodes - 1})",
+              file=sys.stderr)
+        return 2
+    result = METHODS[args.method](graph, args.vertices)
+    print(result.summary())
+    print(f"added vertices: {sorted(map(repr, result.added_nodes))}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,25 @@
+"""Community detection and ground-truth community substrates."""
+
+from repro.communities.ground_truth import (
+    CommunityGraph,
+    community_recovery_score,
+    make_community_graph,
+)
+from repro.communities.label_prop import label_propagation_communities
+from repro.communities.modularity import (
+    community_of_query,
+    greedy_modularity_communities,
+    membership_map,
+    modularity,
+)
+
+__all__ = [
+    "CommunityGraph",
+    "community_recovery_score",
+    "make_community_graph",
+    "label_propagation_communities",
+    "community_of_query",
+    "greedy_modularity_communities",
+    "membership_map",
+    "modularity",
+]

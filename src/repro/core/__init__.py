@@ -1,0 +1,69 @@
+"""The paper's core contribution: the WienerSteiner approximation algorithm,
+its objective-function chain, exact algorithms, and Steiner-tree machinery.
+"""
+
+from repro.core.adjust import ALPHA, adjust_distances, verify_lemma2
+from repro.core.exact import (
+    brute_force,
+    exact_pair,
+    exact_pivot,
+    optimal_wiener_index,
+)
+from repro.core.objectives import (
+    a_objective,
+    b_objective,
+    best_rooted_a,
+    optimal_lambda,
+    verify_lemma1,
+    weak_a_objective,
+    wiener_of_nodes,
+)
+from repro.core.result import ConnectorResult
+from repro.core.steiner import (
+    mehlhorn_steiner_tree,
+    minimum_spanning_tree,
+    prune_steiner_leaves,
+    steiner_tree_unweighted,
+    tree_total_weight,
+)
+from repro.core.parallel import parallel_wiener_steiner
+from repro.core.weighted import (
+    WeightedConnectorResult,
+    weighted_wiener_index,
+    wiener_steiner_weighted,
+)
+from repro.core.wiener_steiner import (
+    EXACT_SCORING_THRESHOLD,
+    minimum_wiener_connector,
+    wiener_steiner,
+)
+
+__all__ = [
+    "ALPHA",
+    "adjust_distances",
+    "verify_lemma2",
+    "brute_force",
+    "exact_pair",
+    "exact_pivot",
+    "optimal_wiener_index",
+    "a_objective",
+    "b_objective",
+    "best_rooted_a",
+    "optimal_lambda",
+    "verify_lemma1",
+    "weak_a_objective",
+    "wiener_of_nodes",
+    "ConnectorResult",
+    "mehlhorn_steiner_tree",
+    "minimum_spanning_tree",
+    "prune_steiner_leaves",
+    "steiner_tree_unweighted",
+    "tree_total_weight",
+    "EXACT_SCORING_THRESHOLD",
+    "minimum_wiener_connector",
+    "parallel_wiener_steiner",
+    "wiener_steiner",
+    "WeightedConnectorResult",
+    "weighted_wiener_index",
+    "wiener_steiner_weighted",
+]

@@ -1,0 +1,177 @@
+"""``AdjustDistances`` — Lemma 2 / Appendix A.3 of the paper.
+
+Given a subtree ``T`` of the host graph ``G`` and a root ``r``, the
+procedure grafts pieces of the BFS shortest-path tree of ``G`` onto ``T`` so
+that every vertex ends up within a ``(1 + √2)`` stretch of its true distance
+from ``r``, while the vertex count grows by at most the same ``(1 + √2)``
+factor.  This is the balancing step of Khuller, Raghavachari and Young's
+*light approximate shortest-path trees* (LAST), adapted as in the paper so
+the vertex set may grow (properties (a)–(d) of Lemma 2).
+
+The traversal walks ``T`` depth-first while maintaining tentative distances
+``d[v]`` (upper bounds on the distance from ``r`` inside the tree under
+construction).  Whenever the tentative distance of the current vertex
+exceeds ``(1 + √2) · d_G(r, v)``, the whole shortest path from ``r`` is
+relaxed into the tree, resetting ``d[v] = d_G(r, v)``.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping
+
+from repro.errors import GraphError, NodeNotFoundError
+from repro.graphs.graph import Graph, Node, WeightedGraph
+from repro.graphs.traversal import bfs_tree
+
+#: The stretch/blow-up factor of Lemma 2.
+ALPHA = 1 + math.sqrt(2)
+
+
+def adjust_distances(
+    graph: Graph,
+    tree: Graph | WeightedGraph,
+    root: Node,
+    alpha: float = ALPHA,
+    bfs_distances_map: Mapping[Node, int] | None = None,
+    bfs_parents_map: Mapping[Node, Node] | None = None,
+) -> Graph:
+    """Return the rebalanced tree ``T'`` of Lemma 2.
+
+    Parameters
+    ----------
+    graph:
+        The host graph ``G`` (unweighted).
+    tree:
+        A subtree of ``G`` containing ``root``.  Edge weights, if present,
+        are ignored — only the topology matters here.
+    root:
+        The root vertex ``r``; must belong to the tree.
+    alpha:
+        Stretch threshold; the paper fixes ``1 + √2`` which balances the
+        size increase and the distance guarantee.
+    bfs_distances_map, bfs_parents_map:
+        Optional precomputed BFS tree of ``G`` from ``root`` (both or
+        neither).  ``WienerSteiner`` passes these in because it has already
+        run the BFS for the objective function.
+
+    Returns
+    -------
+    Graph
+        A tree ``T'`` with ``V(T') ⊇ V(T)``, ``|V(T')| ≤ α |V(T)|``, and
+        ``d_{T'}(r, v) ≤ α · d_G(r, v)`` for every vertex.
+
+    Raises
+    ------
+    NodeNotFoundError
+        If the root is missing from the tree or graph.
+    GraphError
+        If a tree vertex is unreachable from the root in ``G``.
+    """
+    if not tree.has_node(root):
+        raise NodeNotFoundError(root)
+    if not graph.has_node(root):
+        raise NodeNotFoundError(root)
+    if bfs_distances_map is None or bfs_parents_map is None:
+        bfs_distances_map, bfs_parents_map = bfs_tree(graph, root)
+
+    # Tentative distance and parent of the tree under construction.
+    d: dict[Node, float] = {root: 0.0}
+    p: dict[Node, Node] = {}
+
+    def relax(u: Node, v: Node) -> None:
+        if d.get(v, math.inf) > d.get(u, math.inf) + 1:
+            d[v] = d[u] + 1
+            p[v] = u
+
+    def add_path(u: Node) -> None:
+        # Collect the BFS shortest path root -> u, then relax it top-down so
+        # every vertex on it reaches its exact host distance.
+        path = [u]
+        while path[-1] != root:
+            node = path[-1]
+            parent = bfs_parents_map.get(node)
+            if parent is None:
+                raise GraphError(
+                    f"tree vertex {node!r} unreachable from root {root!r} in host graph"
+                )
+            path.append(parent)
+        path.reverse()
+        for parent, child in zip(path, path[1:]):
+            relax(parent, child)
+
+    # Iterative DFS over the tree, relaxing each tree edge on entry and again
+    # on exit (the paper's dfs does relax(u, v); dfs(v); relax(v, u)).
+    visited = {root}
+    if d[root] > alpha * bfs_distances_map.get(root, 0):  # pragma: no cover
+        add_path(root)
+    stack: list[tuple[Node, Node | None]] = [(root, None)]
+    order: list[tuple[Node, Node]] = []  # (child, parent) in visit order
+    while stack:
+        u, parent = stack.pop()
+        for v in _tree_neighbors(tree, u):
+            if v == parent or v in visited:
+                continue
+            visited.add(v)
+            relax(u, v)
+            host = bfs_distances_map.get(v)
+            if host is None:
+                raise GraphError(
+                    f"tree vertex {v!r} unreachable from root {root!r} in host graph"
+                )
+            if d.get(v, math.inf) > alpha * host:
+                add_path(v)
+            order.append((v, u))
+            stack.append((v, u))
+    # Exit-relaxations in reverse visit order propagate improvements back up.
+    for v, u in reversed(order):
+        relax(v, u)
+
+    result = Graph(nodes=[root])
+    for v, parent in p.items():
+        result.add_edge(v, parent)
+    for node in visited:
+        result.add_node(node)
+    return result
+
+
+def _tree_neighbors(tree: Graph | WeightedGraph, node: Node):
+    neighbors = tree.neighbors(node)
+    # WeightedGraph neighbors are a {node: weight} map; Graph's are a set.
+    return list(neighbors)
+
+
+def verify_lemma2(
+    graph: Graph,
+    original: Graph | WeightedGraph,
+    adjusted: Graph,
+    root: Node,
+    alpha: float = ALPHA,
+) -> list[str]:
+    """Return a list of violated Lemma-2 properties (empty when all hold).
+
+    Checks: (a) vertex containment, (b) size blow-up ≤ α, (c) distance
+    stretch ≤ α.  Used by the test suite and by debug assertions.
+    """
+    from repro.graphs.traversal import bfs_distances
+
+    problems: list[str] = []
+    original_nodes = set(original.nodes())
+    adjusted_nodes = set(adjusted.nodes())
+    if not original_nodes <= adjusted_nodes:
+        problems.append("(a) adjusted tree lost original vertices")
+    if len(adjusted_nodes) > alpha * max(len(original_nodes), 1) + 1e-9:
+        problems.append(
+            f"(b) size blow-up {len(adjusted_nodes)} > {alpha} * {len(original_nodes)}"
+        )
+    host = bfs_distances(graph, root)
+    inside = bfs_distances(adjusted, root)
+    for node in adjusted_nodes:
+        if node not in inside:
+            problems.append(f"(c) {node!r} disconnected from root in adjusted tree")
+            continue
+        if inside[node] > alpha * host[node] + 1e-9:
+            problems.append(
+                f"(c) stretch violated at {node!r}: {inside[node]} > {alpha} * {host[node]}"
+            )
+    return problems

@@ -1,0 +1,176 @@
+"""Exact algorithms for Min Wiener Connector (Section 3).
+
+Three exact strategies, in increasing sophistication:
+
+* ``exact_pair`` — for ``|Q| = 2`` any shortest path between the two
+  terminals is optimal on unweighted graphs (Section 3);
+* ``brute_force`` — enumerate all vertex subsets containing ``Q`` (with an
+  optional candidate restriction), feasible for graphs of a few dozen
+  candidate vertices;
+* ``exact_pivot`` — the Theorem-3 construction: guess the set of *pivotal*
+  vertices (query vertices plus vertices of degree > 2 in the optimum,
+  at most ``|Q|⁴`` many) and connect neighbouring pivot pairs with host
+  shortest paths.  Exponential in the pivot budget, so we expose the budget
+  as a parameter; with budget ``b`` it enumerates all pivot sets of size
+  ``≤ b``, which is exact whenever the optimal solution has at most ``b``
+  high-degree vertices (always true for ``b ≥ |Q|⁴``, per Lemma 9).
+
+For instances beyond these, use :mod:`repro.solvers.branch_and_bound`,
+which is this repo's substitute for the paper's Gurobi runs.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from collections.abc import Iterable
+
+from repro.errors import DisconnectedGraphError, InvalidQueryError
+from repro.core.result import ConnectorResult
+from repro.graphs.graph import Graph, Node
+from repro.graphs.components import nodes_connect
+from repro.graphs.traversal import bfs_distances, shortest_path
+from repro.graphs.wiener import wiener_index
+
+
+def exact_pair(graph: Graph, query: Iterable[Node]) -> ConnectorResult:
+    """Optimal connector for ``|Q| = 2``: a shortest path between the pair."""
+    query_set = frozenset(query)
+    if len(query_set) != 2:
+        raise InvalidQueryError(f"exact_pair needs |Q| = 2, got {len(query_set)}")
+    u, v = sorted(query_set, key=repr)
+    path = shortest_path(graph, u, v)
+    if path is None:
+        raise DisconnectedGraphError(f"{u!r} and {v!r} are not connected")
+    return ConnectorResult(
+        host=graph, nodes=frozenset(path), query=query_set, method="exact",
+        metadata={"strategy": "shortest-path"},
+    )
+
+
+def brute_force(
+    graph: Graph,
+    query: Iterable[Node],
+    candidates: Iterable[Node] | None = None,
+    max_candidates: int = 22,
+) -> ConnectorResult:
+    """Optimal connector by exhaustive enumeration of vertex subsets.
+
+    Parameters
+    ----------
+    candidates:
+        The pool of optional (non-query) vertices to consider; defaults to
+        every non-query vertex.  The optimum over ``Q ∪ 2^candidates`` is
+        returned, which equals the global optimum whenever ``candidates``
+        covers all vertices.
+    max_candidates:
+        Safety bound — enumeration is ``O(2^k)`` in the pool size.
+
+    Raises
+    ------
+    InvalidQueryError
+        If the candidate pool exceeds ``max_candidates``.
+    """
+    query_set = frozenset(query)
+    if not query_set:
+        raise InvalidQueryError("query set must be non-empty")
+    if candidates is None:
+        pool = [node for node in graph.nodes() if node not in query_set]
+    else:
+        pool = [node for node in dict.fromkeys(candidates) if node not in query_set]
+    if len(pool) > max_candidates:
+        raise InvalidQueryError(
+            f"brute force over {len(pool)} candidates exceeds the "
+            f"max_candidates={max_candidates} safety bound"
+        )
+    best_nodes: frozenset[Node] | None = None
+    best_value = math.inf
+    examined = 0
+    for size in range(len(pool) + 1):
+        for extra in itertools.combinations(pool, size):
+            nodes = query_set | frozenset(extra)
+            examined += 1
+            if not nodes_connect(graph, nodes):
+                continue
+            value = wiener_index(graph.subgraph(nodes))
+            if value < best_value:
+                best_value = value
+                best_nodes = frozenset(nodes)
+    if best_nodes is None:
+        raise DisconnectedGraphError(
+            "no connected superset of the query exists within the candidate pool"
+        )
+    return ConnectorResult(
+        host=graph, nodes=best_nodes, query=query_set, method="exact",
+        metadata={"strategy": "brute-force", "subsets_examined": examined,
+                  "optimum": best_value},
+    )
+
+
+def exact_pivot(
+    graph: Graph,
+    query: Iterable[Node],
+    pivot_budget: int = 2,
+) -> ConnectorResult:
+    """Theorem-3-style exact search over pivot sets of bounded size.
+
+    Enumerates every set ``X`` of at most ``pivot_budget`` non-query
+    vertices and forms the pivotal set ``A = Q ∪ X``.  Two candidates are
+    scored per pivot set: the induced subgraph ``G[A]`` itself (when
+    connected), and the Lemma-7 construction that joins every pivot pair
+    with one host-graph shortest path.
+
+    Because ``G[A]`` is scored directly, the search is guaranteed optimal
+    whenever the optimal solution contains at most ``pivot_budget``
+    non-query vertices; the shortest-path completion additionally covers
+    solutions whose extra vertices are mere "pass-through" path vertices
+    (Theorem 3's insight).
+    """
+    query_set = frozenset(query)
+    if not query_set:
+        raise InvalidQueryError("query set must be non-empty")
+    pool = [node for node in graph.nodes() if node not in query_set]
+    best_nodes: frozenset[Node] | None = None
+    best_value = math.inf
+
+    for size in range(pivot_budget + 1):
+        for extra in itertools.combinations(pool, size):
+            pivots = list(query_set) + list(extra)
+            candidates = [frozenset(pivots), _connect_pivots(graph, pivots)]
+            for nodes in candidates:
+                if nodes is None or not nodes_connect(graph, nodes):
+                    continue
+                value = wiener_index(graph.subgraph(nodes))
+                if value < best_value:
+                    best_value = value
+                    best_nodes = nodes
+
+    if best_nodes is None:
+        raise DisconnectedGraphError("query vertices cannot be connected")
+    return ConnectorResult(
+        host=graph, nodes=best_nodes, query=query_set, method="exact",
+        metadata={"strategy": "pivot", "pivot_budget": pivot_budget,
+                  "optimum": best_value},
+    )
+
+
+def _connect_pivots(graph: Graph, pivots: list[Node]) -> frozenset[Node] | None:
+    """Union of one shortest path per pivot pair; None if any pair is separated."""
+    nodes: set[Node] = set(pivots)
+    for i, u in enumerate(pivots):
+        distances = bfs_distances(graph, u)
+        for v in pivots[i + 1 :]:
+            if v not in distances:
+                return None
+            path = shortest_path(graph, u, v)
+            if path is None:  # pragma: no cover - guarded by distances check
+                return None
+            nodes.update(path)
+    return frozenset(nodes)
+
+
+def optimal_wiener_index(
+    graph: Graph, query: Iterable[Node], max_candidates: int = 22
+) -> float:
+    """Convenience: the optimal Wiener connector value via brute force."""
+    return brute_force(graph, query, max_candidates=max_candidates).wiener_index

@@ -1,0 +1,124 @@
+"""The chain of objective functions from Section 4.
+
+The approximation algorithm works through a sequence of relaxations:
+
+* ``W(H)`` — the Wiener index (Problem 1);
+* ``A(H, r) = |V(H)| · Σ_u d_H(u, r)`` — the rooted proxy (Problem 2),
+  within a factor 2 of ``2 W(H) / |V(H)| · |V(H)|`` by Lemma 1;
+* ``Ã(H, r) = |V(H)| · Σ_u d_G(u, r)`` — the *weak* variant measuring
+  distances in the host graph (Problem 3);
+* ``B(H, r, λ) = λ |H| + Σ_u d_G(r, u) / λ`` — the linearization
+  (Problem 4) that reduces to Steiner tree.
+
+All helpers accept the host graph plus a vertex set, so no subgraphs need to
+be materialized in the inner loops of the algorithm.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Mapping
+
+from repro.graphs.graph import Graph, Node
+from repro.graphs.traversal import bfs_distances
+from repro.graphs.wiener import rooted_distance_sum, wiener_index
+
+
+def a_objective(graph: Graph, nodes: Iterable[Node], root: Node) -> float:
+    """Return ``A(G[S], root) = |S| · Σ_{u ∈ S} d_{G[S]}(u, root)``.
+
+    Distances are measured inside the induced subgraph; the value is
+    infinite when the subgraph is disconnected (some node unreachable from
+    the root).
+    """
+    node_set = set(nodes)
+    subgraph = graph.subgraph(node_set)
+    total = rooted_distance_sum(subgraph, root)
+    return len(node_set) * total
+
+
+def best_rooted_a(graph: Graph, nodes: Iterable[Node]) -> tuple[float, Node]:
+    """Return ``(A(H), argmin root)`` minimizing ``A(H, r)`` over roots in H."""
+    node_set = set(nodes)
+    subgraph = graph.subgraph(node_set)
+    best_value = math.inf
+    best_root = next(iter(node_set))
+    for root in node_set:
+        total = rooted_distance_sum(subgraph, root)
+        value = len(node_set) * total
+        if value < best_value:
+            best_value = value
+            best_root = root
+    return best_value, best_root
+
+
+def weak_a_objective(
+    nodes: Iterable[Node], host_distances: Mapping[Node, int]
+) -> float:
+    """Return ``Ã(S, r) = |S| · Σ_{u ∈ S} d_G(u, r)``.
+
+    ``host_distances`` must be the BFS distance map from the root in the
+    *host* graph.  Infinite if some node is unreachable in the host.
+    """
+    node_list = list(nodes)
+    total = 0.0
+    for node in node_list:
+        d = host_distances.get(node)
+        if d is None:
+            return math.inf
+        total += d
+    return len(node_list) * total
+
+
+def b_objective(
+    nodes: Iterable[Node],
+    host_distances: Mapping[Node, int],
+    lam: float,
+) -> float:
+    """Return ``B(S, r, λ) = λ |S| + (Σ_{u ∈ S} d_G(r, u)) / λ`` (Eq. (3))."""
+    if lam <= 0:
+        raise ValueError(f"lambda must be positive, got {lam}")
+    node_list = list(nodes)
+    total = 0.0
+    for node in node_list:
+        d = host_distances.get(node)
+        if d is None:
+            return math.inf
+        total += d
+    return lam * len(node_list) + total / lam
+
+
+def optimal_lambda(nodes: Iterable[Node], host_distances: Mapping[Node, int]) -> float:
+    """Return the λ of Lemma 3: ``sqrt(Σ d_G(r, u) / |S|)`` for a solution S.
+
+    Clamped below by ``1/sqrt(2)`` as in the lemma's statement (the sum can
+    be small for tiny solutions hugging the root).
+    """
+    node_list = list(nodes)
+    if not node_list:
+        raise ValueError("empty node set")
+    total = sum(host_distances[node] for node in node_list)
+    return max(math.sqrt(total / len(node_list)), 1 / math.sqrt(2))
+
+
+def wiener_of_nodes(graph: Graph, nodes: Iterable[Node]) -> float:
+    """Return ``W(G[S])`` — convenience wrapper for candidate scoring."""
+    return wiener_index(graph.subgraph(nodes))
+
+
+def verify_lemma1(graph: Graph, nodes: Iterable[Node]) -> tuple[float, float, float]:
+    """Return ``(min_r Σ d(v,r), 2W/|V|, 2 min_r Σ d(v,r))`` for Lemma 1 checks.
+
+    Lemma 1 states ``min_r Σ_v d(v,r) <= 2 W(H)/|V(H)| <= 2 min_r Σ_v d(v,r)``.
+    Exposed for tests and sanity checks.
+    """
+    subgraph = graph.subgraph(set(nodes))
+    n = subgraph.num_nodes
+    best = math.inf
+    for root in subgraph.nodes():
+        distances = bfs_distances(subgraph, root)
+        if len(distances) != n:
+            return math.inf, math.inf, math.inf
+        best = min(best, float(sum(distances.values())))
+    middle = 2 * wiener_index(subgraph) / n if n else 0.0
+    return best, middle, 2 * best

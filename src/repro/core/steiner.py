@@ -1,0 +1,191 @@
+"""Steiner tree machinery: Mehlhorn's 2-approximation and tree utilities.
+
+Mehlhorn's algorithm (Inf. Proc. Letters 1988) is the Steiner solver the
+paper uses both as the ``st`` baseline and inside ``WienerSteiner``
+(Corollary 3 invokes it on the reweighted instance ``G_{r,λ}``).  It works
+in three steps:
+
+1. a multi-source Dijkstra from the terminal set partitions ``G`` into
+   Voronoi regions and yields, for every edge ``(u, v)`` crossing two
+   regions, a candidate terminal-to-terminal path of length
+   ``d(s_u, u) + w(u, v) + d(v, s_v)``;
+2. a minimum spanning tree of the induced "distance network" on terminals
+   is computed (Kruskal on the candidate edges);
+3. every MST edge is expanded back into an actual path of ``G``, the union
+   is re-spanned, and non-terminal leaves are pruned.
+
+The result is a tree spanning the terminals with total weight at most twice
+the optimum.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.errors import DisconnectedGraphError, InvalidQueryError
+from repro.graphs.graph import Graph, Node, WeightedGraph
+from repro.graphs.traversal import multi_source_dijkstra
+from repro.graphs.unionfind import UnionFind
+
+
+def mehlhorn_steiner_tree(graph: WeightedGraph, terminals: Iterable[Node]) -> WeightedGraph:
+    """Return a 2-approximate Steiner tree for ``terminals`` in ``graph``.
+
+    Runs in ``O(|E| log |V|)``.  The returned :class:`WeightedGraph` is a
+    tree whose nodes include all terminals and whose edge weights are copied
+    from the host graph.
+
+    Raises
+    ------
+    InvalidQueryError
+        If the terminal set is empty or contains unknown nodes.
+    DisconnectedGraphError
+        If the terminals do not lie in a single component.
+    """
+    terminal_list = list(dict.fromkeys(terminals))
+    if not terminal_list:
+        raise InvalidQueryError("terminal set must be non-empty")
+    for terminal in terminal_list:
+        if not graph.has_node(terminal):
+            raise InvalidQueryError(f"terminal {terminal!r} not in graph")
+    if len(terminal_list) == 1:
+        singleton = WeightedGraph()
+        singleton.add_node(terminal_list[0])
+        return singleton
+
+    distances, parents, closest = multi_source_dijkstra(graph, terminal_list)
+    for terminal in terminal_list:
+        if terminal not in distances:  # pragma: no cover - sources always settle
+            raise DisconnectedGraphError("terminal unreachable")
+
+    # Step 2: candidate inter-region edges and Kruskal on the terminal network.
+    candidates: dict[tuple[Node, Node], tuple[float, Node, Node]] = {}
+    for u, v, weight in graph.edges():
+        source_u = closest.get(u)
+        source_v = closest.get(v)
+        if source_u is None or source_v is None or source_u == source_v:
+            continue
+        key = (source_u, source_v) if repr(source_u) <= repr(source_v) else (source_v, source_u)
+        length = distances[u] + weight + distances[v]
+        best = candidates.get(key)
+        if best is None or length < best[0]:
+            candidates[key] = (length, u, v)
+
+    ordered = sorted(
+        ((length, key, u, v) for key, (length, u, v) in candidates.items()),
+        key=lambda item: item[0],
+    )
+    forest = UnionFind(terminal_list)
+    bridge_edges: list[tuple[Node, Node]] = []
+    for _, (source_a, source_b), u, v in ordered:
+        if forest.union(source_a, source_b):
+            bridge_edges.append((u, v))
+    if forest.num_sets > 1:
+        raise DisconnectedGraphError("terminals lie in different components")
+
+    # Step 3: expand every selected bridge back into a path of G.
+    union_nodes: set[Node] = set(terminal_list)
+    union_edges: set[tuple[Node, Node]] = set()
+    for u, v in bridge_edges:
+        _add_edge(union_edges, u, v)
+        union_nodes.add(u)
+        union_nodes.add(v)
+        for endpoint in (u, v):
+            node = endpoint
+            while node in parents:
+                parent = parents[node]
+                _add_edge(union_edges, node, parent)
+                union_nodes.add(parent)
+                node = parent
+
+    subgraph = WeightedGraph()
+    for node in union_nodes:
+        subgraph.add_node(node)
+    for a, b in union_edges:
+        subgraph.add_edge(a, b, graph.weight(a, b))
+
+    tree = minimum_spanning_tree(subgraph)
+    return prune_steiner_leaves(tree, terminal_list)
+
+
+def minimum_spanning_tree(graph: WeightedGraph) -> WeightedGraph:
+    """Return a minimum spanning tree (forest, if disconnected) via Kruskal."""
+    tree = WeightedGraph()
+    for node in graph.nodes():
+        tree.add_node(node)
+    edges = sorted(graph.edges(), key=lambda edge: edge[2])
+    forest = UnionFind(graph.nodes())
+    for u, v, weight in edges:
+        if forest.union(u, v):
+            tree.add_edge(u, v, weight)
+    return tree
+
+
+def prune_steiner_leaves(tree: WeightedGraph, terminals: Iterable[Node]) -> WeightedGraph:
+    """Iteratively strip non-terminal leaves from ``tree`` (in place-ish).
+
+    Mehlhorn's final cleanup: any degree-1 node that is not a terminal can
+    be dropped without disconnecting the terminals, only lowering the cost.
+    Returns a new tree.
+    """
+    terminal_set = set(terminals)
+    pruned = WeightedGraph()
+    for node in tree.nodes():
+        pruned.add_node(node)
+    for u, v, w in tree.edges():
+        pruned.add_edge(u, v, w)
+
+    adjacency = {node: dict(pruned.neighbors(node)) for node in pruned.nodes()}
+    removable = [
+        node for node, neighbors in adjacency.items()
+        if len(neighbors) <= 1 and node not in terminal_set
+    ]
+    removed: set[Node] = set()
+    while removable:
+        node = removable.pop()
+        if node in removed or node in terminal_set:
+            continue
+        neighbors = adjacency[node]
+        if len(neighbors) > 1:
+            continue
+        removed.add(node)
+        for neighbor in list(neighbors):
+            del adjacency[neighbor][node]
+            if len(adjacency[neighbor]) <= 1 and neighbor not in terminal_set:
+                removable.append(neighbor)
+        adjacency[node] = {}
+
+    result = WeightedGraph()
+    for node in adjacency:
+        if node not in removed:
+            result.add_node(node)
+    for node, neighbors in adjacency.items():
+        if node in removed:
+            continue
+        for neighbor, weight in neighbors.items():
+            if neighbor not in removed:
+                result.add_edge(node, neighbor, weight)
+    return result
+
+
+def steiner_tree_unweighted(graph: Graph, terminals: Iterable[Node]) -> Graph:
+    """Mehlhorn on an unweighted graph: lift to unit weights, return a plain tree.
+
+    This is the paper's ``st`` baseline entry point.
+    """
+    weighted = WeightedGraph.from_graph(graph)
+    tree = mehlhorn_steiner_tree(weighted, terminals)
+    return tree.unweighted()
+
+
+def tree_total_weight(tree: WeightedGraph) -> float:
+    """Return the Steiner objective (sum of edge weights) of a tree."""
+    return tree.total_weight()
+
+
+def _add_edge(edge_set: set[tuple[Node, Node]], u: Node, v: Node) -> None:
+    """Insert the undirected edge into a canonicalized edge set."""
+    if repr(u) <= repr(v):
+        edge_set.add((u, v))
+    else:
+        edge_set.add((v, u))

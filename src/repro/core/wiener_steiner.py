@@ -1,0 +1,245 @@
+"""``WienerSteiner`` — Algorithm 1, the paper's main contribution.
+
+A constant-factor approximation for Min Wiener Connector running in
+``Õ(|Q| |E|)``:
+
+1. compute BFS distances from every query vertex (line 1);
+2. sweep a geometric grid of the balance parameter ``λ`` (Lemma 3 shows the
+   right value lies in ``[1/√2, √|V|]``; a ``(1+β)`` grid loses only a
+   ``(1+β)²`` factor — Step 5 of Section 4);
+3. for every candidate root ``r ∈ Q`` (Lemma 5 licenses restricting roots
+   to the query set) build the reweighted graph ``G_{r,λ}`` with edge
+   weights ``λ + max(d_G(r,u), d_G(r,v)) / λ`` (Lemma 4) and run Mehlhorn's
+   Steiner 2-approximation on terminals ``Q ∪ {r}``;
+4. rebalance the resulting tree with ``AdjustDistances`` (Lemma 2);
+5. keep the candidate minimizing ``A(H, r)`` — or, following Remark 1, the
+   exact Wiener index when the candidate is small enough to afford it.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from collections.abc import Iterable, Mapping
+
+from repro.errors import DisconnectedGraphError, InvalidQueryError
+from repro.core.adjust import adjust_distances
+from repro.core.result import ConnectorResult
+from repro.core.steiner import mehlhorn_steiner_tree
+from repro.graphs.graph import Graph, Node, WeightedGraph
+from repro.graphs.traversal import bfs_tree
+from repro.graphs.wiener import rooted_distance_sum, wiener_index
+
+#: Candidates at most this large are scored with the exact Wiener index
+#: when ``selection="auto"`` (Remark 1: exact scoring is affordable because
+#: solutions are typically small).
+EXACT_SCORING_THRESHOLD = 600
+
+
+def wiener_steiner(
+    graph: Graph,
+    query: Iterable[Node],
+    beta: float = 1.0,
+    roots: Iterable[Node] | None = None,
+    selection: str = "auto",
+    adjust: bool = True,
+    lambda_values: Iterable[float] | None = None,
+) -> ConnectorResult:
+    """Return an approximate minimum Wiener connector for ``query``.
+
+    Parameters
+    ----------
+    graph:
+        The host graph ``G`` — connected, simple, undirected, unweighted.
+    query:
+        The query set ``Q`` (at least one vertex, all in ``G``).
+    beta:
+        Grid resolution for the λ sweep; the paper suggests ``β = 1``.
+        Smaller β tries more λ values (better quality, more time).
+    roots:
+        Candidate roots; defaults to ``Q`` (Lemma 5).  Pass all of
+        ``graph.nodes()`` to ablate the root restriction.
+    selection:
+        ``"a"`` scores candidates by the proxy ``A(H, r)`` (the worst-case
+        analysis of Theorem 4); ``"wiener"`` scores every candidate by its
+        exact Wiener index; ``"auto"`` (default) uses exact scoring for
+        candidates up to :data:`EXACT_SCORING_THRESHOLD` vertices and the
+        proxy beyond.
+    adjust:
+        Apply the Lemma-2 ``AdjustDistances`` rebalancing (default).  The
+        approximation guarantee needs it; turning it off is an ablation.
+    lambda_values:
+        Explicit λ grid overriding the geometric sweep.
+
+    Returns
+    -------
+    ConnectorResult
+        With ``metadata`` keys ``root``, ``lambda``, ``candidates``
+        (number of distinct candidate vertex sets scored) and
+        ``runtime_seconds``.
+
+    Raises
+    ------
+    InvalidQueryError
+        If ``query`` is empty or mentions vertices outside the graph.
+    DisconnectedGraphError
+        If the query vertices do not lie in one connected component.
+    """
+    started = time.perf_counter()
+    query_set = frozenset(query)
+    _validate_query(graph, query_set)
+
+    if len(query_set) == 1:
+        only = next(iter(query_set))
+        return ConnectorResult(
+            host=graph, nodes=frozenset([only]), query=query_set, method="ws-q",
+            metadata={"root": only, "lambda": None, "candidates": 1,
+                      "runtime_seconds": time.perf_counter() - started},
+        )
+
+    root_list = list(dict.fromkeys(roots)) if roots is not None else sorted(
+        query_set, key=repr
+    )
+    if not root_list:
+        raise InvalidQueryError("root candidate list must be non-empty")
+
+    # Line 1: one BFS per query vertex / root candidate.
+    bfs_cache: dict[Node, tuple[dict[Node, int], dict[Node, Node]]] = {}
+    for root in root_list:
+        bfs_cache[root] = bfs_tree(graph, root)
+        reached = bfs_cache[root][0]
+        unreachable = [q for q in query_set if q not in reached]
+        if unreachable:
+            raise DisconnectedGraphError(
+                f"query vertices {sorted(map(repr, unreachable))} unreachable "
+                f"from root {root!r}"
+            )
+
+    grid = list(lambda_values) if lambda_values is not None else _lambda_grid(
+        graph.num_nodes, beta
+    )
+
+    best_key: float = math.inf
+    best_nodes: frozenset[Node] | None = None
+    best_root: Node | None = None
+    best_lambda: float | None = None
+    scored: dict[frozenset[Node], float] = {}
+
+    for lam in grid:
+        for root in root_list:
+            host_distances, host_parents = bfs_cache[root]
+            candidate = _candidate_for(
+                graph, query_set, root, lam, host_distances, host_parents, adjust
+            )
+            if candidate in scored:
+                continue
+            key = _score(graph, candidate, root, selection)
+            scored[candidate] = key
+            if key < best_key:
+                best_key = key
+                best_nodes = candidate
+                best_root = root
+                best_lambda = lam
+
+    assert best_nodes is not None  # the grid and root list are non-empty
+    return ConnectorResult(
+        host=graph,
+        nodes=best_nodes,
+        query=query_set,
+        method="ws-q",
+        metadata={
+            "root": best_root,
+            "lambda": best_lambda,
+            "candidates": len(scored),
+            "runtime_seconds": time.perf_counter() - started,
+        },
+    )
+
+
+#: Public alias matching the paper's problem name.
+minimum_wiener_connector = wiener_steiner
+
+
+def _validate_query(graph: Graph, query_set: frozenset[Node]) -> None:
+    if not query_set:
+        raise InvalidQueryError("query set must be non-empty")
+    missing = [q for q in query_set if not graph.has_node(q)]
+    if missing:
+        raise InvalidQueryError(
+            f"query vertices not in graph: {sorted(map(repr, missing))}"
+        )
+
+
+def _lambda_grid(num_nodes: int, beta: float) -> list[float]:
+    """Geometric grid of λ values covering ``[1/√2, √|V|]`` (Lemma 3)."""
+    if beta <= 0:
+        raise ValueError(f"beta must be positive, got {beta}")
+    low = 1 / math.sqrt(2)
+    high = math.sqrt(max(num_nodes, 2))
+    grid = []
+    value = low
+    while value < high:
+        grid.append(value)
+        value *= 1 + beta
+    grid.append(high)
+    return grid
+
+
+def _candidate_for(
+    graph: Graph,
+    query_set: frozenset[Node],
+    root: Node,
+    lam: float,
+    host_distances: Mapping[Node, int],
+    host_parents: Mapping[Node, Node],
+    adjust: bool,
+) -> frozenset[Node]:
+    """Lines 7–11 of Algorithm 1 for one ``(r, λ)`` pair."""
+    reweighted = _reweighted_graph(graph, host_distances, lam)
+    terminals = set(query_set) | {root}
+    tree = mehlhorn_steiner_tree(reweighted, terminals)
+    if adjust:
+        adjusted = adjust_distances(
+            graph,
+            tree,
+            root,
+            bfs_distances_map=host_distances,
+            bfs_parents_map=host_parents,
+        )
+        nodes = set(adjusted.nodes())
+    else:
+        nodes = set(tree.nodes())
+    nodes |= query_set
+    return frozenset(nodes)
+
+
+def _reweighted_graph(
+    graph: Graph, host_distances: Mapping[Node, int], lam: float
+) -> WeightedGraph:
+    """Build ``G_{r,λ}`` with ``w(u,v) = λ + max(d_G(r,u), d_G(r,v)) / λ``.
+
+    Lemma 4 shows Steiner trees of this weighted graph approximate the
+    node-weighted objective ``B(·, r, λ)`` within a factor 2.
+    """
+    reweighted = WeightedGraph()
+    for node in graph.nodes():
+        reweighted.add_node(node)
+    for u, v in graph.edges():
+        weight = lam + max(host_distances[u], host_distances[v]) / lam
+        reweighted.add_edge(u, v, weight)
+    return reweighted
+
+
+def _score(
+    graph: Graph, nodes: frozenset[Node], root: Node, selection: str
+) -> float:
+    """Score a candidate per the selection policy (line 15 / Remark 1)."""
+    if selection not in ("a", "wiener", "auto"):
+        raise ValueError(f"unknown selection policy {selection!r}")
+    subgraph = graph.subgraph(nodes)
+    use_exact = selection == "wiener" or (
+        selection == "auto" and len(nodes) <= EXACT_SCORING_THRESHOLD
+    )
+    if use_exact:
+        return wiener_index(subgraph)
+    return len(nodes) * rooted_distance_sum(subgraph, root)

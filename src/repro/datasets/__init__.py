@@ -1,0 +1,70 @@
+"""Datasets: the exact karate club plus deterministic synthetic stand-ins
+for every graph in the paper's Table 1 and the §7 case studies."""
+
+from repro.datasets.karate import (
+    FIGURE1_QUERY_DIFFERENT_COMMUNITIES,
+    FIGURE1_QUERY_SAME_COMMUNITY,
+    INSTRUCTOR_FACTION,
+    PRESIDENT_FACTION,
+    karate_club,
+    karate_factions,
+)
+from repro.datasets.registry import (
+    GROUND_TRUTH_DATASETS,
+    SPECS,
+    DatasetSpec,
+    clear_cache,
+    dataset_names,
+    load_community_dataset,
+    load_dataset,
+)
+from repro.datasets.steinlib import (
+    puc_like,
+    puc_suite,
+    vienna_like,
+    vienna_suite,
+)
+from repro.datasets.ppi import (
+    HUB_GENES,
+    QUERY_GENES,
+    PPIDataset,
+    ppi_network,
+)
+from repro.datasets.twitter import (
+    FIGURE7_QUERY_ONE,
+    FIGURE7_QUERY_TWO,
+    FOLLOWERS,
+    NAMED_USERS,
+    TwitterDataset,
+    kdd_twitter_network,
+)
+
+__all__ = [
+    "FIGURE1_QUERY_DIFFERENT_COMMUNITIES",
+    "FIGURE1_QUERY_SAME_COMMUNITY",
+    "INSTRUCTOR_FACTION",
+    "PRESIDENT_FACTION",
+    "karate_club",
+    "karate_factions",
+    "GROUND_TRUTH_DATASETS",
+    "SPECS",
+    "DatasetSpec",
+    "clear_cache",
+    "dataset_names",
+    "load_community_dataset",
+    "load_dataset",
+    "puc_like",
+    "puc_suite",
+    "vienna_like",
+    "vienna_suite",
+    "HUB_GENES",
+    "QUERY_GENES",
+    "PPIDataset",
+    "ppi_network",
+    "FIGURE7_QUERY_ONE",
+    "FIGURE7_QUERY_TWO",
+    "FOLLOWERS",
+    "NAMED_USERS",
+    "TwitterDataset",
+    "kdd_twitter_network",
+]

@@ -1,0 +1,65 @@
+"""Zachary's karate club — the paper's Figure-1 graph, embedded exactly.
+
+The classic 34-node, 78-edge social network (Zachary 1977) with the known
+two-faction ground truth: the club split between the instructor (vertex 1)
+and the president (vertex 34).  Vertex ids are 1-based, matching the
+paper's figure (``Q = {12, 25, 26, 30}`` on the left, ``{4, 12, 17}`` on
+the right).
+"""
+
+from __future__ import annotations
+
+from repro.graphs.graph import Graph
+
+#: The 78 undirected edges, 1-based node ids.
+KARATE_EDGES: tuple[tuple[int, int], ...] = (
+    (1, 2), (1, 3), (1, 4), (1, 5), (1, 6), (1, 7), (1, 8), (1, 9),
+    (1, 11), (1, 12), (1, 13), (1, 14), (1, 18), (1, 20), (1, 22), (1, 32),
+    (2, 3), (2, 4), (2, 8), (2, 14), (2, 18), (2, 20), (2, 22), (2, 31),
+    (3, 4), (3, 8), (3, 9), (3, 10), (3, 14), (3, 28), (3, 29), (3, 33),
+    (4, 8), (4, 13), (4, 14),
+    (5, 7), (5, 11),
+    (6, 7), (6, 11), (6, 17),
+    (7, 17),
+    (9, 31), (9, 33), (9, 34),
+    (10, 34),
+    (14, 34),
+    (15, 33), (15, 34),
+    (16, 33), (16, 34),
+    (19, 33), (19, 34),
+    (20, 34),
+    (21, 33), (21, 34),
+    (23, 33), (23, 34),
+    (24, 26), (24, 28), (24, 30), (24, 33), (24, 34),
+    (25, 26), (25, 28), (25, 32),
+    (26, 32),
+    (27, 30), (27, 34),
+    (28, 34),
+    (29, 32), (29, 34),
+    (30, 33), (30, 34),
+    (31, 33), (31, 34),
+    (32, 33), (32, 34),
+    (33, 34),
+)
+
+#: Ground-truth factions after the split (instructor vs. president).
+INSTRUCTOR_FACTION: frozenset[int] = frozenset(
+    {1, 2, 3, 4, 5, 6, 7, 8, 11, 12, 13, 14, 17, 18, 20, 22}
+)
+PRESIDENT_FACTION: frozenset[int] = frozenset(
+    {9, 10, 15, 16, 19, 21, 23, 24, 25, 26, 27, 28, 29, 30, 31, 32, 33, 34}
+)
+
+#: The paper's Figure-1 query sets.
+FIGURE1_QUERY_DIFFERENT_COMMUNITIES: tuple[int, ...] = (12, 25, 26, 30)
+FIGURE1_QUERY_SAME_COMMUNITY: tuple[int, ...] = (4, 12, 17)
+
+
+def karate_club() -> Graph:
+    """Return the karate club graph (34 nodes, 78 edges, 1-based ids)."""
+    return Graph(KARATE_EDGES)
+
+
+def karate_factions() -> list[frozenset[int]]:
+    """Return the two ground-truth factions, instructor's first."""
+    return [INSTRUCTOR_FACTION, PRESIDENT_FACTION]

@@ -1,0 +1,132 @@
+"""Synthetic protein–protein-interaction network for the §7 case study.
+
+The paper extracts a minimum Wiener connector from a BioGrid human PPI
+network (15 312 proteins) for the query genes BMP1, JAK2, PSEN, SLC6A4 and
+finds that the connector consists of the disease-hub proteins p53, HSP90,
+GSK3B and SNCA (Figure 6).  Without network access we synthesize a PPI-like
+network with the same qualitative structure:
+
+* disease modules (cancer, leukemia, alzheimers, neurodegenerative,
+  autism) as dense blobs of anonymous proteins;
+* the four hub proteins wired as high-degree connectors inside and *across*
+  modules (including the p53–GSK3B interaction the paper highlights as
+  linking cancer and Alzheimer's);
+* the four query proteins attached at the module periphery with their
+  documented hub as the natural next hop.
+
+The generated network preserves the case study's behaviour: the minimum
+Wiener connector for the query genes passes through the planted hubs.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.graphs.graph import Graph
+from repro.graphs.generators import connectify, erdos_renyi
+
+#: Query proteins (grey in Figure 6) and their planted hub (white).
+QUERY_GENES: tuple[str, ...] = ("BMP1", "JAK2", "PSEN", "SLC6A4")
+HUB_GENES: tuple[str, ...] = ("p53", "HSP90", "GSK3B", "SNCA")
+
+#: Disease association of the named genes, as discussed in §7.
+DISEASES: dict[str, tuple[str, ...]] = {
+    "BMP1": ("cancer",),
+    "p53": ("cancer",),
+    "JAK2": ("leukemia",),
+    "HSP90": ("leukemia", "cancer"),
+    "PSEN": ("alzheimers",),
+    "GSK3B": ("alzheimers", "cancer"),
+    "SLC6A4": ("alzheimers", "autism"),
+    "SNCA": ("alzheimers", "neurodegenerative"),
+}
+
+_MODULES: tuple[tuple[str, str, int], ...] = (
+    # (module name, anonymous-protein prefix, module size)
+    ("cancer", "CANC", 180),
+    ("leukemia", "LEUK", 120),
+    ("alzheimers", "ALZ", 180),
+    ("neurodegenerative", "NEUR", 120),
+    ("autism", "AUT", 100),
+    ("background", "BKG", 160),
+)
+
+#: Which module each hub anchors, and which modules it bridges into.
+_HUB_WIRING: dict[str, tuple[str, tuple[str, ...]]] = {
+    "p53": ("cancer", ("leukemia", "alzheimers")),
+    "HSP90": ("leukemia", ("cancer",)),
+    "GSK3B": ("alzheimers", ("cancer", "neurodegenerative")),
+    "SNCA": ("neurodegenerative", ("alzheimers", "autism")),
+}
+
+#: Which hub each query gene hangs off, plus its home module.
+_QUERY_WIRING: dict[str, tuple[str, str]] = {
+    "BMP1": ("p53", "cancer"),
+    "JAK2": ("HSP90", "leukemia"),
+    "PSEN": ("GSK3B", "alzheimers"),
+    "SLC6A4": ("SNCA", "autism"),
+}
+
+
+@dataclass
+class PPIDataset:
+    """The synthetic PPI network plus its planted annotations."""
+
+    graph: Graph
+    module_of: dict[str, str]
+    diseases: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    query: tuple[str, ...] = QUERY_GENES
+    hubs: tuple[str, ...] = HUB_GENES
+
+
+def ppi_network(seed: int = 7) -> PPIDataset:
+    """Generate the deterministic PPI-like case-study network (~860 nodes)."""
+    rng = random.Random(seed)
+    graph = Graph()
+    module_of: dict[str, str] = {}
+    members: dict[str, list[str]] = {}
+
+    # Dense anonymous disease modules.
+    for module, prefix, size in _MODULES:
+        names = [f"{prefix}{i:03d}" for i in range(size)]
+        members[module] = names
+        for name in names:
+            graph.add_node(name)
+            module_of[name] = module
+        block = erdos_renyi(size, 6.0 / size, rng=rng)
+        for u, v in block.edges():
+            graph.add_edge(names[u], names[v])
+
+    # Sparse background noise between modules (keeps hubs strictly better
+    # than random inter-module shortcuts).
+    module_names = [module for module, _, _ in _MODULES]
+    for _ in range(140):
+        a, b = rng.sample(module_names, 2)
+        graph.add_edge(rng.choice(members[a]), rng.choice(members[b]))
+
+    # Hubs: high degree in their home module, bridges into related modules,
+    # and a densely interlinked hub core (p53-GSK3B etc.).
+    for hub, (home, bridged) in _HUB_WIRING.items():
+        graph.add_node(hub)
+        module_of[hub] = home
+        for name in rng.sample(members[home], int(len(members[home]) * 0.35)):
+            graph.add_edge(hub, name)
+        for module in bridged:
+            for name in rng.sample(members[module], int(len(members[module]) * 0.15)):
+                graph.add_edge(hub, name)
+    hub_core = list(_HUB_WIRING)
+    for i, a in enumerate(hub_core):
+        for b in hub_core[i + 1 :]:
+            graph.add_edge(a, b)
+
+    # Query proteins: attached to their hub and a small module periphery.
+    for gene, (hub, home) in _QUERY_WIRING.items():
+        graph.add_node(gene)
+        module_of[gene] = home
+        graph.add_edge(gene, hub)
+        for name in rng.sample(members[home], 4):
+            graph.add_edge(gene, name)
+
+    connectify(graph, rng=rng)
+    return PPIDataset(graph=graph, module_of=module_of, diseases=dict(DISEASES))

@@ -1,0 +1,152 @@
+"""Synthetic stand-ins for the paper's Table-1 datasets.
+
+The original evaluation uses public SNAP/Arenas graphs; with no network
+access we generate graphs matching each dataset's published *shape*
+(|V|, average degree, and modular vs. heavy-tailed structure), scaled down
+where the original exceeds laptop-friendly pure-Python sizes.  Every
+experiment compares methods against each other *on the same graph*, so the
+findings' shape survives the substitution (see DESIGN.md §3).
+
+Models used per dataset:
+
+* ``pp``  — planted partition (modular structure, carries ground-truth
+  communities: football, dblp, youtube);
+* ``ba``  — Barabási–Albert preferential attachment (heavy-tailed degree:
+  jazz, celegans, email, yeast, oregon, astro, wiki, livejournal, twitter,
+  dbpedia).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.graphs.graph import Graph
+from repro.graphs.generators import barabasi_albert, connectify
+from repro.communities.ground_truth import CommunityGraph, make_community_graph
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Recipe for one Table-1 stand-in."""
+
+    name: str
+    paper_nodes: int
+    paper_edges: int
+    kind: str  # "pp" or "ba"
+    nodes: int  # generated size (scaled when the original is huge)
+    parameter: float  # ba: attachment count; pp: p_in
+    num_communities: int = 0
+    p_out: float = 0.0
+    seed: int = 0
+
+    @property
+    def scaled(self) -> bool:
+        return self.nodes != self.paper_nodes
+
+
+#: All Table-1 datasets.  Sizes above ~5000 nodes are scaled down; the
+#: density regime (average degree) is preserved.
+SPECS: dict[str, DatasetSpec] = {
+    spec.name: spec
+    for spec in (
+        DatasetSpec("football", 115, 613, "pp", 115, 0.66,
+                    num_communities=12, p_out=0.04, seed=11),
+        DatasetSpec("jazz", 198, 2742, "ba", 198, 14, seed=12),
+        DatasetSpec("celegans", 453, 2025, "ba", 453, 4, seed=13),
+        DatasetSpec("email", 1133, 5452, "ba", 1133, 5, seed=14),
+        DatasetSpec("yeast", 2224, 6609, "ba", 2224, 3, seed=15),
+        DatasetSpec("oregon", 10670, 22002, "ba", 2600, 2, seed=16),
+        DatasetSpec("astro", 18772, 198110, "ba", 2400, 11, seed=17),
+        DatasetSpec("dblp", 317080, 1049866, "pp", 3600, 0.09,
+                    num_communities=60, p_out=0.0003, seed=18),
+        DatasetSpec("youtube", 1134890, 2987624, "pp", 4000, 0.055,
+                    num_communities=50, p_out=0.0003, seed=19),
+        DatasetSpec("wiki", 2394385, 5021410, "ba", 4000, 2, seed=20),
+        DatasetSpec("livejournal", 3997962, 34681189, "ba", 4500, 8, seed=21),
+        DatasetSpec("twitter", 11316811, 85331846, "ba", 5000, 7, seed=22),
+        DatasetSpec("dbpedia", 18268992, 172183984, "ba", 5000, 9, seed=23),
+    )
+}
+
+#: Datasets carrying ground-truth communities (Table 4 workloads).
+GROUND_TRUTH_DATASETS = ("football", "dblp", "youtube")
+
+_cache: dict[str, Graph] = {}
+_community_cache: dict[str, CommunityGraph] = {}
+
+
+def dataset_names() -> list[str]:
+    """All stand-in dataset names, in Table-1 order."""
+    return list(SPECS)
+
+
+def load_dataset(name: str, use_cache: bool = True) -> Graph:
+    """Generate (or fetch from cache) the stand-in graph for ``name``.
+
+    Generation is deterministic per dataset (fixed seed), so repeated loads
+    across processes see the same graph.
+    """
+    if name not in SPECS:
+        raise KeyError(f"unknown dataset {name!r}; known: {dataset_names()}")
+    if use_cache and name in _cache:
+        return _cache[name]
+    spec = SPECS[name]
+    if spec.kind == "pp":
+        graph = load_community_dataset(name, use_cache=use_cache).graph
+    else:
+        rng = random.Random(spec.seed)
+        graph = barabasi_albert(spec.nodes, int(spec.parameter), rng=rng)
+        connectify(graph, rng=rng)
+    if use_cache:
+        _cache[name] = graph
+    return graph
+
+
+def load_community_dataset(name: str, use_cache: bool = True) -> CommunityGraph:
+    """Load a stand-in carrying ground-truth communities.
+
+    Raises
+    ------
+    KeyError
+        If ``name`` has no planted community structure.
+    """
+    if name not in GROUND_TRUTH_DATASETS:
+        raise KeyError(
+            f"dataset {name!r} has no ground-truth communities; "
+            f"use one of {GROUND_TRUTH_DATASETS}"
+        )
+    if use_cache and name in _community_cache:
+        return _community_cache[name]
+    spec = SPECS[name]
+    sizes = _community_sizes(spec)
+    community_graph = make_community_graph(
+        name, sizes, p_in=spec.parameter, p_out=spec.p_out, seed=spec.seed
+    )
+    if use_cache:
+        _community_cache[name] = community_graph
+        _cache[name] = community_graph.graph
+    return community_graph
+
+
+def _community_sizes(spec: DatasetSpec, spread: float = 0.5) -> list[int]:
+    """Split ``spec.nodes`` into ``spec.num_communities`` uneven sizes."""
+    rng = random.Random(spec.seed + 1)
+    base = spec.nodes // spec.num_communities
+    sizes = []
+    remaining = spec.nodes
+    for index in range(spec.num_communities - 1):
+        low = max(3, int(base * (1 - spread)))
+        high = int(base * (1 + spread))
+        size = min(remaining - 3 * (spec.num_communities - index - 1),
+                   rng.randint(low, high))
+        sizes.append(max(size, 3))
+        remaining -= sizes[-1]
+    sizes.append(max(remaining, 3))
+    return sizes
+
+
+def clear_cache() -> None:
+    """Drop all cached graphs (tests use this to control memory)."""
+    _cache.clear()
+    _community_cache.clear()

@@ -1,0 +1,91 @@
+"""SteinLib-like Steiner benchmark instances (``puc`` and ``vienna`` suites).
+
+Section 6.5 compares ``ws-q`` and ``st`` on SteinLib's ``puc`` (hard
+hypercube-flavored instances, 25 problems, ``|Q| ∈ [8, 2048]``) and
+``vienna`` (street-network instances, 85 problems, ``|Q| ∈ [50, ~5k]``).
+Without network access we generate families with the same character and
+push them through the same ``.stp`` parser real benchmarks would use:
+
+* :func:`puc_like` — hypercube graphs with random terminal subsets (unit
+  weights).  Hypercubes are exactly the topology behind puc's ``hc`` série;
+* :func:`vienna_like` — connected random geometric graphs (sparse,
+  near-planar, like street networks) with *clustered* terminals sampled as
+  BFS balls around a few centers, which is how real access-network
+  terminals cluster.
+
+Both are deterministic in ``index``.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.graphs.graph import WeightedGraph
+from repro.graphs.generators import (
+    connectify,
+    hypercube_graph,
+    random_geometric,
+)
+from repro.graphs.io import SteinerInstance
+from repro.graphs.traversal import bfs_limited
+
+#: Number of instances per generated suite (the real puc has 25, vienna 85;
+#: we default to smaller suites to keep experiment runtimes reasonable and
+#: let callers ask for more).
+DEFAULT_PUC_COUNT = 12
+DEFAULT_VIENNA_COUNT = 12
+
+
+def puc_like(index: int) -> SteinerInstance:
+    """Return the ``index``-th puc-like instance (hypercube + random terminals).
+
+    Dimensions cycle through 6..9 (64..512 nodes); terminal counts cycle
+    through 1/8, 1/4 and 1/2 of the vertices, echoing puc's wide ``|Q|``
+    range relative to graph size.
+    """
+    rng = random.Random(1000 + index)
+    dimension = 6 + index % 4
+    graph = hypercube_graph(dimension)
+    n = graph.num_nodes
+    fraction = (8, 4, 2)[index % 3]
+    num_terminals = max(4, n // fraction)
+    terminals = set(rng.sample(range(n), num_terminals))
+    weighted = WeightedGraph.from_graph(graph)
+    return SteinerInstance(
+        name=f"puc-like-{index:02d}", graph=weighted, terminals=terminals
+    )
+
+
+def vienna_like(index: int) -> SteinerInstance:
+    """Return the ``index``-th vienna-like instance (geometric graph +
+    clustered terminals)."""
+    rng = random.Random(2000 + index)
+    n = 900 + 150 * (index % 5)
+    # Radius chosen for average degree ~5: E[deg] = n * pi * r^2.
+    radius = (5.0 / (3.14159 * n)) ** 0.5
+    graph = random_geometric(n, radius, rng=rng)
+    connectify(graph, rng=rng)
+    num_centers = 3 + index % 4
+    per_center = 12 + 4 * (index % 3)
+    terminals: set[int] = set()
+    nodes = list(graph.nodes())
+    for _ in range(num_centers):
+        center = rng.choice(nodes)
+        ball = bfs_limited(graph, center, max_depth=4)
+        members = sorted(ball)
+        rng.shuffle(members)
+        terminals.update(members[:per_center])
+    weighted = WeightedGraph.from_graph(graph)
+    return SteinerInstance(
+        name=f"vienna-like-{index:02d}", graph=weighted, terminals=terminals
+    )
+
+
+def puc_suite(count: int = DEFAULT_PUC_COUNT) -> list[SteinerInstance]:
+    """The generated puc-like suite."""
+    return [puc_like(index) for index in range(count)]
+
+
+def vienna_suite(count: int = DEFAULT_VIENNA_COUNT) -> list[SteinerInstance]:
+    """The generated vienna-like suite."""
+    return [vienna_like(index) for index in range(count)]

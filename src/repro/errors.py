@@ -1,0 +1,68 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All errors raised by the library derive from :class:`ReproError`, so callers
+can catch a single base class.  More specific subclasses communicate *what*
+went wrong: malformed graphs, disconnected inputs, bad query sets, solver
+resource exhaustion, and parse failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the ``repro`` library."""
+
+
+class GraphError(ReproError):
+    """A graph operation received structurally invalid input."""
+
+
+class NodeNotFoundError(GraphError, KeyError):
+    """A referenced node does not exist in the graph."""
+
+    def __init__(self, node: object) -> None:
+        super().__init__(f"node {node!r} is not in the graph")
+        self.node = node
+
+
+class EdgeNotFoundError(GraphError, KeyError):
+    """A referenced edge does not exist in the graph."""
+
+    def __init__(self, u: object, v: object) -> None:
+        super().__init__(f"edge ({u!r}, {v!r}) is not in the graph")
+        self.edge = (u, v)
+
+
+class DisconnectedGraphError(GraphError):
+    """An operation requiring a connected graph got a disconnected one."""
+
+
+class InvalidQueryError(ReproError):
+    """The query set ``Q`` is empty or contains nodes outside the graph."""
+
+
+class SolverBudgetExceeded(ReproError):
+    """An exact solver exhausted its node/time budget.
+
+    Carries the best certified lower and upper bounds found so far, mirroring
+    how the paper reports Gurobi runs that exhausted memory (Table 2 rows
+    marked with a dagger).
+    """
+
+    def __init__(self, lower_bound: float, upper_bound: float) -> None:
+        super().__init__(
+            "solver budget exceeded; best certified interval is "
+            f"[{lower_bound}, {upper_bound}]"
+        )
+        self.lower_bound = lower_bound
+        self.upper_bound = upper_bound
+
+
+class ParseError(ReproError):
+    """A file (edge list, SteinLib ``.stp``) could not be parsed."""
+
+    def __init__(self, message: str, line_number: int | None = None) -> None:
+        if line_number is not None:
+            message = f"line {line_number}: {message}"
+        super().__init__(message)
+        self.line_number = line_number

@@ -1,0 +1,56 @@
+"""Experiment harness: one module per paper table/figure.
+
+=============  =======================================================
+module         paper artifact
+=============  =======================================================
+``table1``     Table 1 — dataset summary vs paper values
+``table2``     Table 2 — approximation quality vs certified bounds
+``table3``     Table 3 — solution characterization across methods
+``table4``     Table 4 — sc vs dc community workloads
+``table5``     Table 5 / Figure 7 — Twitter case study
+``figure1``    Figure 1 — karate-club connectors
+``figure2``    Figure 2 — Steiner-vs-Wiener gadget + generalization
+``figure3``    Figure 3 — oregon sweeps over |Q| and query distance
+``figure4``    Figure 4 — CDFs on puc/vienna Steiner benchmarks
+``figure5``    Figure 5 — runtime scalability
+``case_studies``  Figure 6 — PPI case study
+``ablations``  quality/runtime ablations of Algorithm 1's knobs
+=============  =======================================================
+
+Every module exposes ``run(...)`` returning structured results and a
+``main()`` that prints the paper-shaped output; the ``repro`` CLI wires
+them to the command line.
+"""
+
+from repro.experiments import (  # noqa: F401
+    ablations,
+    case_studies,
+    figure1,
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+)
+
+EXPERIMENTS = {
+    "table1": table1,
+    "table2": table2,
+    "table3": table3,
+    "table4": table4,
+    "table5": table5,
+    "figure1": figure1,
+    "figure2": figure2,
+    "figure3": figure3,
+    "figure4": figure4,
+    "figure5": figure5,
+    "figure6": case_studies,
+    "figure7": table5,
+    "ablations": ablations,
+}
+
+__all__ = ["EXPERIMENTS"]

@@ -1,0 +1,109 @@
+"""Ablation study of Algorithm 1's design choices (not in the paper's
+evaluation, but each choice is justified by a lemma — this experiment
+measures what each one buys empirically).
+
+Four knobs:
+
+* **roots** — Lemma 5 restricts candidate roots to ``Q`` at a worst-case
+  3× objective cost; how much quality does trying every vertex recover,
+  and at what runtime price?
+* **beta** — the λ-grid resolution (Step 5); finer grids try more
+  balances between solution size and distance mass;
+* **adjust** — Lemma 2's ``AdjustDistances`` rebalancing, required by the
+  worst-case proof;
+* **selection** — exact Wiener re-scoring of candidates (Remark 1) vs the
+  cheaper ``A(H, r)`` proxy.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+
+from repro.core.wiener_steiner import wiener_steiner
+from repro.datasets.registry import load_dataset
+from repro.experiments.reporting import render_table
+from repro.workloads.random_queries import query_with_distance
+from repro.workloads.seeding import stable_seed
+
+
+@dataclass(frozen=True)
+class AblationRow:
+    """Averaged outcome of one configuration."""
+
+    knob: str
+    setting: str
+    wiener: float
+    size: float
+    seconds: float
+
+
+def run(
+    dataset: str = "email",
+    query_size: int = 8,
+    avg_distance: float = 4.0,
+    runs: int = 3,
+    seed: int = 0,
+    include_all_roots: bool = True,
+) -> list[AblationRow]:
+    """Run every ablation configuration over a shared query workload."""
+    graph = load_dataset(dataset)
+    queries = []
+    for index in range(runs):
+        rng = random.Random(stable_seed(seed, dataset, index))
+        queries.append(query_with_distance(graph, query_size, avg_distance, rng=rng))
+
+    configurations: list[tuple[str, str, dict]] = [
+        ("baseline", "paper defaults", {}),
+        ("beta", "0.25", {"beta": 0.25}),
+        ("beta", "0.5", {"beta": 0.5}),
+        ("beta", "2.0", {"beta": 2.0}),
+        ("adjust", "off", {"adjust": False}),
+        ("selection", "A-proxy", {"selection": "a"}),
+        ("selection", "exact-W", {"selection": "wiener"}),
+    ]
+    if include_all_roots:
+        configurations.append(
+            ("roots", "all vertices", {"roots": list(graph.nodes())})
+        )
+
+    rows = []
+    for knob, setting, kwargs in configurations:
+        total_w = total_size = total_t = 0.0
+        for query in queries:
+            started = time.perf_counter()
+            result = wiener_steiner(graph, query, **kwargs)
+            total_t += time.perf_counter() - started
+            total_w += result.wiener_index
+            total_size += result.size
+        rows.append(
+            AblationRow(
+                knob=knob,
+                setting=setting,
+                wiener=total_w / runs,
+                size=total_size / runs,
+                seconds=total_t / runs,
+            )
+        )
+    return rows
+
+
+def render(rows: list[AblationRow]) -> str:
+    return render_table(
+        ("knob", "setting", "avg W(H)", "avg |V(H)|", "avg seconds"),
+        [
+            (row.knob, row.setting, f"{row.wiener:.0f}",
+             f"{row.size:.1f}", f"{row.seconds:.2f}")
+            for row in rows
+        ],
+        title="Ablations of Algorithm 1 (relative to paper defaults)",
+    )
+
+
+def main() -> None:
+    print(render(run()))
+
+
+if __name__ == "__main__":
+    main()

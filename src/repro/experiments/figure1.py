@@ -1,0 +1,91 @@
+"""Figure 1 — minimum Wiener connectors on Zachary's karate club.
+
+The paper shows two connectors: query ``{12, 25, 26, 30}`` spans both
+factions and the optimal connector adds the two faction leaders (1 and 34)
+plus bridge vertex 32; query ``{4, 12, 17}`` stays inside the instructor's
+faction and adds two vertices including leader 1.  The karate graph is
+embedded exactly, so this experiment reproduces the figure's solutions up
+to ties (vertices 33 and 34 — the president and his right hand — give
+co-optimal connectors for the first query; see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.result import ConnectorResult
+from repro.core.wiener_steiner import wiener_steiner
+from repro.datasets.karate import (
+    FIGURE1_QUERY_DIFFERENT_COMMUNITIES,
+    FIGURE1_QUERY_SAME_COMMUNITY,
+    karate_club,
+    karate_factions,
+)
+from repro.experiments.reporting import render_table
+from repro.solvers.branch_and_bound import solve_exact
+
+
+@dataclass(frozen=True)
+class Figure1Panel:
+    """One panel of Figure 1: a query and its connectors."""
+
+    label: str
+    query: tuple[int, ...]
+    exact: ConnectorResult
+    exact_wiener: float
+    approx: ConnectorResult
+    factions_spanned: int
+
+
+def run() -> list[Figure1Panel]:
+    """Compute both panels (exact via branch-and-bound, plus ws-q)."""
+    graph = karate_club()
+    factions = karate_factions()
+    panels = []
+    for label, query in (
+        ("different communities", FIGURE1_QUERY_DIFFERENT_COMMUNITIES),
+        ("same community", FIGURE1_QUERY_SAME_COMMUNITY),
+    ):
+        outcome = solve_exact(graph, query)
+        approx = wiener_steiner(graph, query)
+        spanned = sum(1 for faction in factions if faction & set(query))
+        panels.append(
+            Figure1Panel(
+                label=label,
+                query=tuple(query),
+                exact=outcome.result,
+                exact_wiener=outcome.upper_bound,
+                approx=approx,
+                factions_spanned=spanned,
+            )
+        )
+    return panels
+
+
+def render(panels: list[Figure1Panel]) -> str:
+    rows = []
+    for panel in panels:
+        rows.append(
+            (
+                panel.label,
+                set(panel.query),
+                sorted(panel.exact.added_nodes),
+                f"{panel.exact_wiener:.0f}",
+                sorted(panel.approx.added_nodes),
+                f"{panel.approx.wiener_index:.0f}",
+                panel.factions_spanned,
+            )
+        )
+    return render_table(
+        ("panel", "Q", "optimal adds", "W*", "ws-q adds", "W(ws-q)", "factions"),
+        rows,
+        title="Figure 1: karate-club minimum Wiener connectors",
+    )
+
+
+def main() -> None:
+    print(render(run()))
+
+
+if __name__ == "__main__":
+    main()

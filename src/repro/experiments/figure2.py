@@ -1,0 +1,111 @@
+"""Figure 2 — the Steiner-vs-Wiener separation gadget.
+
+A line of 10 query vertices plus two partially-attached roots: the unique
+optimal Steiner tree is the bare line (``W = 165``), adding either root
+drops the Wiener index to 151, and the optimal Wiener connector takes both
+roots (``W = 142``) — and is not a tree.  The module also runs the paper's
+asymptotic generalization (a line of length ``h`` plus a universal root):
+the Steiner solution's Wiener index grows as ``Θ(h³)`` while including the
+root keeps it ``O(h²)``, an unbounded gap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.exact import brute_force
+from repro.core.steiner import steiner_tree_unweighted
+from repro.core.wiener_steiner import wiener_steiner
+from repro.graphs.generators import figure2_gadget, line_with_universal_root
+from repro.graphs.wiener import wiener_index
+from repro.experiments.reporting import render_table
+
+
+@dataclass(frozen=True)
+class Figure2Result:
+    """The gadget's headline numbers."""
+
+    wiener_line: float  # W(Q) — the optimal Steiner tree
+    wiener_one_root: float  # W(Q ∪ {r1})
+    wiener_both_roots: float  # W(Q ∪ {r1, r2}) — the optimum
+    steiner_size: int
+    optimal_nodes: frozenset
+    ws_q_wiener: float
+
+
+@dataclass(frozen=True)
+class ScalingRow:
+    """One length ``h`` of the Θ(h³)-vs-O(h²) generalization."""
+
+    line_length: int
+    wiener_steiner_solution: float  # the bare line
+    wiener_with_root: float  # line + universal root
+
+    @property
+    def gap(self) -> float:
+        return self.wiener_steiner_solution / self.wiener_with_root
+
+
+def run() -> Figure2Result:
+    """Compute the gadget numbers (exact via brute force over the roots)."""
+    graph = figure2_gadget(10)
+    query = list(range(1, 11))
+    best = brute_force(graph, query, candidates=["r1", "r2"])
+    tree = steiner_tree_unweighted(graph, query)
+    ws = wiener_steiner(graph, query)
+    return Figure2Result(
+        wiener_line=wiener_index(graph.subgraph(query)),
+        wiener_one_root=wiener_index(graph.subgraph(query + ["r1"])),
+        wiener_both_roots=best.wiener_index,
+        steiner_size=tree.num_nodes,
+        optimal_nodes=best.nodes,
+        ws_q_wiener=ws.wiener_index,
+    )
+
+
+def run_scaling(lengths: tuple[int, ...] = (10, 20, 40, 80)) -> list[ScalingRow]:
+    """The generalization: line of length ``h`` + universal root."""
+    rows = []
+    for h in lengths:
+        graph = line_with_universal_root(h)
+        query = list(range(1, h + 1))
+        rows.append(
+            ScalingRow(
+                line_length=h,
+                wiener_steiner_solution=wiener_index(graph.subgraph(query)),
+                wiener_with_root=wiener_index(graph.subgraph(query + ["r"])),
+            )
+        )
+    return rows
+
+
+def render(result: Figure2Result, scaling: list[ScalingRow]) -> str:
+    head = render_table(
+        ("quantity", "value"),
+        [
+            ("W(Q)  [= optimal Steiner tree]", f"{result.wiener_line:.0f}"),
+            ("W(Q + r1)", f"{result.wiener_one_root:.0f}"),
+            ("W(Q + r1 + r2)  [= optimum]", f"{result.wiener_both_roots:.0f}"),
+            ("Steiner tree size", result.steiner_size),
+            ("ws-q Wiener index", f"{result.ws_q_wiener:.0f}"),
+        ],
+        title="Figure 2 gadget (paper: 165 / 151 / 142)",
+    )
+    tail = render_table(
+        ("h", "W(line)", "W(line + root)", "gap"),
+        [
+            (row.line_length, f"{row.wiener_steiner_solution:.0f}",
+             f"{row.wiener_with_root:.0f}", f"{row.gap:.2f}x")
+            for row in scaling
+        ],
+        title="Generalization: Θ(h³) Steiner solution vs O(h²) connector",
+    )
+    return head + "\n\n" + tail
+
+
+def main() -> None:
+    print(render(run(), run_scaling()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,111 @@
+"""Figure 3 — solution statistics vs. |Q| and vs. query distance (oregon).
+
+Two sweeps on the oregon stand-in:
+
+* left column:  fix average query distance 4, vary ``|Q| ∈ {10..50}``;
+* right column: fix ``|Q| = 5``, vary average distance ``∈ {1..7}``.
+
+Per point and method we report ``|V(H)|``, ``δ(H)`` and ``bc(H)``.  The
+paper's shape: ws-q/st stay flat and small while ppr/cps/ctp balloon, and
+growing query spread widens the gap.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.datasets.registry import load_dataset
+from repro.experiments.reporting import render_series
+from repro.experiments.stats import SolutionStats, average_stats, host_betweenness, run_methods
+from repro.workloads.random_queries import query_with_distance
+from repro.workloads.seeding import stable_seed
+
+PAPER_DATASET = "oregon"
+SIZE_SWEEP: tuple[int, ...] = (10, 20, 30, 40, 50)
+SIZE_SWEEP_DISTANCE = 4.0
+DISTANCE_SWEEP: tuple[float, ...] = (2.0, 3.0, 4.0, 5.0, 6.0)
+DISTANCE_SWEEP_SIZE = 5
+
+
+@dataclass
+class SweepResult:
+    """One panel column: statistics per x-value per method."""
+
+    x_label: str
+    xs: list[object] = field(default_factory=list)
+    stats: list[dict[str, SolutionStats]] = field(default_factory=list)
+
+    def series(self, getter) -> dict[str, list[float]]:
+        methods = sorted({m for point in self.stats for m in point})
+        return {
+            method: [getter(point[method]) if method in point else float("nan")
+                     for point in self.stats]
+            for method in methods
+        }
+
+
+def run(
+    dataset: str = PAPER_DATASET,
+    sizes: tuple[int, ...] = SIZE_SWEEP,
+    distances: tuple[float, ...] = DISTANCE_SWEEP,
+    runs: int = 3,
+    seed: int = 0,
+) -> tuple[SweepResult, SweepResult]:
+    """Compute both sweeps; returns (size sweep, distance sweep)."""
+    graph = load_dataset(dataset)
+    centrality = host_betweenness(graph, seed=seed)
+
+    size_sweep = SweepResult(x_label="|Q|")
+    for size in sizes:
+        per_query = []
+        for run_index in range(runs):
+            rng = random.Random(stable_seed(seed, "size", size, run_index))
+            query = query_with_distance(graph, size, SIZE_SWEEP_DISTANCE, rng=rng)
+            per_query.append(run_methods(graph, query, centrality))
+        size_sweep.xs.append(size)
+        size_sweep.stats.append(average_stats(per_query))
+
+    distance_sweep = SweepResult(x_label="AD")
+    for distance in distances:
+        per_query = []
+        for run_index in range(runs):
+            rng = random.Random(stable_seed(seed, "ad", distance, run_index))
+            query = query_with_distance(
+                graph, DISTANCE_SWEEP_SIZE, distance, rng=rng
+            )
+            per_query.append(run_methods(graph, query, centrality))
+        distance_sweep.xs.append(distance)
+        distance_sweep.stats.append(average_stats(per_query))
+
+    return size_sweep, distance_sweep
+
+
+def render(size_sweep: SweepResult, distance_sweep: SweepResult) -> str:
+    panels = []
+    for sweep, caption in (
+        (size_sweep, "AD=4, varying |Q|"),
+        (distance_sweep, "|Q|=5, varying AD"),
+    ):
+        for label, getter in (
+            ("|V(H)|", lambda s: float(s.size)),
+            ("δ(H)", lambda s: s.density),
+            ("bc(H)", lambda s: s.betweenness),
+        ):
+            panels.append(
+                render_series(
+                    sweep.x_label,
+                    sweep.xs,
+                    sweep.series(getter),
+                    title=f"Figure 3 [{caption}] — {label}",
+                )
+            )
+    return "\n\n".join(panels)
+
+
+def main() -> None:
+    print(render(*run()))
+
+
+if __name__ == "__main__":
+    main()

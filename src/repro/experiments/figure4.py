@@ -1,0 +1,84 @@
+"""Figure 4 — ws-q vs st on Steiner-tree benchmarks (puc / vienna).
+
+For every benchmark instance run both methods and collect two ratios:
+
+* ``|V(H_st)| / |V(H_wsq)|`` — solution size (the Steiner objective);
+* ``W(H_st) / W(H_wsq)`` — Wiener index (the paper's objective).
+
+The paper's CDFs show size ratios hugging 1 (ws-q often *beats* the
+Steiner approximation on its own objective) while Wiener ratios sit well
+above 1 (st solutions are long and skinny).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.steiner_baseline import steiner_connector
+from repro.core.wiener_steiner import wiener_steiner
+from repro.datasets.steinlib import puc_suite, vienna_suite
+from repro.experiments.reporting import render_cdf
+from repro.graphs.io import SteinerInstance
+
+
+@dataclass(frozen=True)
+class BenchmarkComparison:
+    """st-vs-wsq outcome on one benchmark instance."""
+
+    instance: str
+    num_terminals: int
+    st_size: int
+    wsq_size: int
+    st_wiener: float
+    wsq_wiener: float
+
+    @property
+    def size_ratio(self) -> float:
+        return self.st_size / self.wsq_size
+
+    @property
+    def wiener_ratio(self) -> float:
+        return self.st_wiener / self.wsq_wiener
+
+
+def compare_instance(instance: SteinerInstance) -> BenchmarkComparison:
+    """Run both methods on one instance (unweighted view, as in the paper)."""
+    graph, terminals = instance.unweighted()
+    st = steiner_connector(graph, terminals)
+    ws = wiener_steiner(graph, terminals)
+    return BenchmarkComparison(
+        instance=instance.name,
+        num_terminals=len(terminals),
+        st_size=st.size,
+        wsq_size=ws.size,
+        st_wiener=st.wiener_index,
+        wsq_wiener=ws.wiener_index,
+    )
+
+
+def run(
+    puc_count: int = 8, vienna_count: int = 8
+) -> dict[str, list[BenchmarkComparison]]:
+    """Compare on both generated suites."""
+    return {
+        "puc": [compare_instance(inst) for inst in puc_suite(puc_count)],
+        "vienna": [compare_instance(inst) for inst in vienna_suite(vienna_count)],
+    }
+
+
+def render(results: dict[str, list[BenchmarkComparison]]) -> str:
+    sections = []
+    for suite, comparisons in results.items():
+        size_ratios = [c.size_ratio for c in comparisons]
+        wiener_ratios = [c.wiener_ratio for c in comparisons]
+        sections.append(render_cdf(size_ratios, f"{suite}: |V(H_ST)|/|V(H_WSQ)|"))
+        sections.append(render_cdf(wiener_ratios, f"{suite}: W(H_ST)/W(H_WSQ)"))
+    return "\n\n".join(sections)
+
+
+def main() -> None:
+    print(render(run()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,145 @@
+"""Figure 5 — runtime and scalability of ws-q.
+
+Four panels in the paper: runtime vs ``|Q|`` and vs ``|V|``, on synthetic
+Erdős–Rényi ("ER") and power-law ("PL") graphs and on the real datasets.
+The claims to reproduce: runtime is near-linear in both the query size and
+the graph size, and insensitive to the graph model.  (Absolute numbers are
+of course slower than the paper's C++.)
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+
+from repro.core.wiener_steiner import wiener_steiner
+from repro.datasets.registry import load_dataset
+from repro.graphs.generators import barabasi_albert, connectify, erdos_renyi_with_degree
+from repro.graphs.graph import Graph
+from repro.experiments.reporting import render_table
+from repro.workloads.random_queries import random_query
+from repro.workloads.seeding import stable_seed
+
+
+@dataclass(frozen=True)
+class RuntimePoint:
+    """One (graph, |Q|) timing measurement."""
+
+    family: str
+    num_nodes: int
+    num_edges: int
+    query_size: int
+    seconds: float
+
+
+def _synthetic(family: str, n: int, rng: random.Random) -> Graph:
+    if family == "ER":
+        graph = erdos_renyi_with_degree(n, 8.0, rng=rng)
+    else:
+        graph = barabasi_albert(n, 4, rng=rng)
+    return connectify(graph, rng=rng)
+
+
+def run_synthetic(
+    families: tuple[str, ...] = ("ER", "PL"),
+    node_counts: tuple[int, ...] = (1000, 2000, 4000),
+    query_sizes: tuple[int, ...] = (3, 10, 30),
+    seed: int = 0,
+) -> list[RuntimePoint]:
+    """Time ws-q across synthetic model / size / query-size combinations."""
+    points: list[RuntimePoint] = []
+    for family in families:
+        for n in node_counts:
+            rng = random.Random(stable_seed(seed, family, n))
+            graph = _synthetic(family, n, rng)
+            for size in query_sizes:
+                query = random_query(graph, size, rng)
+                started = time.perf_counter()
+                wiener_steiner(graph, query)
+                points.append(
+                    RuntimePoint(
+                        family=family,
+                        num_nodes=graph.num_nodes,
+                        num_edges=graph.num_edges,
+                        query_size=size,
+                        seconds=time.perf_counter() - started,
+                    )
+                )
+    return points
+
+
+def run_real(
+    datasets: tuple[str, ...] = ("email", "yeast", "oregon", "astro", "dblp", "youtube"),
+    query_sizes: tuple[int, ...] = (3, 5, 10),
+    seed: int = 0,
+) -> list[RuntimePoint]:
+    """Time ws-q on the Table-1 stand-ins (second row of Figure 5)."""
+    points: list[RuntimePoint] = []
+    for dataset in datasets:
+        graph = load_dataset(dataset)
+        rng = random.Random(stable_seed(seed, dataset))
+        for size in query_sizes:
+            query = random_query(graph, size, rng)
+            started = time.perf_counter()
+            wiener_steiner(graph, query)
+            points.append(
+                RuntimePoint(
+                    family=dataset,
+                    num_nodes=graph.num_nodes,
+                    num_edges=graph.num_edges,
+                    query_size=size,
+                    seconds=time.perf_counter() - started,
+                )
+            )
+    return points
+
+
+def render(points: list[RuntimePoint], title: str) -> str:
+    return render_table(
+        ("graph", "|V|", "|E|", "|Q|", "runtime (s)"),
+        [
+            (p.family, p.num_nodes, p.num_edges, p.query_size, f"{p.seconds:.2f}")
+            for p in points
+        ],
+        title=title,
+    )
+
+
+def scaling_exponent(points: list[RuntimePoint], key: str) -> float:
+    """Least-squares slope of log(runtime) against log(x).
+
+    ``key`` is ``"nodes"`` or ``"query"``.  Near 1.0 means near-linear —
+    the property Figure 5 demonstrates.
+    """
+    import math
+
+    xs, ys = [], []
+    for p in points:
+        x = p.num_nodes + p.num_edges if key == "nodes" else p.query_size
+        if p.seconds > 0:
+            xs.append(math.log(x))
+            ys.append(math.log(p.seconds))
+    n = len(xs)
+    if n < 2:
+        return float("nan")
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    cov = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    var = sum((x - mean_x) ** 2 for x in xs)
+    return cov / var if var else float("nan")
+
+
+def main() -> None:
+    synthetic = run_synthetic()
+    print(render(synthetic, "Figure 5 (synthetic): ws-q runtime"))
+    print()
+    real = run_real()
+    print(render(real, "Figure 5 (real stand-ins): ws-q runtime"))
+    print()
+    print(f"log-log slope vs graph size:  {scaling_exponent(synthetic, 'nodes'):.2f}")
+    print(f"log-log slope vs query size:  {scaling_exponent(synthetic, 'query'):.2f}")
+
+
+if __name__ == "__main__":
+    main()

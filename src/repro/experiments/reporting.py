@@ -1,0 +1,85 @@
+"""Plain-text rendering helpers for the experiment harness.
+
+The paper reports tables and line plots; we render both as ASCII so every
+experiment is reproducible from a terminal with no plotting dependencies.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Mapping, Sequence
+
+
+def format_quantity(value: float) -> str:
+    """Format a number the way the paper's Table 3 does (``≈ 1.5G``)."""
+    if value == math.inf:
+        return "inf"
+    if value != value:  # NaN
+        return "nan"
+    for threshold, suffix in ((1e9, "G"), (1e6, "M"), (1e3, "k")):
+        if abs(value) >= threshold:
+            return f"≈{value / threshold:.1f}{suffix}"
+    if abs(value) >= 100 or value == int(value):
+        return f"{value:.0f}"
+    return f"{value:.2f}"
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned ASCII table."""
+    materialized = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in materialized:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(
+    x_label: str,
+    xs: Sequence[object],
+    series: Mapping[str, Sequence[float]],
+    title: str | None = None,
+    formatter=format_quantity,
+) -> str:
+    """Render one-figure-panel data as a table of x vs. per-method values."""
+    headers = [x_label] + list(series)
+    rows = []
+    for index, x in enumerate(xs):
+        row: list[object] = [x]
+        for name in series:
+            row.append(formatter(series[name][index]))
+        rows.append(row)
+    return render_table(headers, rows, title=title)
+
+
+def render_cdf(values: Sequence[float], label: str, points: int = 10) -> str:
+    """Render a CDF as ``value : cumulative fraction`` rows (Figure 4 style)."""
+    if not values:
+        return f"{label}: (no data)"
+    ordered = sorted(values)
+    lines = [f"CDF of {label} ({len(ordered)} instances)"]
+    for index in range(points):
+        fraction = (index + 1) / points
+        position = min(len(ordered) - 1, math.ceil(fraction * len(ordered)) - 1)
+        lines.append(f"  p{fraction:4.0%}: {ordered[position]:.3f}")
+    return "\n".join(lines)
+
+
+def percentile(values: Sequence[float], fraction: float) -> float:
+    """Return the value at the given cumulative fraction of the sorted data."""
+    if not values:
+        raise ValueError("empty data")
+    ordered = sorted(values)
+    position = min(len(ordered) - 1, max(0, math.ceil(fraction * len(ordered)) - 1))
+    return ordered[position]

@@ -1,0 +1,117 @@
+"""Solution characterization shared by the experiment modules.
+
+Table 3's four statistics per solution ``H``:
+
+* ``|V[H]|`` — vertex count;
+* ``δ(H) = |E[H]| / C(|V[H]|, 2)`` — density of the induced subgraph;
+* ``bc(H)`` — mean betweenness centrality (measured in the *host* graph)
+  of the solution's vertices;
+* ``W(H)`` — the Wiener index.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass
+
+from repro.baselines import METHODS, ConnectorMethod
+from repro.core.result import ConnectorResult
+from repro.graphs.centrality import betweenness_centrality
+from repro.graphs.graph import Graph, Node
+from repro.graphs.wiener import wiener_index_sampled
+
+#: Betweenness on the experiment graphs is estimated from this many
+#: sampled sources (exact Brandes is O(|V| |E|), too slow in pure Python
+#: for the 2-5k-node stand-ins).
+BETWEENNESS_SAMPLE = 150
+
+#: Solutions larger than this get a sampled Wiener index (Remark 1).
+WIENER_SAMPLE_THRESHOLD = 700
+
+
+@dataclass(frozen=True)
+class SolutionStats:
+    """The Table-3 row fragment for one method on one query."""
+
+    method: str
+    size: int
+    density: float
+    betweenness: float
+    wiener: float
+    runtime_seconds: float
+
+
+def host_betweenness(graph: Graph, seed: int = 0) -> dict[Node, float]:
+    """Sampled host-graph betweenness, shared across all methods/queries."""
+    return betweenness_centrality(
+        graph, sample_size=BETWEENNESS_SAMPLE, rng=random.Random(seed)
+    )
+
+
+def characterize(
+    result: ConnectorResult,
+    centrality: Mapping[Node, float],
+    runtime_seconds: float | None = None,
+) -> SolutionStats:
+    """Compute the solution statistics for one connector."""
+    nodes = result.nodes
+    if nodes:
+        mean_bc = sum(centrality[node] for node in nodes) / len(nodes)
+    else:
+        mean_bc = 0.0
+    if result.size > WIENER_SAMPLE_THRESHOLD:
+        wiener = wiener_index_sampled(
+            result.subgraph, num_sources=128, rng=random.Random(0)
+        )
+    else:
+        wiener = result.wiener_index
+    if runtime_seconds is None:
+        runtime_seconds = float(result.metadata.get("runtime_seconds", 0.0))
+    return SolutionStats(
+        method=result.method,
+        size=result.size,
+        density=result.density,
+        betweenness=mean_bc,
+        wiener=wiener,
+        runtime_seconds=runtime_seconds,
+    )
+
+
+def run_methods(
+    graph: Graph,
+    query: Iterable[Node],
+    centrality: Mapping[Node, float],
+    methods: Mapping[str, ConnectorMethod] | None = None,
+) -> dict[str, SolutionStats]:
+    """Run every method on one query and characterize the solutions."""
+    methods = methods if methods is not None else METHODS
+    query_list = list(query)
+    stats: dict[str, SolutionStats] = {}
+    for tag, method in methods.items():
+        started = time.perf_counter()
+        result = method(graph, query_list)
+        elapsed = time.perf_counter() - started
+        stats[tag] = characterize(result, centrality, runtime_seconds=elapsed)
+    return stats
+
+
+def average_stats(per_query: Iterable[Mapping[str, SolutionStats]]) -> dict[str, SolutionStats]:
+    """Average statistics over queries, per method."""
+    buckets: dict[str, list[SolutionStats]] = {}
+    for stats in per_query:
+        for tag, value in stats.items():
+            buckets.setdefault(tag, []).append(value)
+    averaged: dict[str, SolutionStats] = {}
+    for tag, values in buckets.items():
+        count = len(values)
+        averaged[tag] = SolutionStats(
+            method=tag,
+            size=round(sum(v.size for v in values) / count),
+            density=sum(v.density for v in values) / count,
+            betweenness=sum(v.betweenness for v in values) / count,
+            wiener=sum(v.wiener for v in values) / count,
+            runtime_seconds=sum(v.runtime_seconds for v in values) / count,
+        )
+    return averaged

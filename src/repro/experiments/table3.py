@@ -1,0 +1,93 @@
+"""Table 3 — solution characterization across methods.
+
+Six datasets, ``|Q| = 10`` with average query distance 4, averaged over
+several runs; for every method report ``|V[H]|``, ``δ(H)``, ``bc(H)`` and
+``W(H)``.  The paper's finding: ``ws-q`` produces the smallest, densest,
+most-central solutions, with ``st`` the only close competitor and
+``ctp``/``cps``/``ppr`` orders of magnitude larger.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.datasets.registry import load_dataset
+from repro.experiments.reporting import format_quantity, render_table
+from repro.experiments.stats import (
+    SolutionStats,
+    average_stats,
+    host_betweenness,
+    run_methods,
+)
+from repro.workloads.random_queries import query_with_distance
+from repro.workloads.seeding import stable_seed
+
+#: The paper's Table-3 datasets (our stand-ins are scaled; see DESIGN.md).
+PAPER_DATASETS: tuple[str, ...] = ("email", "yeast", "oregon", "astro", "dblp", "youtube")
+PAPER_QUERY_SIZE = 10
+PAPER_AVG_DISTANCE = 4.0
+PAPER_RUNS = 5
+
+#: Method display order of the paper's table.
+METHOD_ORDER: tuple[str, ...] = ("ctp", "cps", "ppr", "st", "ws-q")
+
+
+@dataclass(frozen=True)
+class Table3Cell:
+    """Averaged statistics for one (dataset, method) pair."""
+
+    dataset: str
+    stats: SolutionStats
+
+
+def run(
+    datasets: tuple[str, ...] = PAPER_DATASETS,
+    query_size: int = PAPER_QUERY_SIZE,
+    avg_distance: float = PAPER_AVG_DISTANCE,
+    runs: int = PAPER_RUNS,
+    seed: int = 0,
+) -> dict[str, dict[str, SolutionStats]]:
+    """Regenerate Table 3: ``{dataset: {method: averaged stats}}``."""
+    table: dict[str, dict[str, SolutionStats]] = {}
+    for dataset in datasets:
+        graph = load_dataset(dataset)
+        centrality = host_betweenness(graph, seed=seed)
+        per_query = []
+        for run_index in range(runs):
+            rng = random.Random(stable_seed(seed, dataset, run_index))
+            query = query_with_distance(graph, query_size, avg_distance, rng=rng)
+            per_query.append(run_methods(graph, query, centrality))
+        table[dataset] = average_stats(per_query)
+    return table
+
+
+def render(table: dict[str, dict[str, SolutionStats]]) -> str:
+    """Render the four stacked panels of Table 3."""
+    datasets = list(table)
+    panels = []
+    for label, getter, formatter in (
+        ("|V[H]|", lambda s: s.size, lambda v: f"{v:.0f}"),
+        ("δ(H)", lambda s: s.density, lambda v: f"{v:.3f}"),
+        ("bc(H)", lambda s: s.betweenness, lambda v: f"{v:.3f}"),
+        ("W(H)", lambda s: s.wiener, format_quantity),
+    ):
+        rows = []
+        for method in METHOD_ORDER:
+            row: list[object] = [method]
+            for dataset in datasets:
+                stats = table[dataset].get(method)
+                row.append(formatter(getter(stats)) if stats else "-")
+            rows.append(row)
+        panels.append(
+            render_table(["method"] + datasets, rows, title=f"Table 3 panel: {label}")
+        )
+    return "\n\n".join(panels)
+
+
+def main() -> None:
+    print(render(run()))
+
+
+if __name__ == "__main__":
+    main()

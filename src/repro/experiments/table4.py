@@ -1,0 +1,110 @@
+"""Table 4 — ground-truth community workloads (sc vs dc).
+
+On the community-annotated stand-ins (dblp, youtube) run every method on a
+same-community (sc) workload and a different-communities (dc) workload and
+compare average solution sizes.  The paper's finding: community-oriented
+methods (ppr, cps) blow up 7–11× on dc queries, ctp 3–5×, while st and
+ws-q grow only ~1.3–1.4×.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.baselines import METHODS
+from repro.datasets.registry import load_community_dataset
+from repro.experiments.reporting import format_quantity, render_table
+from repro.workloads.community_queries import community_workload
+
+PAPER_DATASETS: tuple[str, ...] = ("dblp", "youtube")
+METHOD_ORDER: tuple[str, ...] = ("ctp", "cps", "ppr", "st", "ws-q")
+
+
+@dataclass(frozen=True)
+class Table4Row:
+    """Average solution sizes for one (dataset, method) pair."""
+
+    dataset: str
+    method: str
+    dc_size: float
+    sc_size: float
+
+    @property
+    def ratio(self) -> float:
+        """The dc/sc blow-up factor."""
+        if self.sc_size <= 0:
+            return 0.0
+        return self.dc_size / self.sc_size
+
+
+def run(
+    datasets: tuple[str, ...] = PAPER_DATASETS,
+    sizes: tuple[int, ...] = (3, 5, 10, 20),
+    queries_per_size: int = 10,
+    seed: int = 0,
+) -> list[Table4Row]:
+    """Regenerate Table 4 (default: the paper's 40-query workloads)."""
+    rows: list[Table4Row] = []
+    for dataset in datasets:
+        data = load_community_dataset(dataset)
+        workloads = {
+            flavor: community_workload(
+                data, flavor, sizes=sizes,
+                queries_per_size=queries_per_size, seed=seed,
+            )
+            for flavor in ("dc", "sc")
+        }
+        for method in METHOD_ORDER:
+            connector = METHODS[method]
+            averages = {}
+            for flavor, queries in workloads.items():
+                total = 0
+                for query in queries:
+                    total += connector(data.graph, query).size
+                averages[flavor] = total / len(queries)
+            rows.append(
+                Table4Row(
+                    dataset=dataset,
+                    method=method,
+                    dc_size=averages["dc"],
+                    sc_size=averages["sc"],
+                )
+            )
+    return rows
+
+
+def render(rows: list[Table4Row]) -> str:
+    """Render the Table-4 layout (dc, sc, dc/sc per dataset)."""
+    datasets = list(dict.fromkeys(row.dataset for row in rows))
+    by_key = {(row.dataset, row.method): row for row in rows}
+    headers = ["method"]
+    for dataset in datasets:
+        headers += [f"{dataset}-dc", f"{dataset}-sc", f"{dataset}:dc/sc"]
+    table_rows = []
+    for method in METHOD_ORDER:
+        line: list[object] = [method]
+        for dataset in datasets:
+            row = by_key.get((dataset, method))
+            if row is None:
+                line += ["-", "-", "-"]
+            else:
+                line += [
+                    format_quantity(row.dc_size),
+                    format_quantity(row.sc_size),
+                    f"{row.ratio:.2f}",
+                ]
+        table_rows.append(line)
+    return render_table(headers, table_rows,
+                        title="Table 4: average |V[H]| on dc vs sc workloads")
+
+
+def main() -> None:
+    started = time.perf_counter()
+    rows = run()
+    print(render(rows))
+    print(f"\n({time.perf_counter() - started:.1f}s)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,101 @@
+"""Graph substrate: data structures, traversals, metrics, and generators.
+
+This package is the foundation the paper's algorithms are built on.  It is
+self-contained pure Python — the library never depends on networkx (which is
+used only as a test oracle).
+"""
+
+from repro.graphs.graph import Graph, WeightedGraph, Node, Edge
+from repro.graphs.components import (
+    connected_components,
+    is_connected,
+    is_tree,
+    largest_component,
+    largest_component_subgraph,
+    nodes_connect,
+    require_connected,
+)
+from repro.graphs.traversal import (
+    bfs_distances,
+    bfs_limited,
+    bfs_tree,
+    dijkstra,
+    eccentricity,
+    multi_source_bfs,
+    multi_source_dijkstra,
+    shortest_path,
+)
+from repro.graphs.unionfind import UnionFind
+from repro.graphs.cores import core_numbers, k_core_nodes, max_core_component_with
+from repro.graphs.landmarks import LandmarkIndex
+from repro.graphs.wiener import (
+    average_distance,
+    distance_sum_lower_bound,
+    rooted_distance_sum,
+    wiener_index,
+    wiener_index_of_subset,
+    wiener_index_sampled,
+)
+from repro.graphs.metrics import (
+    GraphSummary,
+    average_clustering,
+    average_degree,
+    degree_histogram,
+    density,
+    effective_diameter,
+    local_clustering,
+    summarize,
+)
+from repro.graphs.centrality import (
+    average_betweenness,
+    betweenness_centrality,
+    closeness_centrality,
+    pagerank,
+    random_walk_with_restart,
+)
+
+__all__ = [
+    "Graph",
+    "WeightedGraph",
+    "Node",
+    "Edge",
+    "connected_components",
+    "is_connected",
+    "is_tree",
+    "largest_component",
+    "largest_component_subgraph",
+    "nodes_connect",
+    "require_connected",
+    "bfs_distances",
+    "bfs_limited",
+    "bfs_tree",
+    "dijkstra",
+    "eccentricity",
+    "multi_source_bfs",
+    "multi_source_dijkstra",
+    "shortest_path",
+    "UnionFind",
+    "core_numbers",
+    "LandmarkIndex",
+    "k_core_nodes",
+    "max_core_component_with",
+    "average_distance",
+    "distance_sum_lower_bound",
+    "rooted_distance_sum",
+    "wiener_index",
+    "wiener_index_of_subset",
+    "wiener_index_sampled",
+    "GraphSummary",
+    "average_clustering",
+    "average_degree",
+    "degree_histogram",
+    "density",
+    "effective_diameter",
+    "local_clustering",
+    "summarize",
+    "average_betweenness",
+    "betweenness_centrality",
+    "closeness_centrality",
+    "pagerank",
+    "random_walk_with_restart",
+]

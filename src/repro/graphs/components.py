@@ -1,0 +1,133 @@
+"""Connectivity utilities: components, connectivity checks, spanning forests.
+
+A *connector* (the paper's central object) is a connected subgraph containing
+the query set, so nearly every algorithm here begins or ends with a
+connectivity check.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Iterable
+
+from repro.errors import DisconnectedGraphError
+from repro.graphs.graph import Graph, Node
+
+
+def connected_components(graph: Graph) -> list[set[Node]]:
+    """Return the connected components as a list of node sets.
+
+    Components are reported in order of first-seen node; runs in
+    ``O(|V| + |E|)``.
+    """
+    seen: set[Node] = set()
+    components: list[set[Node]] = []
+    for start in graph.nodes():
+        if start in seen:
+            continue
+        component = {start}
+        queue: deque[Node] = deque([start])
+        while queue:
+            u = queue.popleft()
+            for v in graph.neighbors(u):
+                if v not in component:
+                    component.add(v)
+                    queue.append(v)
+        seen |= component
+        components.append(component)
+    return components
+
+
+def is_connected(graph: Graph) -> bool:
+    """Return whether the graph is connected (the empty graph counts as connected)."""
+    if graph.num_nodes == 0:
+        return True
+    start = next(iter(graph.nodes()))
+    reached = 1
+    seen = {start}
+    queue: deque[Node] = deque([start])
+    while queue:
+        u = queue.popleft()
+        for v in graph.neighbors(u):
+            if v not in seen:
+                seen.add(v)
+                reached += 1
+                queue.append(v)
+    return reached == graph.num_nodes
+
+
+def require_connected(graph: Graph) -> None:
+    """Raise :class:`DisconnectedGraphError` unless the graph is connected."""
+    if not is_connected(graph):
+        raise DisconnectedGraphError(
+            f"graph with {graph.num_nodes} nodes and {graph.num_edges} edges "
+            "is not connected"
+        )
+
+
+def nodes_connect(graph: Graph, nodes: Iterable[Node]) -> bool:
+    """Return whether the induced subgraph ``G[nodes]`` is connected and
+    contains every node in ``nodes``.
+
+    This is the feasibility test for connectors: a vertex set ``S ⊇ Q`` is a
+    valid solution iff ``nodes_connect(G, S)``.
+    """
+    node_set = set(nodes)
+    if not node_set:
+        return True
+    for node in node_set:
+        if not graph.has_node(node):
+            return False
+    start = next(iter(node_set))
+    seen = {start}
+    queue: deque[Node] = deque([start])
+    while queue:
+        u = queue.popleft()
+        for v in graph.neighbors(u):
+            if v in node_set and v not in seen:
+                seen.add(v)
+                queue.append(v)
+    return len(seen) == len(node_set)
+
+
+def largest_component(graph: Graph) -> set[Node]:
+    """Return the node set of the largest connected component."""
+    components = connected_components(graph)
+    if not components:
+        return set()
+    return max(components, key=len)
+
+
+def largest_component_subgraph(graph: Graph) -> Graph:
+    """Return the induced subgraph on the largest connected component.
+
+    Generators use this to guarantee connected experiment graphs, matching
+    the paper's assumption of connected inputs.
+    """
+    return graph.subgraph(largest_component(graph))
+
+
+def spanning_forest_edges(graph: Graph) -> list[tuple[Node, Node]]:
+    """Return the edges of an arbitrary BFS spanning forest."""
+    seen: set[Node] = set()
+    edges: list[tuple[Node, Node]] = []
+    for start in graph.nodes():
+        if start in seen:
+            continue
+        seen.add(start)
+        queue: deque[Node] = deque([start])
+        while queue:
+            u = queue.popleft()
+            for v in graph.neighbors(u):
+                if v not in seen:
+                    seen.add(v)
+                    edges.append((u, v))
+                    queue.append(v)
+    return edges
+
+
+def is_tree(graph: Graph) -> bool:
+    """Return whether the graph is a tree (connected and ``|E| = |V| - 1``)."""
+    if graph.num_nodes == 0:
+        return True
+    return graph.num_edges == graph.num_nodes - 1 and is_connected(graph)

@@ -1,0 +1,317 @@
+"""Graph generators.
+
+Two families live here:
+
+* classic deterministic topologies (paths, cycles, stars, grids, hypercubes,
+  complete graphs) used by tests and by the SteinLib-like benchmark
+  generators, plus the paper's Figure-2 gadget; and
+* random models (Erdős–Rényi, Barabási–Albert, planted partition, random
+  geometric) used to synthesize the experiment graphs (§6.6 uses ER and
+  power-law explicitly; the planted-partition model stands in for the
+  ground-truth-community datasets).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from collections.abc import Sequence
+
+from repro.errors import GraphError
+from repro.graphs.graph import Graph
+from repro.graphs.components import connected_components
+
+
+# ----------------------------------------------------------------------
+# Deterministic topologies
+# ----------------------------------------------------------------------
+
+def path_graph(n: int) -> Graph:
+    """Return the path ``0 - 1 - ... - n-1``."""
+    graph = Graph(nodes=range(n))
+    for i in range(n - 1):
+        graph.add_edge(i, i + 1)
+    return graph
+
+
+def cycle_graph(n: int) -> Graph:
+    """Return the cycle on ``n >= 3`` nodes."""
+    if n < 3:
+        raise GraphError("a cycle needs at least 3 nodes")
+    graph = path_graph(n)
+    graph.add_edge(n - 1, 0)
+    return graph
+
+
+def star_graph(n_leaves: int) -> Graph:
+    """Return a star: hub ``0`` connected to leaves ``1..n_leaves``."""
+    graph = Graph(nodes=range(n_leaves + 1))
+    for leaf in range(1, n_leaves + 1):
+        graph.add_edge(0, leaf)
+    return graph
+
+
+def complete_graph(n: int) -> Graph:
+    """Return the complete graph ``K_n``."""
+    graph = Graph(nodes=range(n))
+    for u in range(n):
+        for v in range(u + 1, n):
+            graph.add_edge(u, v)
+    return graph
+
+
+def grid_graph(rows: int, cols: int) -> Graph:
+    """Return the ``rows x cols`` grid; node ``(r, c)`` is ``r * cols + c``."""
+    graph = Graph(nodes=range(rows * cols))
+    for r in range(rows):
+        for c in range(cols):
+            node = r * cols + c
+            if c + 1 < cols:
+                graph.add_edge(node, node + 1)
+            if r + 1 < rows:
+                graph.add_edge(node, node + cols)
+    return graph
+
+
+def hypercube_graph(dimension: int) -> Graph:
+    """Return the ``dimension``-dimensional hypercube on ``2**dimension`` nodes.
+
+    SteinLib's ``puc`` suite is built around hypercube-like instances; our
+    puc-like benchmark generator uses these.
+    """
+    n = 1 << dimension
+    graph = Graph(nodes=range(n))
+    for u in range(n):
+        for bit in range(dimension):
+            v = u ^ (1 << bit)
+            if u < v:
+                graph.add_edge(u, v)
+    return graph
+
+
+def figure2_gadget(line_length: int = 10) -> Graph:
+    """Return the paper's Figure-2 construction.
+
+    A line ``v_1 .. v_h`` (integer nodes ``1..h``) plus two root nodes
+    ``"r1"`` and ``"r2"``: ``r1`` is adjacent to the first ``h/2 + 1`` line
+    vertices and ``r2`` to the last ``h/2 + 1`` (the windows overlap by
+    two vertices in the middle).  For the paper's ``h = 10`` and ``Q`` =
+    the whole line this reproduces the quoted values exactly:
+    ``W(Q) = 165``, ``W(Q ∪ {r1}) = W(Q ∪ {r2}) = 151`` and
+    ``W(Q ∪ {r1, r2}) = 142`` — the unique optimal Steiner tree is ``Q``
+    itself while the optimal Wiener connector adds both roots.
+    """
+    if line_length < 4:
+        raise GraphError("figure2_gadget needs a line of at least 4 nodes")
+    graph = Graph(nodes=range(1, line_length + 1))
+    for node in range(1, line_length):
+        graph.add_edge(node, node + 1)
+    span = line_length // 2 + 1
+    graph.add_node("r1")
+    graph.add_node("r2")
+    for node in range(1, span + 1):
+        graph.add_edge("r1", node)
+    for node in range(line_length - span + 1, line_length + 1):
+        graph.add_edge("r2", node)
+    return graph
+
+
+def line_with_universal_root(line_length: int) -> Graph:
+    """A line ``1..h`` plus one root ``"r"`` adjacent to every line vertex.
+
+    This is the paper's generalization of Figure 2: the optimal Steiner
+    tree (the bare line) has Wiener index ``Ω(h³)`` while including the
+    root drops it to ``O(h²)`` — an unbounded Steiner-vs-Wiener gap.
+    """
+    graph = Graph(nodes=range(1, line_length + 1))
+    for node in range(1, line_length):
+        graph.add_edge(node, node + 1)
+    graph.add_node("r")
+    for node in range(1, line_length + 1):
+        graph.add_edge("r", node)
+    return graph
+
+
+def lollipop_graph(clique_size: int, tail_length: int) -> Graph:
+    """Return a clique with a path tail attached — a handy asymmetric test graph."""
+    graph = complete_graph(clique_size)
+    previous = clique_size - 1
+    for offset in range(tail_length):
+        node = clique_size + offset
+        graph.add_node(node)
+        graph.add_edge(previous, node)
+        previous = node
+    return graph
+
+
+# ----------------------------------------------------------------------
+# Random models
+# ----------------------------------------------------------------------
+
+def erdos_renyi(n: int, p: float, rng: random.Random | None = None) -> Graph:
+    """Return a ``G(n, p)`` Erdős–Rényi graph.
+
+    Uses the geometric skipping trick so generation is ``O(n + |E|)`` even
+    for small ``p``.
+    """
+    if not 0.0 <= p <= 1.0:
+        raise GraphError(f"edge probability {p} outside [0, 1]")
+    rng = rng or random.Random()
+    graph = Graph(nodes=range(n))
+    if p == 0.0:
+        return graph
+    if p == 1.0:
+        return complete_graph(n)
+    log_q = math.log(1.0 - p)
+    v, w = 1, -1
+    while v < n:
+        gap = math.floor(math.log(1.0 - rng.random()) / log_q)
+        w += 1 + gap
+        while w >= v and v < n:
+            w -= v
+            v += 1
+        if v < n:
+            graph.add_edge(v, w)
+    return graph
+
+
+def erdos_renyi_with_degree(n: int, average_degree: float,
+                            rng: random.Random | None = None) -> Graph:
+    """ER graph calibrated to a target average degree (``p = d / (n-1)``)."""
+    if n < 2:
+        return Graph(nodes=range(n))
+    p = min(1.0, average_degree / (n - 1))
+    return erdos_renyi(n, p, rng=rng)
+
+
+def barabasi_albert(n: int, attachment: int, rng: random.Random | None = None) -> Graph:
+    """Return a Barabási–Albert preferential-attachment (power-law) graph.
+
+    Each new node attaches to ``attachment`` existing nodes chosen
+    proportionally to degree.  This is the "PL" model of §6.6.
+    """
+    if attachment < 1 or attachment >= n:
+        raise GraphError(f"need 1 <= attachment < n; got attachment={attachment}, n={n}")
+    rng = rng or random.Random()
+    graph = Graph(nodes=range(n))
+    # Seed with a star on the first attachment+1 nodes so every early node
+    # has positive degree.
+    repeated: list[int] = []
+    for node in range(1, attachment + 1):
+        graph.add_edge(0, node)
+        repeated.extend((0, node))
+    for node in range(attachment + 1, n):
+        targets: set[int] = set()
+        while len(targets) < attachment:
+            targets.add(rng.choice(repeated))
+        for target in targets:
+            graph.add_edge(node, target)
+            repeated.extend((node, target))
+    return graph
+
+
+def planted_partition(
+    community_sizes: Sequence[int],
+    p_in: float,
+    p_out: float,
+    rng: random.Random | None = None,
+) -> tuple[Graph, list[set[int]]]:
+    """Return a planted-partition graph and its ground-truth communities.
+
+    Nodes are numbered consecutively by community.  Intra-community edges
+    appear with probability ``p_in``, inter-community edges with ``p_out``.
+    This model stands in for the dblp/youtube ground-truth-community
+    datasets (§6.4); afterwards call :func:`connectify` if you need a single
+    component.
+    """
+    rng = rng or random.Random()
+    total = sum(community_sizes)
+    graph = Graph(nodes=range(total))
+    communities: list[set[int]] = []
+    start = 0
+    for size in community_sizes:
+        communities.append(set(range(start, start + size)))
+        start += size
+    membership = {}
+    for index, community in enumerate(communities):
+        for node in community:
+            membership[node] = index
+    # Intra-community edges: dense blocks generated per community.
+    start = 0
+    for size in community_sizes:
+        block = _block_edges(start, size, p_in, rng)
+        for u, v in block:
+            graph.add_edge(u, v)
+        start += size
+    # Inter-community edges: sparse, sampled by expected count.
+    if p_out > 0:
+        nodes = list(range(total))
+        expected = p_out * (total * (total - 1) / 2)
+        trials = int(expected * 1.2) + 1
+        for _ in range(trials):
+            u = rng.choice(nodes)
+            v = rng.choice(nodes)
+            if u != v and membership[u] != membership[v]:
+                graph.add_edge(u, v)
+    return graph, communities
+
+
+def _block_edges(start: int, size: int, p: float,
+                 rng: random.Random) -> list[tuple[int, int]]:
+    """Sample ``G(size, p)`` edges shifted to begin at node ``start``."""
+    if p <= 0 or size < 2:
+        return []
+    block = erdos_renyi(size, p, rng=rng)
+    return [(start + u, start + v) for u, v in block.edges()]
+
+
+def random_geometric(n: int, radius: float,
+                     rng: random.Random | None = None) -> Graph:
+    """Return a random geometric graph on the unit square.
+
+    Nodes get uniform positions; edges join pairs within ``radius``.  Grid
+    bucketing keeps generation near-linear.  These near-planar sparse graphs
+    are the model for our vienna-like (street-network) Steiner benchmarks.
+    """
+    rng = rng or random.Random()
+    positions = [(rng.random(), rng.random()) for _ in range(n)]
+    graph = Graph(nodes=range(n))
+    cell = max(radius, 1e-9)
+    buckets: dict[tuple[int, int], list[int]] = {}
+    for node, (x, y) in enumerate(positions):
+        buckets.setdefault((int(x / cell), int(y / cell)), []).append(node)
+    radius_sq = radius * radius
+    for (bx, by), members in buckets.items():
+        for dx in (-1, 0, 1):
+            for dy in (-1, 0, 1):
+                others = buckets.get((bx + dx, by + dy))
+                if others is None:
+                    continue
+                for u in members:
+                    ux, uy = positions[u]
+                    for v in others:
+                        if v <= u:
+                            continue
+                        vx, vy = positions[v]
+                        if (ux - vx) ** 2 + (uy - vy) ** 2 <= radius_sq:
+                            graph.add_edge(u, v)
+    return graph
+
+
+def connectify(graph: Graph, rng: random.Random | None = None) -> Graph:
+    """Return ``graph`` with one random edge added between consecutive
+    components, making it connected.
+
+    Mutates and returns the input graph.  Random models frequently leave a
+    few isolated vertices; the paper's experiments assume connected inputs,
+    and stitching components with single edges perturbs the degree
+    distribution far less than resampling.
+    """
+    rng = rng or random.Random()
+    components = connected_components(graph)
+    if len(components) <= 1:
+        return graph
+    anchors = [rng.choice(sorted(component, key=repr)) for component in components]
+    for previous, current in zip(anchors, anchors[1:]):
+        graph.add_edge(previous, current)
+    return graph

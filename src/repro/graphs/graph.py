@@ -1,0 +1,365 @@
+"""Core graph data structures.
+
+The paper works with simple, connected, undirected, unweighted graphs
+(Section 2).  :class:`Graph` implements exactly that model with an
+adjacency-set representation: ``O(1)`` edge queries, ``O(deg)`` neighbor
+iteration, and cheap induced subgraphs.  :class:`WeightedGraph` adds
+non-negative edge weights and is used for the Steiner-tree instances
+``G_{r,λ}`` that the approximation algorithm constructs (Lemma 4).
+
+Nodes may be any hashable object; experiments typically use ``int`` ids and
+the case studies use strings (gene / user names).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Iterator
+
+from repro.errors import EdgeNotFoundError, GraphError, NodeNotFoundError
+
+Node = Hashable
+Edge = tuple[Node, Node]
+
+
+class Graph:
+    """A simple undirected, unweighted graph.
+
+    Parameters
+    ----------
+    edges:
+        Optional iterable of ``(u, v)`` pairs.  Self-loops are rejected;
+        duplicate edges are silently collapsed (the graph is simple).
+    nodes:
+        Optional iterable of isolated nodes to add in addition to the edge
+        endpoints.
+
+    Examples
+    --------
+    >>> g = Graph([(1, 2), (2, 3)])
+    >>> g.num_nodes, g.num_edges
+    (3, 2)
+    >>> sorted(g.neighbors(2))
+    [1, 3]
+    """
+
+    __slots__ = ("_adj", "_num_edges")
+
+    def __init__(
+        self,
+        edges: Iterable[Edge] | None = None,
+        nodes: Iterable[Node] | None = None,
+    ) -> None:
+        self._adj: dict[Node, set[Node]] = {}
+        self._num_edges = 0
+        if nodes is not None:
+            for node in nodes:
+                self.add_node(node)
+        if edges is not None:
+            for u, v in edges:
+                self.add_edge(u, v)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add_node(self, node: Node) -> None:
+        """Add ``node``; a no-op if it is already present."""
+        if node not in self._adj:
+            self._adj[node] = set()
+
+    def add_edge(self, u: Node, v: Node) -> None:
+        """Add the undirected edge ``{u, v}``, creating endpoints as needed.
+
+        Raises
+        ------
+        GraphError
+            If ``u == v`` (self-loops are not allowed in a simple graph).
+        """
+        if u == v:
+            raise GraphError(f"self-loop on node {u!r} is not allowed")
+        self.add_node(u)
+        self.add_node(v)
+        if v not in self._adj[u]:
+            self._adj[u].add(v)
+            self._adj[v].add(u)
+            self._num_edges += 1
+
+    def remove_edge(self, u: Node, v: Node) -> None:
+        """Remove the edge ``{u, v}``.
+
+        Raises
+        ------
+        EdgeNotFoundError
+            If the edge is not present.
+        """
+        if not self.has_edge(u, v):
+            raise EdgeNotFoundError(u, v)
+        self._adj[u].discard(v)
+        self._adj[v].discard(u)
+        self._num_edges -= 1
+
+    def remove_node(self, node: Node) -> None:
+        """Remove ``node`` and all incident edges.
+
+        Raises
+        ------
+        NodeNotFoundError
+            If the node is not present.
+        """
+        if node not in self._adj:
+            raise NodeNotFoundError(node)
+        for neighbor in self._adj[node]:
+            self._adj[neighbor].discard(node)
+        self._num_edges -= len(self._adj[node])
+        del self._adj[node]
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def has_node(self, node: Node) -> bool:
+        """Return whether ``node`` is in the graph."""
+        return node in self._adj
+
+    def has_edge(self, u: Node, v: Node) -> bool:
+        """Return whether the undirected edge ``{u, v}`` is in the graph."""
+        return u in self._adj and v in self._adj[u]
+
+    def neighbors(self, node: Node) -> set[Node]:
+        """Return the neighbor set of ``node`` (do not mutate it).
+
+        Raises
+        ------
+        NodeNotFoundError
+            If the node is not present.
+        """
+        try:
+            return self._adj[node]
+        except KeyError:
+            raise NodeNotFoundError(node) from None
+
+    def degree(self, node: Node) -> int:
+        """Return the degree of ``node``."""
+        return len(self.neighbors(node))
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes, ``|V|``."""
+        return len(self._adj)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges, ``|E|``."""
+        return self._num_edges
+
+    def nodes(self) -> Iterator[Node]:
+        """Iterate over nodes in insertion order."""
+        return iter(self._adj)
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate over each undirected edge exactly once."""
+        seen: set[Node] = set()
+        for u, neighbors in self._adj.items():
+            for v in neighbors:
+                if v not in seen:
+                    yield (u, v)
+            seen.add(u)
+
+    # ------------------------------------------------------------------
+    # Derived graphs
+    # ------------------------------------------------------------------
+    def subgraph(self, nodes: Iterable[Node]) -> "Graph":
+        """Return the induced subgraph ``G[S]`` on the given node set.
+
+        Raises
+        ------
+        NodeNotFoundError
+            If some requested node is not in the graph.
+        """
+        node_set = set(nodes)
+        for node in node_set:
+            if node not in self._adj:
+                raise NodeNotFoundError(node)
+        sub = Graph(nodes=node_set)
+        for u in node_set:
+            for v in self._adj[u]:
+                if v in node_set:
+                    sub.add_edge(u, v)
+        return sub
+
+    def copy(self) -> "Graph":
+        """Return a deep copy of the graph structure."""
+        clone = Graph()
+        clone._adj = {node: set(neighbors) for node, neighbors in self._adj.items()}
+        clone._num_edges = self._num_edges
+        return clone
+
+    def relabeled(self) -> tuple["Graph", dict[Node, int]]:
+        """Return an isomorphic copy with nodes relabeled ``0..n-1``.
+
+        Returns the new graph and the ``old -> new`` mapping.  Useful before
+        handing the graph to array-based numeric code.
+        """
+        mapping = {node: index for index, node in enumerate(self._adj)}
+        relabeled = Graph(nodes=mapping.values())
+        for u, v in self.edges():
+            relabeled.add_edge(mapping[u], mapping[v])
+        return relabeled, mapping
+
+    # ------------------------------------------------------------------
+    # Dunder protocol
+    # ------------------------------------------------------------------
+    def __contains__(self, node: Node) -> bool:
+        return node in self._adj
+
+    def __len__(self) -> int:
+        return len(self._adj)
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self._adj)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(|V|={self.num_nodes}, |E|={self.num_edges})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return self._adj == other._adj
+
+    def __hash__(self) -> int:  # pragma: no cover - graphs are mutable
+        raise TypeError("Graph objects are mutable and unhashable")
+
+
+class WeightedGraph:
+    """An undirected graph with non-negative edge weights.
+
+    Used for the reweighted Steiner instances ``G_{r,λ}`` of Lemma 4 and for
+    parsing weighted SteinLib benchmarks.  The representation is an
+    adjacency map ``node -> {neighbor: weight}``.
+
+    Examples
+    --------
+    >>> g = WeightedGraph()
+    >>> g.add_edge("a", "b", 2.5)
+    >>> g.weight("a", "b")
+    2.5
+    """
+
+    __slots__ = ("_adj", "_num_edges")
+
+    def __init__(self, edges: Iterable[tuple[Node, Node, float]] | None = None) -> None:
+        self._adj: dict[Node, dict[Node, float]] = {}
+        self._num_edges = 0
+        if edges is not None:
+            for u, v, w in edges:
+                self.add_edge(u, v, w)
+
+    def add_node(self, node: Node) -> None:
+        """Add ``node``; a no-op if it is already present."""
+        if node not in self._adj:
+            self._adj[node] = {}
+
+    def add_edge(self, u: Node, v: Node, weight: float) -> None:
+        """Add edge ``{u, v}`` with the given weight (overwrites existing).
+
+        Raises
+        ------
+        GraphError
+            On self-loops or negative weights.
+        """
+        if u == v:
+            raise GraphError(f"self-loop on node {u!r} is not allowed")
+        if weight < 0:
+            raise GraphError(f"negative weight {weight!r} on edge ({u!r}, {v!r})")
+        self.add_node(u)
+        self.add_node(v)
+        if v not in self._adj[u]:
+            self._num_edges += 1
+        self._adj[u][v] = weight
+        self._adj[v][u] = weight
+
+    def has_node(self, node: Node) -> bool:
+        """Return whether ``node`` is in the graph."""
+        return node in self._adj
+
+    def has_edge(self, u: Node, v: Node) -> bool:
+        """Return whether the edge ``{u, v}`` is in the graph."""
+        return u in self._adj and v in self._adj[u]
+
+    def weight(self, u: Node, v: Node) -> float:
+        """Return the weight of edge ``{u, v}``.
+
+        Raises
+        ------
+        EdgeNotFoundError
+            If the edge is not present.
+        """
+        try:
+            return self._adj[u][v]
+        except KeyError:
+            raise EdgeNotFoundError(u, v) from None
+
+    def neighbors(self, node: Node) -> dict[Node, float]:
+        """Return the ``{neighbor: weight}`` map of ``node``."""
+        try:
+            return self._adj[node]
+        except KeyError:
+            raise NodeNotFoundError(node) from None
+
+    def degree(self, node: Node) -> int:
+        """Return the degree of ``node``."""
+        return len(self.neighbors(node))
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes, ``|V|``."""
+        return len(self._adj)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges, ``|E|``."""
+        return self._num_edges
+
+    def nodes(self) -> Iterator[Node]:
+        """Iterate over nodes in insertion order."""
+        return iter(self._adj)
+
+    def edges(self) -> Iterator[tuple[Node, Node, float]]:
+        """Iterate over each undirected edge (with weight) exactly once."""
+        seen: set[Node] = set()
+        for u, neighbors in self._adj.items():
+            for v, w in neighbors.items():
+                if v not in seen:
+                    yield (u, v, w)
+            seen.add(u)
+
+    def total_weight(self) -> float:
+        """Return the sum of all edge weights."""
+        return sum(w for _, _, w in self.edges())
+
+    def unweighted(self) -> Graph:
+        """Drop the weights and return the underlying :class:`Graph`."""
+        plain = Graph(nodes=self._adj)
+        for u, v, _ in self.edges():
+            plain.add_edge(u, v)
+        return plain
+
+    @classmethod
+    def from_graph(cls, graph: Graph, weight: float = 1.0) -> "WeightedGraph":
+        """Lift an unweighted graph to a uniformly weighted one."""
+        lifted = cls()
+        for node in graph.nodes():
+            lifted.add_node(node)
+        for u, v in graph.edges():
+            lifted.add_edge(u, v, weight)
+        return lifted
+
+    def __contains__(self, node: Node) -> bool:
+        return node in self._adj
+
+    def __len__(self) -> int:
+        return len(self._adj)
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self._adj)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(|V|={self.num_nodes}, |E|={self.num_edges})"

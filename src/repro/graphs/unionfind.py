@@ -1,0 +1,96 @@
+"""Disjoint-set (union-find) forest with union by rank and path compression.
+
+Used by Kruskal's minimum spanning tree inside Mehlhorn's Steiner
+approximation, and by the planted-partition generator to guarantee
+connectivity.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable
+
+
+class UnionFind:
+    """Disjoint-set forest over arbitrary hashable elements.
+
+    Elements are created lazily on first touch.  All operations run in
+    effectively-constant amortized time.
+
+    Examples
+    --------
+    >>> uf = UnionFind()
+    >>> uf.union("a", "b")
+    True
+    >>> uf.connected("a", "b")
+    True
+    >>> uf.union("a", "b")  # already joined
+    False
+    """
+
+    __slots__ = ("_parent", "_rank", "_num_sets")
+
+    def __init__(self, elements: Iterable[Hashable] | None = None) -> None:
+        self._parent: dict[Hashable, Hashable] = {}
+        self._rank: dict[Hashable, int] = {}
+        self._num_sets = 0
+        if elements is not None:
+            for element in elements:
+                self.add(element)
+
+    def add(self, element: Hashable) -> None:
+        """Register ``element`` as a singleton set; no-op if already present."""
+        if element not in self._parent:
+            self._parent[element] = element
+            self._rank[element] = 0
+            self._num_sets += 1
+
+    def find(self, element: Hashable) -> Hashable:
+        """Return the canonical representative of ``element``'s set."""
+        self.add(element)
+        root = element
+        while self._parent[root] != root:
+            root = self._parent[root]
+        # Path compression: point every node on the walk directly at the root.
+        while self._parent[element] != root:
+            self._parent[element], element = root, self._parent[element]
+        return root
+
+    def union(self, a: Hashable, b: Hashable) -> bool:
+        """Merge the sets containing ``a`` and ``b``.
+
+        Returns ``True`` if a merge happened, ``False`` if they were already
+        in the same set.
+        """
+        root_a = self.find(a)
+        root_b = self.find(b)
+        if root_a == root_b:
+            return False
+        if self._rank[root_a] < self._rank[root_b]:
+            root_a, root_b = root_b, root_a
+        self._parent[root_b] = root_a
+        if self._rank[root_a] == self._rank[root_b]:
+            self._rank[root_a] += 1
+        self._num_sets -= 1
+        return True
+
+    def connected(self, a: Hashable, b: Hashable) -> bool:
+        """Return whether ``a`` and ``b`` are in the same set."""
+        return self.find(a) == self.find(b)
+
+    @property
+    def num_sets(self) -> int:
+        """Number of disjoint sets currently tracked."""
+        return self._num_sets
+
+    def __len__(self) -> int:
+        return len(self._parent)
+
+    def __contains__(self, element: Hashable) -> bool:
+        return element in self._parent
+
+    def sets(self) -> list[set[Hashable]]:
+        """Materialize the current partition as a list of sets."""
+        groups: dict[Hashable, set[Hashable]] = {}
+        for element in self._parent:
+            groups.setdefault(self.find(element), set()).add(element)
+        return list(groups.values())

@@ -1,0 +1,40 @@
+"""Exact solvers and certified bounds — the repo's substitute for the
+paper's Gurobi runs on the Section-5 integer programs.
+"""
+
+from repro.solvers.bounds import (
+    candidate_pool,
+    partial_solution_bound,
+    query_distance_maps,
+    query_pair_bound,
+    vertex_margin,
+)
+from repro.solvers.branch_and_bound import ExactOutcome, solve_exact
+from repro.solvers.ilp import (
+    Program7,
+    Program7Bound,
+    Program7Solution,
+    build_program7,
+    program7_lower_bound,
+    solve_program7,
+)
+from repro.solvers.lp import LPBound, MAX_LP_VARIABLES, flow_lp_lower_bound
+
+__all__ = [
+    "Program7",
+    "Program7Bound",
+    "Program7Solution",
+    "build_program7",
+    "program7_lower_bound",
+    "solve_program7",
+    "candidate_pool",
+    "partial_solution_bound",
+    "query_distance_maps",
+    "query_pair_bound",
+    "vertex_margin",
+    "ExactOutcome",
+    "solve_exact",
+    "LPBound",
+    "MAX_LP_VARIABLES",
+    "flow_lp_lower_bound",
+]

@@ -1,0 +1,97 @@
+"""Combinatorial lower bounds and candidate-pool pruning for exact search.
+
+The key facts, both following from ``d_{G[S]}(u, v) >= d_G(u, v)`` and from
+distances being non-negative:
+
+* **query-pair bound** — every connector ``S ⊇ Q`` satisfies
+  ``W(G[S]) >= Σ_{ {u,v} ⊆ Q } d_G(u, v)``;
+* **vertex domination** — if ``S`` contains a non-query vertex ``v`` then
+  additionally ``W(G[S]) >= query_pair_bound + Σ_{q ∈ Q} d_G(v, q)``, so
+  once an upper bound ``UB`` is known, any vertex whose query-distance sum
+  pushes that expression to ``UB`` or beyond can never appear in a strictly
+  better solution and may be pruned from the search.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+from repro.graphs.graph import Graph, Node
+from repro.graphs.traversal import bfs_distances
+
+
+def query_distance_maps(graph: Graph, query: Iterable[Node]) -> dict[Node, dict[Node, int]]:
+    """Return ``{q: BFS distance map of q}`` for every query vertex."""
+    return {q: bfs_distances(graph, q) for q in dict.fromkeys(query)}
+
+
+def query_pair_bound(
+    query: Iterable[Node], distance_maps: Mapping[Node, Mapping[Node, int]]
+) -> float:
+    """Return ``Σ_{ {u,v} ⊆ Q } d_G(u, v)`` — a lower bound on the optimum."""
+    query_list = list(dict.fromkeys(query))
+    total = 0.0
+    for i, u in enumerate(query_list):
+        row = distance_maps[u]
+        for v in query_list[i + 1 :]:
+            total += row[v]
+    return total
+
+
+def vertex_margin(
+    node: Node,
+    query: Iterable[Node],
+    distance_maps: Mapping[Node, Mapping[Node, int]],
+) -> float:
+    """Return ``Σ_{q ∈ Q} d_G(node, q)`` — the minimum extra Wiener cost of
+    including ``node`` in any connector."""
+    return float(sum(distance_maps[q][node] for q in distance_maps))
+    # Note: distance_maps keys are exactly the query vertices.
+
+
+def candidate_pool(
+    graph: Graph,
+    query: Iterable[Node],
+    upper_bound: float,
+    distance_maps: Mapping[Node, Mapping[Node, int]] | None = None,
+) -> list[Node]:
+    """Return every non-query vertex that could appear in a solution strictly
+    better than ``upper_bound``, ordered by increasing query-distance sum.
+
+    Sound pruning: a vertex ``v`` is kept iff
+    ``query_pair_bound + Σ_q d_G(v, q) < upper_bound``.  Any connector using
+    a discarded vertex has Wiener index at least ``upper_bound``, so
+    searching only over the returned pool still finds every strict
+    improvement.
+    """
+    query_set = set(query)
+    if distance_maps is None:
+        distance_maps = query_distance_maps(graph, query_set)
+    base = query_pair_bound(query_set, distance_maps)
+    pool: list[tuple[float, Node]] = []
+    for node in graph.nodes():
+        if node in query_set:
+            continue
+        margin = vertex_margin(node, query_set, distance_maps)
+        if base + margin < upper_bound:
+            pool.append((margin, node))
+    pool.sort(key=lambda item: (item[0], repr(item[1])))
+    return [node for _, node in pool]
+
+
+def partial_solution_bound(
+    included: Iterable[Node],
+    distance_maps_all: Mapping[Node, Mapping[Node, int]],
+) -> float:
+    """Return ``Σ_{pairs ⊆ included} d_G(u, v)`` given per-node distance maps.
+
+    ``distance_maps_all`` must contain a BFS map for every included node.
+    This is an admissible bound for any connector containing ``included``.
+    """
+    nodes = list(dict.fromkeys(included))
+    total = 0.0
+    for i, u in enumerate(nodes):
+        row = distance_maps_all[u]
+        for v in nodes[i + 1 :]:
+            total += row[v]
+    return total

@@ -1,0 +1,490 @@
+"""Program (7) — the compact tree-based formulation of Section 5.
+
+The paper's second integer program replaces per-pair flows with a rooted
+spanning-tree encoding of connectivity:
+
+* ``y_u ∈ {0, 1}`` — vertex ``u`` is selected (fixed to 1 on ``Q``);
+* ``x_uv`` — edge ``{u, v}`` is used in the tree, oriented child→parent
+  toward a fixed root ``q ∈ Q``;
+* ``p_st ≥ y_s + y_t - 1`` — pair ``(s, t)`` is jointly selected;
+* objective ``½ Σ d_G(s, t) · p_st`` — a *relaxation* of the Wiener index
+  measuring distances in the host graph ("a safe relaxation as our
+  solutions typically respect the original distances").
+
+Connectivity needs every chosen vertex to have exactly one parent, the
+tree to have ``Σ y - 1`` edges, and **no cycles** — one constraint per
+cycle of ``G``, exponentially many.  The paper notes this "is not a
+serious issue because the program has a separation oracle and commercial
+solvers support lazy constraints"; we implement that loop ourselves:
+
+1. solve the LP relaxation with the cycle constraints found so far
+   (scipy/HiGHS);
+2. search for a cycle ``C`` violating ``Σ_{(u,v) ∈ C} (x_uv + x_vu) ≤
+   |C| - 1`` — equivalently a cycle of weight ``< 1`` under edge weights
+   ``1 - x_uv - x_vu`` (found by Dijkstra per edge);
+3. add the violated constraints and repeat until none exist.
+
+The converged value is a certified lower bound on the optimal Wiener
+index (Program (7)'s LP relaxation).  ``solve_program7`` additionally
+drives a small branch-and-bound on fractional ``y`` variables to recover
+the integer optimum of the program on tiny graphs.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy.optimize import linprog
+from scipy.sparse import csr_matrix
+
+from repro.errors import InvalidQueryError, ReproError
+from repro.graphs.graph import Graph, Node
+from repro.graphs.traversal import bfs_distances
+
+#: Refuse to build programs beyond this size (vars = y + 2|E| + pairs).
+MAX_PROGRAM7_VARIABLES = 200_000
+
+#: Lazy-constraint rounds before giving up on separation convergence.
+MAX_SEPARATION_ROUNDS = 40
+
+
+@dataclass
+class Program7:
+    """The assembled Program (7) for one instance (pre-separation).
+
+    Rows for discovered cycle constraints are appended incrementally by the
+    separation loop; everything else is fixed at construction.
+    """
+
+    graph: Graph
+    query: list[Node]
+    root: Node
+    pool: list[Node]
+    directed: list[tuple[Node, Node]]
+    pairs: list[tuple[Node, Node]]
+    objective: np.ndarray
+    a_eq: csr_matrix
+    b_eq: np.ndarray
+    a_ub_static: csr_matrix
+    b_ub_static: np.ndarray
+    y_index: dict[Node, int]
+    x_index: dict[tuple[Node, Node], int]
+    cycle_rows: list[dict[int, float]] = field(default_factory=list)
+    cycle_rhs: list[float] = field(default_factory=list)
+
+    @property
+    def num_variables(self) -> int:
+        return len(self.objective)
+
+    def add_cycle_constraint(self, cycle_edges: list[tuple[Node, Node]]) -> None:
+        """Add ``Σ (x_uv + x_vu) ≤ |C| - 1`` for the given cycle."""
+        row: dict[int, float] = {}
+        for u, v in cycle_edges:
+            row[self.x_index[(u, v)]] = row.get(self.x_index[(u, v)], 0.0) + 1.0
+            row[self.x_index[(v, u)]] = row.get(self.x_index[(v, u)], 0.0) + 1.0
+        self.cycle_rows.append(row)
+        self.cycle_rhs.append(len(cycle_edges) - 1.0)
+
+
+def build_program7(
+    graph: Graph,
+    query: Iterable[Node],
+    candidates: Iterable[Node] | None = None,
+) -> Program7:
+    """Assemble Program (7) for ``(graph, query)``.
+
+    ``candidates`` restricts which non-query vertices get pair terms in the
+    objective (all of them still get selection/tree variables); dropping
+    pair terms only lowers the objective, keeping the bound valid.
+    """
+    query_list = list(dict.fromkeys(query))
+    if not query_list:
+        raise InvalidQueryError("query set must be non-empty")
+    for q in query_list:
+        if not graph.has_node(q):
+            raise InvalidQueryError(f"query vertex {q!r} not in graph")
+    query_set = set(query_list)
+    root = query_list[0]
+
+    non_query = [node for node in graph.nodes() if node not in query_set]
+    if candidates is None:
+        tracked = list(non_query)
+    else:
+        tracked = [n for n in dict.fromkeys(candidates) if n not in query_set]
+
+    directed: list[tuple[Node, Node]] = []
+    for u, v in graph.edges():
+        directed.append((u, v))
+        directed.append((v, u))
+
+    # Pair terms: all query pairs, plus (root, candidate) pairs.
+    pairs: list[tuple[Node, Node]] = []
+    for i, s in enumerate(query_list):
+        for t in query_list[i + 1 :]:
+            pairs.append((s, t))
+    pairs.extend((root, u) for u in tracked)
+
+    num_y = len(non_query)
+    num_x = len(directed)
+    num_p = len(pairs)
+    num_vars = num_y + num_x + num_p
+    if num_vars > MAX_PROGRAM7_VARIABLES:
+        raise ReproError(
+            f"Program (7) would need {num_vars} variables "
+            f"(> {MAX_PROGRAM7_VARIABLES})"
+        )
+
+    y_index = {node: i for i, node in enumerate(non_query)}
+    x_index = {edge: num_y + i for i, edge in enumerate(directed)}
+    p_index = {pair: num_y + num_x + i for i, pair in enumerate(pairs)}
+
+    host = {q: bfs_distances(graph, q) for q in query_list}
+
+    objective = np.zeros(num_vars)
+    for (s, t), index in p_index.items():
+        objective[index] = host[s][t] if t in host[s] else graph.num_nodes
+
+    eq_rows: list[int] = []
+    eq_cols: list[int] = []
+    eq_data: list[float] = []
+    eq_rhs: list[float] = []
+    row = 0
+
+    def eq(entries: dict[int, float], rhs: float) -> None:
+        nonlocal row
+        for col, value in entries.items():
+            eq_rows.append(row)
+            eq_cols.append(col)
+            eq_data.append(value)
+        eq_rhs.append(rhs)
+        row += 1
+
+    # (1) Every selected vertex except the root has exactly one parent:
+    #     Σ_{u ∈ N(v)} x_vu = y_v   (x oriented child v -> parent u).
+    for v in graph.nodes():
+        if v == root:
+            continue
+        entries = {x_index[(v, u)]: 1.0 for u in graph.neighbors(v)}
+        if v in query_set:
+            eq(entries, 1.0)
+        else:
+            entries[y_index[v]] = -1.0
+            eq(entries, 0.0)
+
+    # (2) Tree edge count: Σ (x_uv + x_vu) = Σ y + |Q| - 1.
+    entries = {x_index[edge]: 1.0 for edge in directed}
+    for node in non_query:
+        entries[y_index[node]] = entries.get(y_index[node], 0.0) - 1.0
+    eq(entries, float(len(query_list) - 1))
+
+    a_eq = csr_matrix((eq_data, (eq_rows, eq_cols)), shape=(row, num_vars))
+    b_eq = np.array(eq_rhs)
+
+    ub_rows: list[int] = []
+    ub_cols: list[int] = []
+    ub_data: list[float] = []
+    ub_rhs: list[float] = []
+    row = 0
+
+    def ub(entries: dict[int, float], rhs: float) -> None:
+        nonlocal row
+        for col, value in entries.items():
+            ub_rows.append(row)
+            ub_cols.append(col)
+            ub_data.append(value)
+        ub_rhs.append(rhs)
+        row += 1
+
+    # (3) Edge usable only if both endpoints selected:
+    #     x_uv + x_vu <= y_u  and  <= y_v  (paper states the y_u side;
+    #     the symmetric row is implied for integer solutions and tightens
+    #     the LP relaxation).
+    for u, v in graph.edges():
+        both = {x_index[(u, v)]: 1.0, x_index[(v, u)]: 1.0}
+        for endpoint in (u, v):
+            entries = dict(both)
+            if endpoint in query_set:
+                ub(entries, 1.0)
+            else:
+                entries[y_index[endpoint]] = -1.0
+                ub(entries, 0.0)
+
+    # (4) Pair coupling: p_st >= y_s + y_t - 1.
+    for (s, t), index in p_index.items():
+        entries = {index: -1.0}
+        rhs = 1.0
+        for endpoint in (s, t):
+            if endpoint in query_set:
+                rhs -= 1.0
+            else:
+                entries[y_index[endpoint]] = 1.0
+        ub(entries, rhs)
+
+    a_ub = csr_matrix((ub_data, (ub_rows, ub_cols)), shape=(row, num_vars))
+    b_ub = np.array(ub_rhs)
+
+    return Program7(
+        graph=graph,
+        query=query_list,
+        root=root,
+        pool=tracked,
+        directed=directed,
+        pairs=pairs,
+        objective=objective,
+        a_eq=a_eq,
+        b_eq=b_eq,
+        a_ub_static=a_ub,
+        b_ub_static=b_ub,
+        y_index=y_index,
+        x_index=x_index,
+    )
+
+
+@dataclass(frozen=True)
+class Program7Bound:
+    """Outcome of the lazy-constraint LP relaxation."""
+
+    value: float
+    cycles_added: int
+    rounds: int
+    converged: bool
+
+
+def _solve_lp(
+    program: Program7, y_fixed: dict[Node, float] | None = None
+) -> tuple[float, np.ndarray | None]:
+    num_vars = program.num_variables
+    num_y = len(program.y_index)
+    bounds: list[tuple[float, float | None]] = []
+    for node, index in sorted(program.y_index.items(), key=lambda kv: kv[1]):
+        if y_fixed and node in y_fixed:
+            bounds.append((y_fixed[node], y_fixed[node]))
+        else:
+            bounds.append((0.0, 1.0))
+    bounds += [(0.0, 1.0)] * (num_vars - num_y)
+
+    if program.cycle_rows:
+        extra_rows = []
+        extra_cols = []
+        extra_data = []
+        for i, row in enumerate(program.cycle_rows):
+            for col, value in row.items():
+                extra_rows.append(i)
+                extra_cols.append(col)
+                extra_data.append(value)
+        lazy = csr_matrix(
+            (extra_data, (extra_rows, extra_cols)),
+            shape=(len(program.cycle_rows), num_vars),
+        )
+        from scipy.sparse import vstack
+
+        a_ub = vstack([program.a_ub_static, lazy])
+        b_ub = np.concatenate([program.b_ub_static, np.array(program.cycle_rhs)])
+    else:
+        a_ub = program.a_ub_static
+        b_ub = program.b_ub_static
+
+    outcome = linprog(
+        program.objective,
+        A_ub=a_ub,
+        b_ub=b_ub,
+        A_eq=program.a_eq,
+        b_eq=program.b_eq,
+        bounds=bounds,
+        method="highs",
+    )
+    if not outcome.success:
+        return math.inf, None
+    return float(outcome.fun), outcome.x
+
+
+def _find_violated_cycle(
+    program: Program7, solution: np.ndarray
+) -> list[tuple[Node, Node]] | None:
+    """Separation oracle: a cycle of weight < 1 under ``1 - x_uv - x_vu``.
+
+    For each edge ``{a, b}`` run Dijkstra from ``a`` to ``b`` avoiding that
+    edge; path weight + edge weight < 1 - ε exposes a violated cycle.
+    """
+    weight: dict[frozenset, float] = {}
+    for u, v in program.graph.edges():
+        used = solution[program.x_index[(u, v)]] + solution[program.x_index[(v, u)]]
+        weight[frozenset((u, v))] = max(0.0, 1.0 - used)
+
+    epsilon = 1e-6
+    for u, v in program.graph.edges():
+        closing = weight[frozenset((u, v))]
+        if closing >= 1.0 - epsilon:
+            continue
+        path = _dijkstra_avoiding(program.graph, weight, u, v, 1.0 - closing)
+        if path is not None:
+            cycle = list(zip(path, path[1:])) + [(v, u)]
+            return cycle
+    return None
+
+
+def _dijkstra_avoiding(
+    graph: Graph,
+    weight: dict[frozenset, float],
+    source: Node,
+    target: Node,
+    budget: float,
+) -> list[Node] | None:
+    """Min-weight ``source -> target`` path avoiding the direct edge,
+    pruned at ``budget`` (with a small tolerance)."""
+    counter = 0
+    heap: list[tuple[float, int, Node]] = [(0.0, counter, source)]
+    dist: dict[Node, float] = {}
+    parent: dict[Node, Node] = {}
+    tentative = {source: 0.0}
+    while heap:
+        d, _, node = heapq.heappop(heap)
+        if node in dist:
+            continue
+        dist[node] = d
+        if node == target:
+            path = [target]
+            while path[-1] != source:
+                path.append(parent[path[-1]])
+            path.reverse()
+            return path
+        for neighbor in graph.neighbors(node):
+            if node == source and neighbor == target:
+                continue  # the avoided closing edge
+            if neighbor in dist:
+                continue
+            candidate = d + weight[frozenset((node, neighbor))]
+            if candidate >= budget - 1e-9:
+                continue
+            if candidate < tentative.get(neighbor, math.inf):
+                tentative[neighbor] = candidate
+                parent[neighbor] = node
+                counter += 1
+                heapq.heappush(heap, (candidate, counter, neighbor))
+    return None
+
+
+def program7_lower_bound(
+    graph: Graph,
+    query: Iterable[Node],
+    candidates: Iterable[Node] | None = None,
+    max_rounds: int = MAX_SEPARATION_ROUNDS,
+) -> Program7Bound:
+    """Certified lower bound from Program (7)'s LP with lazy cycle cuts."""
+    program = build_program7(graph, query, candidates=candidates)
+    value = -math.inf
+    rounds = 0
+    converged = False
+    while rounds < max_rounds:
+        rounds += 1
+        value, solution = _solve_lp(program)
+        if solution is None:
+            # Infeasible should not happen for connected graphs; report -inf.
+            return Program7Bound(
+                value=-math.inf, cycles_added=len(program.cycle_rows),
+                rounds=rounds, converged=False,
+            )
+        cycle = _find_violated_cycle(program, solution)
+        if cycle is None:
+            converged = True
+            break
+        program.add_cycle_constraint(cycle)
+    return Program7Bound(
+        value=value,
+        cycles_added=len(program.cycle_rows),
+        rounds=rounds,
+        converged=converged,
+    )
+
+
+@dataclass(frozen=True)
+class Program7Solution:
+    """Integer solution of Program (7) found by branching on ``y``."""
+
+    selected: frozenset[Node]
+    objective: float
+    nodes_explored: int
+    converged: bool
+
+
+def solve_program7(
+    graph: Graph,
+    query: Iterable[Node],
+    candidates: Iterable[Node] | None = None,
+    node_budget: int = 200,
+) -> Program7Solution:
+    """Branch on fractional ``y`` until the LP (with lazy cycles) is integral.
+
+    Intended for tiny instances; the returned objective is Program (7)'s
+    optimum, i.e. a host-distance relaxation of the true Wiener optimum.
+    """
+    program = build_program7(graph, query, candidates=candidates)
+    best_value = math.inf
+    best_selection: frozenset[Node] | None = None
+    explored = 0
+    stack: list[dict[Node, float]] = [{}]
+    converged = True
+    while stack:
+        explored += 1
+        if explored > node_budget:
+            converged = False
+            break
+        fixing = stack.pop()
+        value, solution = _separated_solve(program, fixing)
+        if solution is None or value >= best_value - 1e-9:
+            continue
+        fractional = _most_fractional_y(program, solution, fixing)
+        if fractional is None:
+            best_value = value
+            best_selection = frozenset(
+                node for node, index in program.y_index.items()
+                if solution[index] > 0.5
+            ) | frozenset(program.query)
+            continue
+        stack.append({**fixing, fractional: 0.0})
+        stack.append({**fixing, fractional: 1.0})
+
+    if best_selection is None:
+        best_selection = frozenset(program.query)
+        best_value = math.inf
+    return Program7Solution(
+        selected=best_selection,
+        objective=best_value,
+        nodes_explored=explored,
+        converged=converged,
+    )
+
+
+def _separated_solve(
+    program: Program7, fixing: dict[Node, float]
+) -> tuple[float, np.ndarray | None]:
+    """LP + lazy cycle separation under partial y fixings."""
+    for _ in range(MAX_SEPARATION_ROUNDS):
+        value, solution = _solve_lp(program, y_fixed=fixing)
+        if solution is None:
+            return math.inf, None
+        cycle = _find_violated_cycle(program, solution)
+        if cycle is None:
+            return value, solution
+        program.add_cycle_constraint(cycle)
+    return value, solution
+
+
+def _most_fractional_y(
+    program: Program7, solution: np.ndarray, fixing: dict[Node, float]
+) -> Node | None:
+    best_node = None
+    best_score = 1e-6
+    for node, index in program.y_index.items():
+        if node in fixing:
+            continue
+        fraction = solution[index]
+        score = min(fraction, 1.0 - fraction)
+        if score > best_score:
+            best_score = score
+            best_node = node
+    return best_node

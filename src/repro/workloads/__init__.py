@@ -1,0 +1,27 @@
+"""Query workload generators for the experiment harness."""
+
+from repro.workloads.community_queries import (
+    PAPER_QUERIES_PER_SIZE,
+    PAPER_SIZES,
+    community_workload,
+    different_communities_query,
+    same_community_query,
+)
+from repro.workloads.random_queries import (
+    average_pairwise_distance,
+    query_with_distance,
+    random_query,
+    workload,
+)
+
+__all__ = [
+    "PAPER_QUERIES_PER_SIZE",
+    "PAPER_SIZES",
+    "community_workload",
+    "different_communities_query",
+    "same_community_query",
+    "average_pairwise_distance",
+    "query_with_distance",
+    "random_query",
+    "workload",
+]

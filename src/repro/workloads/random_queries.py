@@ -1,0 +1,165 @@
+"""Random query workloads with controlled size and average distance.
+
+Section 6.1: "the query workloads are made of random query-sets Q, with
+controlled size and average distance of the query vertices".  Table 3 fixes
+``|Q| = 10`` with average pairwise distance 4; Figure 3 sweeps both knobs.
+
+:func:`query_with_distance` grows a query set greedily: starting from a
+random seed vertex, each step adds the vertex whose inclusion brings the
+running average pairwise distance closest to the target (ties broken
+randomly among near-optimal candidates), retrying from fresh seeds until
+the achieved average lands within tolerance.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterable
+
+from repro.errors import InvalidQueryError
+from repro.graphs.graph import Graph, Node
+from repro.graphs.traversal import bfs_distances
+
+
+def random_query(graph: Graph, size: int, rng: random.Random | None = None) -> list[Node]:
+    """Return ``size`` distinct vertices sampled uniformly."""
+    if size < 1 or size > graph.num_nodes:
+        raise InvalidQueryError(
+            f"query size {size} outside [1, {graph.num_nodes}]"
+        )
+    rng = rng or random.Random()
+    return rng.sample(list(graph.nodes()), size)
+
+
+def average_pairwise_distance(graph: Graph, nodes: Iterable[Node]) -> float:
+    """Return the mean host-graph distance over pairs of ``nodes``.
+
+    Infinite if some pair is disconnected.
+    """
+    node_list = list(dict.fromkeys(nodes))
+    if len(node_list) < 2:
+        return 0.0
+    total = 0.0
+    pairs = 0
+    for i, u in enumerate(node_list):
+        distances = bfs_distances(graph, u)
+        for v in node_list[i + 1 :]:
+            if v not in distances:
+                return float("inf")
+            total += distances[v]
+            pairs += 1
+    return total / pairs
+
+
+def query_with_distance(
+    graph: Graph,
+    size: int,
+    target_distance: float,
+    rng: random.Random | None = None,
+    tolerance: float = 0.5,
+    attempts: int = 8,
+    candidate_sample: int = 400,
+) -> list[Node]:
+    """Return a query set of the given size whose average pairwise distance
+    is as close as possible to ``target_distance``.
+
+    Makes up to ``attempts`` greedy constructions from random seeds and
+    returns the first within ``tolerance`` (otherwise the best found).  For
+    efficiency each greedy step scores a uniform sample of
+    ``candidate_sample`` candidate vertices.
+    """
+    if size < 1 or size > graph.num_nodes:
+        raise InvalidQueryError(f"query size {size} outside [1, {graph.num_nodes}]")
+    rng = rng or random.Random()
+    if size == 1:
+        return random_query(graph, 1, rng)
+
+    nodes = list(graph.nodes())
+    best_query: list[Node] | None = None
+    best_error = float("inf")
+    for _ in range(attempts):
+        query = _grow_query(graph, nodes, size, target_distance, rng, candidate_sample)
+        if query is None:
+            continue
+        error = abs(average_pairwise_distance(graph, query) - target_distance)
+        if error < best_error:
+            best_error = error
+            best_query = query
+        if error <= tolerance:
+            break
+    if best_query is None:
+        raise InvalidQueryError(
+            "could not assemble a connected query set; is the graph connected?"
+        )
+    return best_query
+
+
+def _grow_query(
+    graph: Graph,
+    nodes: list[Node],
+    size: int,
+    target: float,
+    rng: random.Random,
+    candidate_sample: int,
+) -> list[Node] | None:
+    seed = rng.choice(nodes)
+    chosen = [seed]
+    # Distance maps from every chosen vertex (one BFS per member).
+    maps = {seed: bfs_distances(graph, seed)}
+    pair_sum = 0.0
+    for step in range(1, size):
+        pool = rng.sample(nodes, min(candidate_sample, len(nodes)))
+        best_node = None
+        best_error = float("inf")
+        best_extra = 0.0
+        num_pairs_after = step * (step + 1) / 2
+        for candidate in pool:
+            if candidate in maps or candidate in chosen:
+                continue
+            extra = 0.0
+            reachable = True
+            for member in chosen:
+                d = maps[member].get(candidate)
+                if d is None:
+                    reachable = False
+                    break
+                extra += d
+            if not reachable:
+                continue
+            average = (pair_sum + extra) / num_pairs_after
+            error = abs(average - target)
+            if error < best_error:
+                best_error = error
+                best_node = candidate
+                best_extra = extra
+        if best_node is None:
+            return None
+        chosen.append(best_node)
+        maps[best_node] = bfs_distances(graph, best_node)
+        pair_sum += best_extra
+    return chosen
+
+
+def workload(
+    graph: Graph,
+    sizes: Iterable[int],
+    queries_per_size: int,
+    target_distance: float | None = None,
+    seed: int = 0,
+) -> list[list[Node]]:
+    """Return a full workload: ``queries_per_size`` queries per size.
+
+    With ``target_distance`` set, every query is distance-controlled;
+    otherwise queries are uniform samples.
+    """
+    rng = random.Random(seed)
+    queries: list[list[Node]] = []
+    for size in sizes:
+        for _ in range(queries_per_size):
+            if target_distance is None:
+                queries.append(random_query(graph, size, rng))
+            else:
+                queries.append(
+                    query_with_distance(graph, size, target_distance, rng)
+                )
+    return queries

@@ -1,0 +1,59 @@
+"""Shared fixtures for the test suite.
+
+networkx appears here (and only here) as an independent oracle for
+cross-checking our graph algorithms; the library itself never imports it.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.graphs.graph import Graph
+from repro.graphs.generators import connectify, erdos_renyi
+
+
+@pytest.fixture
+def triangle() -> Graph:
+    """The 3-cycle."""
+    return Graph([(0, 1), (1, 2), (2, 0)])
+
+
+@pytest.fixture
+def path5() -> Graph:
+    """A path on 5 nodes: 0-1-2-3-4."""
+    return Graph([(0, 1), (1, 2), (2, 3), (3, 4)])
+
+
+@pytest.fixture
+def star() -> Graph:
+    """A star: hub 0, leaves 1..5."""
+    return Graph([(0, leaf) for leaf in range(1, 6)])
+
+
+@pytest.fixture
+def two_triangles_bridge() -> Graph:
+    """Two triangles joined by a bridge: {0,1,2} - 2-3 - {3,4,5}."""
+    return Graph([(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 3)])
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(20150531)  # SIGMOD'15 started May 31
+
+
+def random_connected_graph(n: int, p: float, seed: int) -> Graph:
+    """A connected ER graph — helper shared by several test modules."""
+    local = random.Random(seed)
+    return connectify(erdos_renyi(n, p, rng=local), rng=local)
+
+
+def to_networkx(graph: Graph):
+    """Convert to a networkx graph for oracle comparisons."""
+    import networkx as nx
+
+    oracle = nx.Graph()
+    oracle.add_nodes_from(graph.nodes())
+    oracle.add_edges_from(graph.edges())
+    return oracle

@@ -1,0 +1,96 @@
+"""Tests for AdjustDistances (Lemma 2 guarantees)."""
+
+import random
+
+import pytest
+
+from conftest import random_connected_graph
+from repro.errors import NodeNotFoundError
+from repro.core.adjust import ALPHA, adjust_distances, verify_lemma2
+from repro.core.steiner import steiner_tree_unweighted
+from repro.graphs.graph import Graph
+from repro.graphs.components import is_tree
+from repro.graphs.generators import cycle_graph, path_graph
+from repro.graphs.traversal import bfs_tree
+
+
+class TestAdjustBasics:
+    def test_identity_on_shortest_path_tree(self, path5):
+        # A path rooted at its end already is a shortest-path tree.
+        adjusted = adjust_distances(path5, path5, 0)
+        assert set(adjusted.nodes()) == set(path5.nodes())
+        assert is_tree(adjusted)
+
+    def test_missing_root_raises(self, path5):
+        tree = Graph([(0, 1)])
+        with pytest.raises(NodeNotFoundError):
+            adjust_distances(path5, tree, 4)
+
+    def test_output_is_tree(self):
+        for seed in range(5):
+            g = random_connected_graph(40, 0.1, seed + 400)
+            rng = random.Random(seed)
+            terminals = rng.sample(sorted(g.nodes()), 5)
+            steiner = steiner_tree_unweighted(g, terminals)
+            root = terminals[0]
+            adjusted = adjust_distances(g, steiner, root)
+            assert is_tree(adjusted)
+
+    def test_long_detour_gets_shortcut(self):
+        # Cycle of 12: tree = the long way around from the root; vertex
+        # opposite the root is at distance 11 in the tree but 1 in G.
+        g = cycle_graph(12)
+        tree = Graph([(i, i + 1) for i in range(11)])
+        adjusted = adjust_distances(g, tree, 0)
+        from repro.graphs.traversal import bfs_distances
+
+        inside = bfs_distances(adjusted, 0)
+        host = bfs_distances(g, 0)
+        for node in tree.nodes():
+            assert inside[node] <= ALPHA * host[node] + 1e-9
+
+
+class TestLemma2Properties:
+    """Properties (a)-(d): containment, size blow-up, stretch."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_on_random_steiner_trees(self, seed):
+        g = random_connected_graph(50, 0.08, seed + 410)
+        rng = random.Random(seed)
+        terminals = rng.sample(sorted(g.nodes()), 6)
+        steiner = steiner_tree_unweighted(g, terminals)
+        root = terminals[0]
+        adjusted = adjust_distances(g, steiner, root)
+        problems = verify_lemma2(g, steiner, adjusted, root)
+        assert problems == []
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_with_precomputed_bfs(self, seed):
+        g = random_connected_graph(30, 0.12, seed + 420)
+        rng = random.Random(seed)
+        terminals = rng.sample(sorted(g.nodes()), 4)
+        steiner = steiner_tree_unweighted(g, terminals)
+        root = terminals[0]
+        distances, parents = bfs_tree(g, root)
+        adjusted = adjust_distances(
+            g, steiner, root,
+            bfs_distances_map=distances, bfs_parents_map=parents,
+        )
+        assert verify_lemma2(g, steiner, adjusted, root) == []
+
+    def test_alpha_one_forces_shortest_path_tree(self):
+        """With alpha=1 every vertex must sit at its exact host distance."""
+        g = cycle_graph(10)
+        tree = Graph([(i, i + 1) for i in range(9)])
+        adjusted = adjust_distances(g, tree, 0, alpha=1.0)
+        from repro.graphs.traversal import bfs_distances
+
+        inside = bfs_distances(adjusted, 0)
+        host = bfs_distances(g, 0)
+        for node in adjusted.nodes():
+            assert inside[node] == host[node]
+
+    def test_single_node_tree(self, path5):
+        tree = Graph(nodes=[2])
+        adjusted = adjust_distances(path5, tree, 2)
+        assert set(adjusted.nodes()) == {2}

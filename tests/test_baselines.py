@@ -1,0 +1,138 @@
+"""Tests for the comparison methods (ppr, cps, ctp, st) and their registry."""
+
+import random
+
+import pytest
+
+from conftest import random_connected_graph
+from repro.errors import DisconnectedGraphError, InvalidQueryError
+from repro.baselines import METHODS, cps_connector, ctp_connector, ppr_connector, steiner_connector
+from repro.baselines.common import greedy_connect, validate_query
+from repro.graphs.components import nodes_connect
+from repro.graphs.generators import path_graph, planted_partition, star_graph, connectify
+from repro.graphs.graph import Graph
+
+
+@pytest.fixture(scope="module")
+def community_graph():
+    rng = random.Random(100)
+    g, comms = planted_partition([30, 30, 30], 0.3, 0.01, rng=rng)
+    connectify(g, rng=rng)
+    return g, comms
+
+
+class TestCommon:
+    def test_validate_query(self, triangle):
+        assert validate_query(triangle, [0, 1]) == frozenset([0, 1])
+        with pytest.raises(InvalidQueryError):
+            validate_query(triangle, [])
+        with pytest.raises(InvalidQueryError):
+            validate_query(triangle, [9])
+
+    def test_greedy_connect_trivial_when_connected(self, triangle):
+        solution = greedy_connect(triangle, frozenset([0, 1]), {})
+        assert solution == {0, 1}
+
+    def test_greedy_connect_adds_by_score(self):
+        g = star_graph(5)
+        # Connect leaves 1 and 2; hub 0 is the only option regardless of score.
+        solution = greedy_connect(g, frozenset([1, 2]), {0: 0.1, 3: 9.0})
+        assert 0 in solution
+
+    def test_greedy_connect_prunes_stragglers(self):
+        g = path_graph(6)
+        # Vertex 5 scores highest but never touches the 0-2 component
+        # before connection succeeds; it must not survive in the output.
+        scores = {5: 10.0, 1: 1.0, 3: 0.5, 4: 0.4}
+        solution = greedy_connect(g, frozenset([0, 2]), scores)
+        assert nodes_connect(g, solution)
+        assert 5 not in solution
+
+    def test_greedy_connect_disconnected_raises(self):
+        g = Graph([(0, 1), (2, 3)])
+        with pytest.raises(DisconnectedGraphError):
+            greedy_connect(g, frozenset([0, 3]), {})
+
+
+class TestEveryMethodContract:
+    """All registered methods return valid connectors."""
+
+    @pytest.mark.parametrize("tag", sorted(METHODS))
+    def test_valid_connector(self, tag):
+        g = random_connected_graph(50, 0.1, 150)
+        rng = random.Random(1)
+        query = rng.sample(sorted(g.nodes()), 4)
+        result = METHODS[tag](g, query)
+        assert result.method == tag
+        assert set(query) <= set(result.nodes)
+        assert nodes_connect(g, result.nodes)
+        assert result.wiener_index < float("inf")
+
+    @pytest.mark.parametrize("tag", sorted(METHODS))
+    def test_empty_query_raises(self, tag):
+        g = path_graph(4)
+        with pytest.raises(InvalidQueryError):
+            METHODS[tag](g, [])
+
+
+class TestPPR:
+    def test_star_adds_only_hub(self):
+        g = star_graph(6)
+        result = ppr_connector(g, [1, 2, 3])
+        assert result.nodes == frozenset([0, 1, 2, 3])
+
+    def test_scores_metadata(self, two_triangles_bridge):
+        result = ppr_connector(two_triangles_bridge, [0, 4])
+        assert result.metadata["damping"] == 0.85
+
+
+class TestCPS:
+    def test_bridge_vertex_found(self, two_triangles_bridge):
+        result = cps_connector(two_triangles_bridge, [0, 4])
+        assert {2, 3} <= set(result.nodes)
+
+    def test_larger_than_wsq_on_communities(self, community_graph):
+        from repro.core import wiener_steiner
+
+        g, comms = community_graph
+        query = [sorted(c)[0] for c in comms]
+        cps = cps_connector(g, query)
+        wsq = wiener_steiner(g, query)
+        assert cps.size >= wsq.size
+
+
+class TestCTP:
+    def test_solution_contains_query_component(self, community_graph):
+        g, comms = community_graph
+        query = sorted(comms[0])[:3]
+        result = ctp_connector(g, query)
+        assert set(query) <= set(result.nodes)
+        assert nodes_connect(g, result.nodes)
+
+    def test_returns_dense_subgraph(self, community_graph):
+        """ctp maximizes min degree, so its solution should not be a tree."""
+        g, comms = community_graph
+        query = sorted(comms[1])[:3]
+        result = ctp_connector(g, query)
+        sub = result.subgraph
+        min_degree = min(sub.degree(v) for v in sub.nodes())
+        assert min_degree >= 1
+        assert result.metadata["ball_size"] >= result.size
+
+    def test_disconnected_query_raises(self):
+        g = Graph([(0, 1), (2, 3)])
+        with pytest.raises(DisconnectedGraphError):
+            ctp_connector(g, [0, 3])
+
+
+class TestSteinerBaseline:
+    def test_tree_sized_solution(self):
+        g = random_connected_graph(40, 0.12, 160)
+        query = sorted(g.nodes())[:5]
+        result = steiner_connector(g, query)
+        assert result.metadata["tree_edges"] >= result.size - 1 - 5
+
+    def test_pair_query_is_shortest_path(self):
+        g = path_graph(8)
+        result = steiner_connector(g, [0, 7])
+        assert result.size == 8

@@ -1,0 +1,131 @@
+"""Tests for centrality measures, cross-checked against networkx."""
+
+import random
+
+import pytest
+
+from conftest import random_connected_graph, to_networkx
+from repro.errors import InvalidQueryError
+from repro.graphs.graph import Graph
+from repro.graphs.generators import path_graph, star_graph
+from repro.graphs.centrality import (
+    average_betweenness,
+    betweenness_centrality,
+    closeness_centrality,
+    pagerank,
+    random_walk_with_restart,
+)
+
+
+class TestBetweenness:
+    def test_star_hub_dominates(self):
+        bc = betweenness_centrality(star_graph(6))
+        assert bc[0] == pytest.approx(1.0)
+        for leaf in range(1, 7):
+            assert bc[leaf] == 0.0
+
+    def test_path_middle(self):
+        bc = betweenness_centrality(path_graph(5), normalized=False)
+        # Middle vertex lies on 2*3 = ... pairs: (0,3),(0,4),(1,3),(1,4),(0,2 no)...
+        assert bc[2] == 4.0
+        assert bc[0] == 0.0
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_matches_networkx(self, seed):
+        import networkx as nx
+
+        g = random_connected_graph(40, 0.12, seed + 300)
+        ours = betweenness_centrality(g)
+        theirs = nx.betweenness_centrality(to_networkx(g))
+        for node in g.nodes():
+            assert ours[node] == pytest.approx(theirs[node], abs=1e-9)
+
+    def test_sampled_close_to_exact(self):
+        g = random_connected_graph(80, 0.08, 42)
+        exact = betweenness_centrality(g)
+        sampled = betweenness_centrality(g, sample_size=40, rng=random.Random(0))
+        top_exact = sorted(exact, key=exact.get, reverse=True)[:5]
+        top_sampled = sorted(sampled, key=sampled.get, reverse=True)[:10]
+        assert set(top_exact) & set(top_sampled)
+
+    def test_tiny_graph(self):
+        bc = betweenness_centrality(Graph([(0, 1)]))
+        assert bc == {0: 0.0, 1: 0.0}
+
+    def test_average_betweenness(self):
+        g = star_graph(4)
+        bc = betweenness_centrality(g)
+        assert average_betweenness(g, [0], bc) == pytest.approx(1.0)
+        assert average_betweenness(g, [0, 1], bc) == pytest.approx(0.5)
+        assert average_betweenness(g, [], bc) == 0.0
+
+
+class TestCloseness:
+    def test_star_hub(self):
+        cc = closeness_centrality(star_graph(5))
+        assert cc[0] > cc[1]
+
+    def test_matches_networkx(self):
+        import networkx as nx
+
+        g = random_connected_graph(35, 0.15, 77)
+        ours = closeness_centrality(g)
+        theirs = nx.closeness_centrality(to_networkx(g))
+        for node in g.nodes():
+            assert ours[node] == pytest.approx(theirs[node], abs=1e-9)
+
+
+class TestPageRank:
+    def test_sums_to_one(self):
+        g = random_connected_graph(50, 0.1, 5)
+        scores = pagerank(g)
+        assert sum(scores.values()) == pytest.approx(1.0)
+
+    def test_uniform_on_cycle(self):
+        from repro.graphs.generators import cycle_graph
+
+        scores = pagerank(cycle_graph(6))
+        for value in scores.values():
+            assert value == pytest.approx(1 / 6)
+
+    def test_matches_networkx(self):
+        import networkx as nx
+
+        g = random_connected_graph(40, 0.1, 9)
+        ours = pagerank(g, damping=0.85, tolerance=1e-12, max_iterations=200)
+        theirs = nx.pagerank(to_networkx(g), alpha=0.85, tol=1e-12, max_iter=200)
+        for node in g.nodes():
+            assert ours[node] == pytest.approx(theirs[node], abs=1e-6)
+
+    def test_personalized_mass_near_seed(self):
+        g = path_graph(9)
+        scores = pagerank(g, personalization={0: 1.0})
+        assert scores[0] > scores[4] > scores[8]
+
+    def test_personalization_validation(self):
+        g = path_graph(3)
+        with pytest.raises(InvalidQueryError):
+            pagerank(g, personalization={99: 1.0})
+        with pytest.raises(InvalidQueryError):
+            pagerank(g, personalization={0: 0.0})
+
+    def test_dangling_nodes_handled(self):
+        g = Graph([(0, 1)], nodes=[2])
+        scores = pagerank(g)
+        assert sum(scores.values()) == pytest.approx(1.0)
+        assert scores[2] > 0
+
+
+class TestRWR:
+    def test_seed_has_max_score(self):
+        g = random_connected_graph(40, 0.1, 11)
+        seed = next(iter(g.nodes()))
+        scores = random_walk_with_restart(g, seed, restart_probability=0.3)
+        assert max(scores, key=scores.get) == seed
+
+    def test_restart_probability_controls_spread(self):
+        g = path_graph(15)
+        tight = random_walk_with_restart(g, 0, restart_probability=0.9)
+        loose = random_walk_with_restart(g, 0, restart_probability=0.05)
+        # A high restart probability keeps more mass at the seed.
+        assert tight[0] > loose[0]

@@ -1,0 +1,59 @@
+"""Tests for the repro CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_experiments_have_subcommands(self):
+        from repro.experiments import EXPERIMENTS
+
+        parser = build_parser()
+        for name in EXPERIMENTS:
+            args = parser.parse_args([name])
+            assert args.command == name
+
+    def test_query_subcommand(self):
+        parser = build_parser()
+        args = parser.parse_args(["query", "football", "1", "2", "3"])
+        assert args.dataset == "football"
+        assert args.vertices == [1, 2, 3]
+        assert args.method == "ws-q"
+
+
+class TestMain:
+    def test_no_command_shows_help(self, capsys):
+        assert main([]) == 2
+        assert "experiments" in capsys.readouterr().out.lower()
+
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "figure2" in out
+        assert "football" in out
+
+    def test_figure2_runs(self, capsys):
+        assert main(["figure2"]) == 0
+        assert "165" in capsys.readouterr().out
+
+    def test_query_ws(self, capsys):
+        assert main(["query", "football", "0", "1", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "ws-q" in out
+
+    def test_query_st(self, capsys):
+        assert main(["query", "football", "0", "5", "--method", "st"]) == 0
+        assert "st" in capsys.readouterr().out
+
+    def test_query_bad_method(self, capsys):
+        assert main(["query", "football", "0", "--method", "nope"]) == 2
+        assert "unknown method" in capsys.readouterr().err
+
+    def test_query_bad_vertex(self, capsys):
+        assert main(["query", "football", "999999"]) == 2
+        assert "not in graph" in capsys.readouterr().err
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

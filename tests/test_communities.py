@@ -1,0 +1,138 @@
+"""Tests for community detection and ground-truth community substrates."""
+
+import random
+
+import pytest
+
+from repro.errors import GraphError
+from repro.communities import (
+    CommunityGraph,
+    community_of_query,
+    community_recovery_score,
+    greedy_modularity_communities,
+    label_propagation_communities,
+    make_community_graph,
+    membership_map,
+    modularity,
+)
+from repro.graphs.generators import complete_graph, planted_partition, connectify
+from repro.graphs.graph import Graph
+
+
+def two_cliques_bridge() -> Graph:
+    g = Graph()
+    for base in (0, 10):
+        for i in range(5):
+            for j in range(i + 1, 5):
+                g.add_edge(base + i, base + j)
+    g.add_edge(4, 10)
+    return g
+
+
+class TestModularityScore:
+    def test_perfect_split_positive(self):
+        g = two_cliques_bridge()
+        q = modularity(g, [set(range(5)), set(range(10, 15))])
+        assert q > 0.3
+
+    def test_single_community_zero(self):
+        g = complete_graph(5)
+        assert modularity(g, [set(range(5))]) == pytest.approx(0.0)
+
+    def test_matches_networkx(self):
+        import networkx as nx
+
+        g = two_cliques_bridge()
+        partition = [set(range(5)), set(range(10, 15))]
+        oracle = nx.Graph()
+        oracle.add_edges_from(g.edges())
+        expected = nx.algorithms.community.modularity(oracle, partition)
+        assert modularity(g, partition) == pytest.approx(expected)
+
+    def test_overlapping_communities_rejected(self):
+        g = complete_graph(4)
+        with pytest.raises(GraphError):
+            modularity(g, [{0, 1}, {1, 2, 3}])
+
+    def test_empty_graph(self):
+        assert modularity(Graph(nodes=[1, 2]), [{1}, {2}]) == 0.0
+
+
+class TestGreedyModularity:
+    def test_recovers_two_cliques(self):
+        g = two_cliques_bridge()
+        communities = greedy_modularity_communities(g)
+        assert sorted(map(sorted, communities)) == [
+            list(range(5)), list(range(10, 15))
+        ]
+
+    def test_target_count(self):
+        rng = random.Random(0)
+        g, _ = planted_partition([20, 20, 20, 20], 0.4, 0.02, rng=rng)
+        connectify(g, rng=rng)
+        communities = greedy_modularity_communities(g, target_count=4)
+        assert len(communities) == 4
+
+    def test_recovers_planted_partition(self):
+        rng = random.Random(1)
+        g, truth = planted_partition([30, 30, 30], 0.35, 0.01, rng=rng)
+        connectify(g, rng=rng)
+        found = greedy_modularity_communities(g)
+        assert community_recovery_score(truth, found) >= 2 / 3
+
+    def test_empty_graph(self):
+        assert greedy_modularity_communities(Graph(nodes=[1, 2])) == [{1}, {2}]
+
+
+class TestLabelPropagation:
+    def test_recovers_two_cliques(self):
+        g = two_cliques_bridge()
+        communities = label_propagation_communities(g, rng=random.Random(3))
+        assert len(communities) <= 3
+        largest = communities[0]
+        assert largest <= set(range(5)) or largest <= set(range(10, 15)) or len(largest) >= 5
+
+    def test_recovers_planted_partition(self):
+        rng = random.Random(4)
+        g, truth = planted_partition([40, 40], 0.4, 0.005, rng=rng)
+        connectify(g, rng=rng)
+        found = label_propagation_communities(g, rng=random.Random(5))
+        assert community_recovery_score(truth, found) >= 0.5
+
+
+class TestMembershipHelpers:
+    def test_membership_map(self):
+        mapping = membership_map([{1, 2}, {3}])
+        assert mapping == {1: 0, 2: 0, 3: 1}
+
+    def test_community_of_query(self):
+        mapping = {1: 0, 2: 0, 3: 1}
+        assert community_of_query(mapping, [1, 3]) == {0, 1}
+
+
+class TestCommunityGraph:
+    def test_construction_and_queries(self):
+        data = make_community_graph("toy", [20, 25], p_in=0.4, p_out=0.02, seed=6)
+        assert isinstance(data, CommunityGraph)
+        assert data.graph.num_nodes == 45
+        assert len(data.communities) == 2
+        assert data.communities_of([0, 44]) == {0, 1}
+        assert data.large_communities(min_size=21) == [data.communities[1]]
+
+    def test_connected(self):
+        from repro.graphs.components import is_connected
+
+        data = make_community_graph("toy", [15, 15, 15], 0.4, 0.0, seed=7)
+        assert is_connected(data.graph)
+
+
+class TestRecoveryScore:
+    def test_perfect(self):
+        truth = [{1, 2, 3}, {4, 5}]
+        assert community_recovery_score(truth, truth) == 1.0
+
+    def test_no_overlap(self):
+        assert community_recovery_score([{1, 2}], [{3, 4}]) == 0.0
+
+    def test_empty_truth(self):
+        assert community_recovery_score([], [{1}]) == 1.0

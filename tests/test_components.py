@@ -1,0 +1,93 @@
+"""Tests for connectivity utilities."""
+
+import pytest
+
+from repro.errors import DisconnectedGraphError
+from repro.graphs.graph import Graph
+from repro.graphs.components import (
+    connected_components,
+    is_connected,
+    is_tree,
+    largest_component,
+    largest_component_subgraph,
+    nodes_connect,
+    require_connected,
+    spanning_forest_edges,
+)
+
+
+def disconnected() -> Graph:
+    return Graph([(0, 1), (2, 3), (3, 4)], nodes=[9])
+
+
+class TestComponents:
+    def test_single_component(self, triangle):
+        assert connected_components(triangle) == [{0, 1, 2}]
+
+    def test_multiple_components(self):
+        components = connected_components(disconnected())
+        assert sorted(map(sorted, components)) == [[0, 1], [2, 3, 4], [9]]
+
+    def test_empty_graph(self):
+        assert connected_components(Graph()) == []
+
+    def test_largest_component(self):
+        assert largest_component(disconnected()) == {2, 3, 4}
+
+    def test_largest_component_subgraph(self):
+        sub = largest_component_subgraph(disconnected())
+        assert sub.num_nodes == 3
+        assert sub.num_edges == 2
+
+
+class TestIsConnected:
+    def test_connected(self, path5):
+        assert is_connected(path5)
+
+    def test_disconnected(self):
+        assert not is_connected(disconnected())
+
+    def test_empty_and_singleton(self):
+        assert is_connected(Graph())
+        assert is_connected(Graph(nodes=[1]))
+
+    def test_require_connected_raises(self):
+        with pytest.raises(DisconnectedGraphError):
+            require_connected(disconnected())
+        require_connected(Graph([(0, 1)]))  # no raise
+
+
+class TestNodesConnect:
+    def test_connected_subset(self, two_triangles_bridge):
+        assert nodes_connect(two_triangles_bridge, [0, 1, 2])
+
+    def test_disconnected_subset(self, two_triangles_bridge):
+        # 0 and 4 without the bridge vertices are not connected.
+        assert not nodes_connect(two_triangles_bridge, [0, 4])
+
+    def test_subset_with_bridge(self, two_triangles_bridge):
+        assert nodes_connect(two_triangles_bridge, [0, 2, 3, 4])
+
+    def test_empty_and_missing(self, triangle):
+        assert nodes_connect(triangle, [])
+        assert not nodes_connect(triangle, [0, 99])
+
+
+class TestTrees:
+    def test_path_is_tree(self, path5):
+        assert is_tree(path5)
+
+    def test_cycle_is_not_tree(self, triangle):
+        assert not is_tree(triangle)
+
+    def test_forest_is_not_tree(self):
+        assert not is_tree(Graph([(0, 1), (2, 3)]))
+
+    def test_empty_is_tree(self):
+        assert is_tree(Graph())
+
+    def test_spanning_forest_edge_count(self):
+        g = disconnected()
+        edges = spanning_forest_edges(g)
+        # |V| - #components edges in a spanning forest.
+        assert len(edges) == g.num_nodes - len(connected_components(g))

@@ -1,0 +1,106 @@
+"""Tests for k-core decomposition and the ctp equivalence."""
+
+import random
+
+import pytest
+
+from conftest import random_connected_graph, to_networkx
+from repro.baselines.ctp import ctp_connector, greedy_peel
+from repro.graphs.cores import core_numbers, k_core_nodes, max_core_component_with
+from repro.graphs.generators import complete_graph, path_graph, star_graph
+from repro.graphs.graph import Graph
+
+
+class TestCoreNumbers:
+    def test_path(self):
+        cores = core_numbers(path_graph(5))
+        assert all(core == 1 for core in cores.values())
+
+    def test_complete_graph(self):
+        cores = core_numbers(complete_graph(5))
+        assert all(core == 4 for core in cores.values())
+
+    def test_star(self):
+        cores = core_numbers(star_graph(6))
+        assert all(core == 1 for core in cores.values())
+
+    def test_clique_with_tail(self):
+        g = complete_graph(4)
+        g.add_edge(3, 4)
+        g.add_edge(4, 5)
+        cores = core_numbers(g)
+        assert cores[0] == cores[1] == cores[2] == cores[3] == 3
+        assert cores[4] == cores[5] == 1
+
+    def test_empty_graph(self):
+        assert core_numbers(Graph()) == {}
+
+    def test_isolated_vertices(self):
+        g = Graph([(0, 1)], nodes=[2])
+        cores = core_numbers(g)
+        assert cores[2] == 0
+        assert cores[0] == cores[1] == 1
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_networkx(self, seed):
+        import networkx as nx
+
+        g = random_connected_graph(60, 0.1, seed + 880)
+        assert core_numbers(g) == nx.core_number(to_networkx(g))
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_definition(self, seed):
+        """Every vertex of the k-core has >= k neighbors inside it."""
+        g = random_connected_graph(50, 0.12, seed + 890)
+        cores = core_numbers(g)
+        for k in range(max(cores.values()) + 1):
+            members = k_core_nodes(g, k, cores)
+            for node in members:
+                inside = sum(1 for v in g.neighbors(node) if v in members)
+                assert inside >= k
+
+
+class TestMaxCoreComponent:
+    def test_dense_pocket_found(self):
+        g = complete_graph(5)  # nodes 0..4, core 4
+        g.add_edge(4, 5)
+        g.add_edge(5, 6)
+        nodes, k = max_core_component_with(g, [0, 1])
+        assert nodes == set(range(5))
+        assert k == 4
+
+    def test_query_limits_core(self):
+        g = complete_graph(5)
+        g.add_edge(4, 5)
+        nodes, k = max_core_component_with(g, [0, 5])
+        # Vertex 5 only survives in the 1-core.
+        assert 5 in nodes
+        assert k == 1
+
+    def test_min_degree_achieved(self):
+        for seed in range(4):
+            g = random_connected_graph(40, 0.15, seed + 900)
+            rng = random.Random(seed)
+            query = rng.sample(sorted(g.nodes()), 3)
+            nodes, k = max_core_component_with(g, query)
+            sub = g.subgraph(nodes)
+            assert min(sub.degree(v) for v in sub.nodes()) >= k
+
+    def test_matches_greedy_peel_min_degree(self):
+        """The k-core shortcut achieves the same (optimal) min degree as
+        the literal Sozio-Gionis peeling."""
+        for seed in range(4):
+            g = random_connected_graph(30, 0.2, seed + 910)
+            rng = random.Random(seed)
+            query = frozenset(rng.sample(sorted(g.nodes()), 3))
+            core_nodes, k = max_core_component_with(g, query)
+            peel_nodes = greedy_peel(g.copy(), query)
+            peel_sub = g.subgraph(peel_nodes)
+            peel_k = min(peel_sub.degree(v) for v in peel_sub.nodes())
+            assert k == peel_k
+
+    def test_ctp_metadata_exposes_min_degree(self):
+        g = random_connected_graph(40, 0.15, 920)
+        query = sorted(g.nodes())[:3]
+        result = ctp_connector(g, query)
+        assert result.metadata["min_degree"] >= 0

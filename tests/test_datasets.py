@@ -1,0 +1,185 @@
+"""Tests for datasets: karate (exact), registry stand-ins, steinlib suites,
+and the case-study networks."""
+
+import pytest
+
+from repro.datasets import (
+    FIGURE1_QUERY_DIFFERENT_COMMUNITIES,
+    FIGURE1_QUERY_SAME_COMMUNITY,
+    GROUND_TRUTH_DATASETS,
+    HUB_GENES,
+    NAMED_USERS,
+    QUERY_GENES,
+    SPECS,
+    dataset_names,
+    karate_club,
+    karate_factions,
+    kdd_twitter_network,
+    load_community_dataset,
+    load_dataset,
+    ppi_network,
+    puc_like,
+    puc_suite,
+    vienna_like,
+    vienna_suite,
+)
+from repro.graphs.components import is_connected
+from repro.graphs.metrics import average_degree
+
+
+class TestKarate:
+    def test_exact_size(self):
+        g = karate_club()
+        assert g.num_nodes == 34
+        assert g.num_edges == 78
+
+    def test_known_degrees(self):
+        g = karate_club()
+        assert g.degree(1) == 16  # the instructor
+        assert g.degree(34) == 17  # the president
+        assert g.degree(33) == 12
+
+    def test_factions_partition(self):
+        g = karate_club()
+        a, b = karate_factions()
+        assert a | b == set(g.nodes())
+        assert not a & b
+
+    def test_figure1_queries_in_graph(self):
+        g = karate_club()
+        for q in FIGURE1_QUERY_DIFFERENT_COMMUNITIES + FIGURE1_QUERY_SAME_COMMUNITY:
+            assert g.has_node(q)
+
+    def test_connected(self):
+        assert is_connected(karate_club())
+
+
+class TestRegistry:
+    def test_all_names_covered(self):
+        assert len(dataset_names()) == 13  # every Table-1 graph
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            load_dataset("nope")
+
+    @pytest.mark.parametrize("name", ["football", "jazz", "celegans"])
+    def test_small_datasets_full_size(self, name):
+        g = load_dataset(name)
+        assert g.num_nodes == SPECS[name].paper_nodes
+        assert is_connected(g)
+
+    @pytest.mark.parametrize("name", ["football", "jazz", "celegans", "email"])
+    def test_degree_regime_matches_paper(self, name):
+        g = load_dataset(name)
+        spec = SPECS[name]
+        paper_ad = 2 * spec.paper_edges / spec.paper_nodes
+        assert average_degree(g) == pytest.approx(paper_ad, rel=0.35)
+
+    def test_caching_returns_same_object(self):
+        assert load_dataset("football") is load_dataset("football")
+
+    def test_no_cache_fresh_object(self):
+        a = load_dataset("football", use_cache=False)
+        b = load_dataset("football", use_cache=False)
+        assert a is not b
+        assert a == b  # deterministic generation
+
+    def test_community_dataset(self):
+        data = load_community_dataset("dblp")
+        assert len(data.communities) == SPECS["dblp"].num_communities
+        assert sum(map(len, data.communities)) == data.graph.num_nodes
+        assert is_connected(data.graph)
+
+    def test_community_dataset_guard(self):
+        with pytest.raises(KeyError):
+            load_community_dataset("jazz")
+
+    def test_ground_truth_names(self):
+        for name in GROUND_TRUTH_DATASETS:
+            assert SPECS[name].kind == "pp"
+
+
+class TestSteinlibSuites:
+    def test_puc_instance_shape(self):
+        inst = puc_like(0)
+        assert inst.num_nodes == 64  # dimension 6
+        assert inst.terminals
+        assert inst.terminals <= set(inst.graph.nodes())
+
+    def test_puc_deterministic(self):
+        a, b = puc_like(3), puc_like(3)
+        assert a.num_edges == b.num_edges
+        assert a.terminals == b.terminals
+
+    def test_vienna_connected(self):
+        inst = vienna_like(1)
+        graph, terminals = inst.unweighted()
+        assert is_connected(graph)
+        assert terminals <= set(graph.nodes())
+        assert len(terminals) >= 10
+
+    def test_suites_sizes(self):
+        assert len(puc_suite(5)) == 5
+        assert len(vienna_suite(4)) == 4
+
+    def test_names_unique(self):
+        names = [inst.name for inst in puc_suite(6)]
+        assert len(set(names)) == 6
+
+
+class TestPPI:
+    def test_structure(self):
+        data = ppi_network()
+        g = data.graph
+        assert is_connected(g)
+        for gene in QUERY_GENES + HUB_GENES:
+            assert g.has_node(gene)
+        assert data.module_of["p53"] == "cancer"
+
+    def test_hub_core_interlinked(self):
+        g = ppi_network().graph
+        assert g.has_edge("p53", "GSK3B")  # the cancer-Alzheimer's link
+
+    def test_queries_attached_to_hubs(self):
+        g = ppi_network().graph
+        assert g.has_edge("BMP1", "p53")
+        assert g.has_edge("JAK2", "HSP90")
+        assert g.has_edge("PSEN", "GSK3B")
+        assert g.has_edge("SLC6A4", "SNCA")
+
+    def test_hubs_have_high_degree(self):
+        data = ppi_network()
+        g = data.graph
+        hub_min = min(g.degree(h) for h in data.hubs)
+        mean = 2 * g.num_edges / g.num_nodes
+        assert hub_min > 3 * mean
+
+    def test_deterministic(self):
+        assert ppi_network().graph == ppi_network().graph
+
+
+class TestTwitter:
+    def test_structure(self):
+        data = kdd_twitter_network()
+        g = data.graph
+        assert is_connected(g)
+        assert g.num_nodes >= 1100
+        for user in NAMED_USERS:
+            assert g.has_node(user)
+
+    def test_celebrities_dominate_degree(self):
+        data = kdd_twitter_network()
+        g = data.graph
+        degrees = sorted(g.nodes(), key=g.degree, reverse=True)
+        assert degrees[0] == "kdnuggets"
+        assert degrees[1] == "drewconway"
+
+    def test_communities_assigned(self):
+        data = kdd_twitter_network()
+        assert data.community_of["kdnuggets"] == 1
+        assert data.community_of["gizmonaut"] == 13
+        assert set(data.community_of.values()) == set(range(1, 14))
+
+    def test_followers_table(self):
+        data = kdd_twitter_network()
+        assert data.followers["kdnuggets"] == 23100

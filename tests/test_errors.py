@@ -1,0 +1,61 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    DisconnectedGraphError,
+    EdgeNotFoundError,
+    GraphError,
+    InvalidQueryError,
+    NodeNotFoundError,
+    ParseError,
+    ReproError,
+    SolverBudgetExceeded,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exception_type",
+        [
+            GraphError,
+            NodeNotFoundError,
+            EdgeNotFoundError,
+            DisconnectedGraphError,
+            InvalidQueryError,
+            SolverBudgetExceeded,
+            ParseError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exception_type):
+        assert issubclass(exception_type, ReproError)
+
+    def test_node_not_found_is_keyerror(self):
+        assert issubclass(NodeNotFoundError, KeyError)
+        error = NodeNotFoundError(42)
+        assert error.node == 42
+        assert "42" in str(error)
+
+    def test_edge_not_found_carries_edge(self):
+        error = EdgeNotFoundError("a", "b")
+        assert error.edge == ("a", "b")
+
+    def test_solver_budget_carries_bounds(self):
+        error = SolverBudgetExceeded(10.0, 25.0)
+        assert error.lower_bound == 10.0
+        assert error.upper_bound == 25.0
+        assert "10" in str(error) and "25" in str(error)
+
+    def test_parse_error_line_number(self):
+        error = ParseError("bad token", line_number=7)
+        assert "line 7" in str(error)
+        assert error.line_number == 7
+
+    def test_parse_error_without_line(self):
+        error = ParseError("bad file")
+        assert error.line_number is None
+        assert "bad file" in str(error)
+
+    def test_catching_base_class(self):
+        with pytest.raises(ReproError):
+            raise InvalidQueryError("nope")

@@ -1,0 +1,133 @@
+"""Tests for the Section-3 exact algorithms."""
+
+import random
+
+import pytest
+
+from conftest import random_connected_graph
+from repro.errors import DisconnectedGraphError, InvalidQueryError
+from repro.core.exact import (
+    brute_force,
+    exact_pair,
+    exact_pivot,
+    optimal_wiener_index,
+)
+from repro.graphs.components import nodes_connect
+from repro.graphs.generators import figure2_gadget, path_graph, star_graph
+from repro.graphs.graph import Graph
+
+
+class TestExactPair:
+    def test_path_endpoints(self):
+        g = path_graph(6)
+        result = exact_pair(g, [0, 5])
+        assert result.nodes == frozenset(range(6))
+        assert result.wiener_index == 6 * 35 / 6
+
+    def test_adjacent_pair(self, triangle):
+        result = exact_pair(triangle, [0, 1])
+        assert result.nodes == frozenset([0, 1])
+        assert result.wiener_index == 1.0
+
+    def test_wrong_arity(self, triangle):
+        with pytest.raises(InvalidQueryError):
+            exact_pair(triangle, [0])
+        with pytest.raises(InvalidQueryError):
+            exact_pair(triangle, [0, 1, 2])
+
+    def test_disconnected(self):
+        g = Graph([(0, 1), (2, 3)])
+        with pytest.raises(DisconnectedGraphError):
+            exact_pair(g, [0, 3])
+
+    def test_pair_is_optimal(self):
+        """|Q|=2: a shortest path matches full brute force (Section 3)."""
+        for seed in range(5):
+            g = random_connected_graph(12, 0.25, seed + 700)
+            rng = random.Random(seed)
+            q = rng.sample(sorted(g.nodes()), 2)
+            path_value = exact_pair(g, q).wiener_index
+            brute_value = brute_force(g, q, max_candidates=12).wiener_index
+            assert path_value == brute_value
+
+
+class TestBruteForce:
+    def test_star_adds_hub(self):
+        g = star_graph(5)
+        result = brute_force(g, [1, 2, 3])
+        assert result.nodes == frozenset([0, 1, 2, 3])
+
+    def test_figure2_optimum(self):
+        g = figure2_gadget(10)
+        result = brute_force(g, list(range(1, 11)), candidates=["r1", "r2"])
+        assert result.wiener_index == 142
+        assert result.nodes >= {"r1", "r2"}
+
+    def test_candidate_pool_restriction(self):
+        g = star_graph(5)
+        # Without the hub in the pool, the query alone is infeasible ->
+        # but Q={1,2} plus nothing can't connect; pool empty -> error.
+        with pytest.raises(DisconnectedGraphError):
+            brute_force(g, [1, 2], candidates=[3])
+
+    def test_pool_size_guard(self):
+        g = random_connected_graph(40, 0.1, 1)
+        with pytest.raises(InvalidQueryError):
+            brute_force(g, sorted(g.nodes())[:2], max_candidates=10)
+
+    def test_empty_query(self, triangle):
+        with pytest.raises(InvalidQueryError):
+            brute_force(triangle, [])
+
+    def test_metadata(self, triangle):
+        result = brute_force(triangle, [0, 1])
+        assert result.metadata["strategy"] == "brute-force"
+        assert result.metadata["subsets_examined"] >= 1
+
+    def test_optimal_wiener_index_helper(self, triangle):
+        assert optimal_wiener_index(triangle, [0, 1]) == 1.0
+
+
+class TestExactPivot:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_full_budget_matches_brute_force(self, seed):
+        """With budget covering all non-query vertices, G[A] enumeration
+        makes the pivot search exactly as strong as brute force."""
+        g = random_connected_graph(11, 0.25, seed + 710)
+        rng = random.Random(seed)
+        q = rng.sample(sorted(g.nodes()), 3)
+        brute = brute_force(g, q, max_candidates=11).wiener_index
+        pivot = exact_pivot(g, q, pivot_budget=g.num_nodes - 3).wiener_index
+        assert pivot == brute
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_small_budget_upper_bounds_optimum(self, seed):
+        g = random_connected_graph(12, 0.25, seed + 720)
+        rng = random.Random(seed)
+        q = rng.sample(sorted(g.nodes()), 3)
+        brute = brute_force(g, q, max_candidates=12).wiener_index
+        pivot = exact_pivot(g, q, pivot_budget=2).wiener_index
+        assert pivot >= brute  # restricted search can never beat the optimum
+
+    def test_budget_zero_just_connects_query(self):
+        g = path_graph(5)
+        result = exact_pivot(g, [0, 4], pivot_budget=0)
+        assert result.nodes == frozenset(range(5))
+
+    def test_solution_is_connector(self):
+        g = random_connected_graph(15, 0.2, 3)
+        q = sorted(g.nodes())[:3]
+        result = exact_pivot(g, q, pivot_budget=1)
+        assert nodes_connect(g, result.nodes)
+        assert set(q) <= set(result.nodes)
+
+    def test_empty_query(self, triangle):
+        with pytest.raises(InvalidQueryError):
+            exact_pivot(triangle, [])
+
+    def test_larger_budget_not_worse(self):
+        g = random_connected_graph(12, 0.25, 17)
+        q = sorted(g.nodes())[:3]
+        small = exact_pivot(g, q, pivot_budget=0).wiener_index
+        large = exact_pivot(g, q, pivot_budget=2).wiener_index
+        assert large <= small + 1e-9

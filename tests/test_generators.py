@@ -1,0 +1,187 @@
+"""Tests for graph generators."""
+
+import math
+import random
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs.components import connected_components, is_connected
+from repro.graphs.generators import (
+    barabasi_albert,
+    complete_graph,
+    connectify,
+    cycle_graph,
+    erdos_renyi,
+    erdos_renyi_with_degree,
+    figure2_gadget,
+    grid_graph,
+    hypercube_graph,
+    line_with_universal_root,
+    lollipop_graph,
+    path_graph,
+    planted_partition,
+    random_geometric,
+    star_graph,
+)
+from repro.graphs.metrics import average_degree
+from repro.graphs.wiener import wiener_index
+
+
+class TestDeterministicTopologies:
+    def test_path(self):
+        g = path_graph(6)
+        assert g.num_nodes == 6 and g.num_edges == 5
+
+    def test_cycle(self):
+        g = cycle_graph(5)
+        assert g.num_edges == 5
+        assert all(g.degree(v) == 2 for v in g.nodes())
+
+    def test_cycle_too_small(self):
+        with pytest.raises(GraphError):
+            cycle_graph(2)
+
+    def test_star(self):
+        g = star_graph(7)
+        assert g.degree(0) == 7 and g.num_edges == 7
+
+    def test_complete(self):
+        g = complete_graph(6)
+        assert g.num_edges == 15
+
+    def test_grid(self):
+        g = grid_graph(3, 4)
+        assert g.num_nodes == 12
+        assert g.num_edges == 3 * 3 + 2 * 4  # horizontal + vertical
+
+    def test_hypercube(self):
+        g = hypercube_graph(4)
+        assert g.num_nodes == 16
+        assert g.num_edges == 4 * 16 // 2
+        assert all(g.degree(v) == 4 for v in g.nodes())
+
+    def test_lollipop(self):
+        g = lollipop_graph(4, 3)
+        assert g.num_nodes == 7
+        assert g.num_edges == 6 + 3
+
+
+class TestFigure2Gadget:
+    def test_paper_values(self):
+        g = figure2_gadget(10)
+        q = list(range(1, 11))
+        assert wiener_index(g.subgraph(q)) == 165
+        assert wiener_index(g.subgraph(q + ["r1"])) == 151
+        assert wiener_index(g.subgraph(q + ["r2"])) == 151
+        assert wiener_index(g.subgraph(q + ["r1", "r2"])) == 142
+
+    def test_too_short_raises(self):
+        with pytest.raises(GraphError):
+            figure2_gadget(3)
+
+    def test_universal_root_gap_grows(self):
+        ratios = []
+        for h in (10, 20, 40):
+            g = line_with_universal_root(h)
+            q = list(range(1, h + 1))
+            ratios.append(
+                wiener_index(g.subgraph(q)) / wiener_index(g.subgraph(q + ["r"]))
+            )
+        assert ratios[0] < ratios[1] < ratios[2]
+
+
+class TestErdosRenyi:
+    def test_edge_count_concentrates(self):
+        rng = random.Random(0)
+        n, p = 200, 0.05
+        g = erdos_renyi(n, p, rng=rng)
+        expected = p * n * (n - 1) / 2
+        assert abs(g.num_edges - expected) < 4 * math.sqrt(expected)
+
+    def test_extremes(self):
+        assert erdos_renyi(10, 0.0).num_edges == 0
+        assert erdos_renyi(6, 1.0).num_edges == 15
+
+    def test_invalid_probability(self):
+        with pytest.raises(GraphError):
+            erdos_renyi(5, 1.5)
+
+    def test_target_degree(self):
+        g = erdos_renyi_with_degree(300, 8.0, rng=random.Random(1))
+        assert average_degree(g) == pytest.approx(8.0, rel=0.2)
+
+    def test_deterministic_given_rng(self):
+        a = erdos_renyi(50, 0.1, rng=random.Random(5))
+        b = erdos_renyi(50, 0.1, rng=random.Random(5))
+        assert a == b
+
+
+class TestBarabasiAlbert:
+    def test_size_and_degree(self):
+        g = barabasi_albert(200, 3, rng=random.Random(2))
+        assert g.num_nodes == 200
+        # Each of the n - (m+1) later nodes adds exactly m edges.
+        assert g.num_edges == 3 + (200 - 4) * 3
+        assert is_connected(g)
+
+    def test_heavy_tail(self):
+        g = barabasi_albert(500, 2, rng=random.Random(3))
+        degrees = sorted((g.degree(v) for v in g.nodes()), reverse=True)
+        assert degrees[0] > 8 * (2 * g.num_edges / g.num_nodes)
+
+    def test_invalid_attachment(self):
+        with pytest.raises(GraphError):
+            barabasi_albert(5, 0)
+        with pytest.raises(GraphError):
+            barabasi_albert(5, 5)
+
+
+class TestPlantedPartition:
+    def test_communities_returned(self):
+        g, comms = planted_partition([20, 30], 0.3, 0.01, rng=random.Random(4))
+        assert [len(c) for c in comms] == [20, 30]
+        assert g.num_nodes == 50
+
+    def test_intra_denser_than_inter(self):
+        rng = random.Random(5)
+        g, comms = planted_partition([50, 50], 0.3, 0.01, rng=rng)
+        intra = inter = 0
+        membership = {v: i for i, c in enumerate(comms) for v in c}
+        for u, v in g.edges():
+            if membership[u] == membership[v]:
+                intra += 1
+            else:
+                inter += 1
+        assert intra > 4 * inter
+
+    def test_zero_p_out_disconnects(self):
+        g, comms = planted_partition([30, 30], 0.5, 0.0, rng=random.Random(6))
+        assert len(connected_components(g)) >= 2
+
+
+class TestRandomGeometric:
+    def test_connected_after_connectify(self):
+        rng = random.Random(7)
+        g = connectify(random_geometric(300, 0.08, rng=rng), rng=rng)
+        assert is_connected(g)
+
+    def test_radius_controls_density(self):
+        rng = random.Random(8)
+        sparse = random_geometric(200, 0.05, rng=rng)
+        dense = random_geometric(200, 0.15, rng=random.Random(8))
+        assert dense.num_edges > sparse.num_edges
+
+
+class TestConnectify:
+    def test_connects_components(self):
+        from repro.graphs.graph import Graph
+
+        g = Graph([(0, 1), (2, 3), (4, 5)])
+        connectify(g, rng=random.Random(9))
+        assert is_connected(g)
+
+    def test_noop_on_connected(self, triangle):
+        before = triangle.num_edges
+        connectify(triangle, rng=random.Random(10))
+        assert triangle.num_edges == before

@@ -1,0 +1,194 @@
+"""Unit tests for repro.graphs.graph (Graph and WeightedGraph)."""
+
+import pytest
+
+from repro.errors import EdgeNotFoundError, GraphError, NodeNotFoundError
+from repro.graphs.graph import Graph, WeightedGraph
+
+
+class TestGraphConstruction:
+    def test_empty(self):
+        g = Graph()
+        assert g.num_nodes == 0
+        assert g.num_edges == 0
+        assert list(g.nodes()) == []
+        assert list(g.edges()) == []
+
+    def test_from_edges(self):
+        g = Graph([(1, 2), (2, 3)])
+        assert g.num_nodes == 3
+        assert g.num_edges == 2
+
+    def test_isolated_nodes(self):
+        g = Graph(nodes=[7, 8])
+        assert g.num_nodes == 2
+        assert g.degree(7) == 0
+
+    def test_duplicate_edges_collapse(self):
+        g = Graph([(1, 2), (2, 1), (1, 2)])
+        assert g.num_edges == 1
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(GraphError):
+            Graph([(1, 1)])
+
+    def test_string_nodes(self):
+        g = Graph([("a", "b")])
+        assert g.has_edge("a", "b")
+        assert g.has_edge("b", "a")
+
+
+class TestGraphMutation:
+    def test_add_edge_creates_nodes(self):
+        g = Graph()
+        g.add_edge(1, 2)
+        assert g.has_node(1) and g.has_node(2)
+
+    def test_remove_edge(self):
+        g = Graph([(1, 2), (2, 3)])
+        g.remove_edge(1, 2)
+        assert not g.has_edge(1, 2)
+        assert g.num_edges == 1
+        assert g.has_node(1)
+
+    def test_remove_missing_edge_raises(self):
+        g = Graph([(1, 2)])
+        with pytest.raises(EdgeNotFoundError):
+            g.remove_edge(1, 3)
+
+    def test_remove_node_drops_incident_edges(self):
+        g = Graph([(1, 2), (2, 3), (1, 3)])
+        g.remove_node(2)
+        assert g.num_nodes == 2
+        assert g.num_edges == 1
+        assert g.has_edge(1, 3)
+
+    def test_remove_missing_node_raises(self):
+        with pytest.raises(NodeNotFoundError):
+            Graph().remove_node(0)
+
+
+class TestGraphQueries:
+    def test_neighbors(self, triangle):
+        assert triangle.neighbors(0) == {1, 2}
+
+    def test_neighbors_missing_raises(self, triangle):
+        with pytest.raises(NodeNotFoundError):
+            triangle.neighbors(99)
+
+    def test_degree(self, star):
+        assert star.degree(0) == 5
+        assert star.degree(3) == 1
+
+    def test_edges_each_once(self, triangle):
+        edges = list(triangle.edges())
+        assert len(edges) == 3
+        canonical = {frozenset(e) for e in edges}
+        assert len(canonical) == 3
+
+    def test_contains_len_iter(self, path5):
+        assert 3 in path5
+        assert 9 not in path5
+        assert len(path5) == 5
+        assert sorted(path5) == [0, 1, 2, 3, 4]
+
+    def test_repr(self, triangle):
+        assert "3" in repr(triangle)
+
+    def test_equality(self):
+        assert Graph([(1, 2)]) == Graph([(2, 1)])
+        assert Graph([(1, 2)]) != Graph([(1, 3)])
+
+    def test_unhashable(self, triangle):
+        with pytest.raises(TypeError):
+            hash(triangle)
+
+
+class TestSubgraph:
+    def test_induced_subgraph(self, two_triangles_bridge):
+        sub = two_triangles_bridge.subgraph([0, 1, 2])
+        assert sub.num_nodes == 3
+        assert sub.num_edges == 3
+
+    def test_subgraph_excludes_outside_edges(self, two_triangles_bridge):
+        sub = two_triangles_bridge.subgraph([2, 3])
+        assert sub.num_edges == 1
+
+    def test_subgraph_missing_node_raises(self, triangle):
+        with pytest.raises(NodeNotFoundError):
+            triangle.subgraph([0, 99])
+
+    def test_subgraph_is_independent_copy(self, triangle):
+        sub = triangle.subgraph([0, 1])
+        sub.add_edge(0, 7)
+        assert not triangle.has_node(7)
+
+    def test_copy_independent(self, triangle):
+        clone = triangle.copy()
+        clone.remove_edge(0, 1)
+        assert triangle.has_edge(0, 1)
+        assert clone.num_edges == 2
+
+    def test_relabeled(self):
+        g = Graph([("x", "y"), ("y", "z")])
+        relabeled, mapping = g.relabeled()
+        assert sorted(relabeled.nodes()) == [0, 1, 2]
+        assert relabeled.num_edges == 2
+        assert relabeled.has_edge(mapping["x"], mapping["y"])
+
+
+class TestWeightedGraph:
+    def test_add_and_query(self):
+        g = WeightedGraph()
+        g.add_edge("a", "b", 2.5)
+        assert g.weight("a", "b") == 2.5
+        assert g.weight("b", "a") == 2.5
+
+    def test_from_edge_iterable(self):
+        g = WeightedGraph([(1, 2, 1.0), (2, 3, 4.0)])
+        assert g.num_edges == 2
+        assert g.total_weight() == 5.0
+
+    def test_overwrite_weight(self):
+        g = WeightedGraph([(1, 2, 1.0)])
+        g.add_edge(1, 2, 9.0)
+        assert g.num_edges == 1
+        assert g.weight(1, 2) == 9.0
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(GraphError):
+            WeightedGraph([(1, 2, -1.0)])
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(GraphError):
+            WeightedGraph([(1, 1, 1.0)])
+
+    def test_missing_edge_raises(self):
+        g = WeightedGraph([(1, 2, 1.0)])
+        with pytest.raises(EdgeNotFoundError):
+            g.weight(1, 3)
+
+    def test_missing_node_raises(self):
+        with pytest.raises(NodeNotFoundError):
+            WeightedGraph().neighbors(1)
+
+    def test_unweighted_roundtrip(self):
+        g = WeightedGraph([(1, 2, 3.0), (2, 3, 1.0)])
+        plain = g.unweighted()
+        assert plain.num_edges == 2
+        assert plain.has_edge(1, 2)
+
+    def test_from_graph(self, triangle):
+        weighted = WeightedGraph.from_graph(triangle, weight=2.0)
+        assert weighted.num_edges == 3
+        assert weighted.total_weight() == 6.0
+
+    def test_edges_each_once(self):
+        g = WeightedGraph([(1, 2, 1.0), (2, 3, 2.0)])
+        assert len(list(g.edges())) == 2
+
+    def test_dunder_protocol(self):
+        g = WeightedGraph([(1, 2, 1.0)])
+        assert 1 in g
+        assert len(g) == 2
+        assert sorted(g) == [1, 2]

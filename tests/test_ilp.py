@@ -1,0 +1,114 @@
+"""Tests for the Program (7) formulation and its lazy-constraint solver."""
+
+import math
+import random
+
+import pytest
+
+from conftest import random_connected_graph
+from repro.errors import InvalidQueryError, ReproError
+from repro.core.exact import brute_force
+from repro.graphs.generators import cycle_graph, figure2_gadget, path_graph
+from repro.solvers.ilp import (
+    build_program7,
+    program7_lower_bound,
+    solve_program7,
+)
+
+
+class TestBuildProgram7:
+    def test_variable_layout(self):
+        g = path_graph(4)
+        program = build_program7(g, [0, 3])
+        # y for the 2 non-query vertices, x for 2*3 directed edges,
+        # p for 1 query pair + 2 (root, candidate) pairs.
+        assert len(program.y_index) == 2
+        assert len(program.x_index) == 6
+        assert len(program.pairs) == 3
+        assert program.num_variables == 2 + 6 + 3
+
+    def test_candidate_restriction(self):
+        g = path_graph(5)
+        program = build_program7(g, [0, 4], candidates=[2])
+        assert program.pool == [2]
+        assert len(program.pairs) == 2  # (0,4) and (root, 2)
+
+    def test_empty_query_raises(self):
+        with pytest.raises(InvalidQueryError):
+            build_program7(path_graph(3), [])
+
+    def test_unknown_query_raises(self):
+        with pytest.raises(InvalidQueryError):
+            build_program7(path_graph(3), [9])
+
+    def test_size_guard(self):
+        from repro.graphs.generators import complete_graph
+
+        g = complete_graph(500)  # 2 * C(500,2) directed-edge vars > limit
+        with pytest.raises(ReproError):
+            build_program7(g, [0, 1])
+
+
+class TestLowerBound:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_is_lower_bound(self, seed):
+        g = random_connected_graph(12, 0.3, seed + 930)
+        rng = random.Random(seed)
+        q = rng.sample(sorted(g.nodes()), 3)
+        opt = brute_force(g, q, max_candidates=12).wiener_index
+        bound = program7_lower_bound(g, q)
+        assert bound.converged
+        assert bound.value <= opt + 1e-6
+
+    def test_exact_on_path_pair(self):
+        # Connecting the ends of a path forces the whole path: y all 1,
+        # objective counts the query pair at host distance + intermediate
+        # pair terms.
+        g = path_graph(4)
+        bound = program7_lower_bound(g, [0, 3])
+        # Pair (0,3) costs 3; (root,1) costs 1*y1; (root,2) costs 2*y2;
+        # connectivity forces y1 = y2 = 1 -> total 6.
+        assert bound.value == pytest.approx(6.0, abs=1e-6)
+
+    def test_cycle_cuts_kick_in(self):
+        """On a cycle the tree constraints need at least one lazy cut."""
+        g = cycle_graph(6)
+        bound = program7_lower_bound(g, [0, 2, 4])
+        assert bound.converged
+        assert bound.value > 0
+
+    def test_figure2_bound(self):
+        g = figure2_gadget(6)
+        q = list(range(1, 7))
+        opt = brute_force(g, q, candidates=["r1", "r2"]).wiener_index
+        bound = program7_lower_bound(g, q)
+        assert bound.converged
+        assert 0 < bound.value <= opt + 1e-6
+
+
+class TestSolveProgram7:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_integer_solution_bounds_optimum(self, seed):
+        g = random_connected_graph(11, 0.3, seed + 940)
+        rng = random.Random(seed)
+        q = rng.sample(sorted(g.nodes()), 3)
+        opt = brute_force(g, q, max_candidates=11).wiener_index
+        solution = solve_program7(g, q)
+        assert solution.converged
+        assert solution.objective <= opt + 1e-6
+        assert set(q) <= set(solution.selected)
+
+    def test_ip_at_least_lp(self):
+        g = random_connected_graph(11, 0.3, 950)
+        q = sorted(g.nodes())[:3]
+        lp = program7_lower_bound(g, q)
+        ip = solve_program7(g, q)
+        assert ip.objective >= lp.value - 1e-6
+
+    def test_selected_forms_connector_on_simple_instance(self):
+        from repro.graphs.components import nodes_connect
+
+        g = path_graph(5)
+        solution = solve_program7(g, [0, 4])
+        assert solution.selected == frozenset(range(5))
+        assert nodes_connect(g, solution.selected)

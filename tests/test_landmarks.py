@@ -1,0 +1,101 @@
+"""Tests for the landmark distance oracle."""
+
+import random
+
+import pytest
+
+from conftest import random_connected_graph
+from repro.errors import GraphError
+from repro.graphs.landmarks import LandmarkIndex
+from repro.graphs.generators import barabasi_albert, connectify, path_graph, star_graph
+from repro.graphs.traversal import bfs_distances
+from repro.graphs.wiener import wiener_index
+
+
+class TestConstruction:
+    def test_degree_strategy_picks_hubs(self):
+        index = LandmarkIndex(star_graph(8), num_landmarks=1)
+        assert index.landmarks == [0]
+
+    def test_random_strategy(self):
+        g = path_graph(20)
+        index = LandmarkIndex(g, num_landmarks=5, strategy="random",
+                              rng=random.Random(1))
+        assert len(index) == 5
+        assert len(set(index.landmarks)) == 5
+
+    def test_landmark_count_capped(self):
+        index = LandmarkIndex(path_graph(3), num_landmarks=10)
+        assert len(index) == 3
+
+    def test_invalid_params(self):
+        with pytest.raises(GraphError):
+            LandmarkIndex(path_graph(3), num_landmarks=0)
+        with pytest.raises(GraphError):
+            LandmarkIndex(path_graph(3), strategy="psychic")
+
+
+class TestEstimates:
+    def test_upper_and_lower_bracket_truth(self):
+        g = random_connected_graph(80, 0.06, 21)
+        index = LandmarkIndex(g, num_landmarks=8)
+        nodes = sorted(g.nodes())
+        rng = random.Random(3)
+        for _ in range(30):
+            u, v = rng.sample(nodes, 2)
+            true = bfs_distances(g, u)[v]
+            assert index.lower_bound(u, v) <= true <= index.estimate(u, v)
+
+    def test_exact_through_landmark(self):
+        g = star_graph(6)
+        index = LandmarkIndex(g, num_landmarks=1)  # the hub
+        assert index.estimate(1, 2) == 2.0  # exact: hub on every path
+
+    def test_same_node_zero(self):
+        index = LandmarkIndex(path_graph(5), num_landmarks=2)
+        assert index.estimate(2, 2) == 0.0
+        assert index.lower_bound(2, 2) == 0.0
+
+    def test_estimate_many(self):
+        g = path_graph(6)
+        index = LandmarkIndex(g, num_landmarks=2)
+        values = index.estimate_many([(0, 5), (1, 2)])
+        assert len(values) == 2
+        assert values[0] >= 5
+
+    def test_hub_landmarks_accurate_on_scale_free(self):
+        rng = random.Random(5)
+        g = connectify(barabasi_albert(300, 3, rng=rng), rng=rng)
+        index = LandmarkIndex(g, num_landmarks=12)
+        nodes = sorted(g.nodes())
+        errors = []
+        for _ in range(40):
+            u, v = rng.sample(nodes, 2)
+            true = bfs_distances(g, u)[v]
+            errors.append(index.estimate(u, v) - true)
+        # Hub landmarks should be exact for a solid share of pairs.
+        assert sum(1 for e in errors if e == 0) >= len(errors) // 3
+
+
+class TestWienerEstimate:
+    def test_upper_bounds_true_wiener(self):
+        g = random_connected_graph(50, 0.1, 22)
+        index = LandmarkIndex(g, num_landmarks=10)
+        assert index.wiener_estimate() >= wiener_index(g) - 1e-9
+
+    def test_sampled_version_close_to_full(self):
+        g = random_connected_graph(60, 0.1, 23)
+        index = LandmarkIndex(g, num_landmarks=10)
+        full = index.wiener_estimate()
+        sampled = index.wiener_estimate(sample_pairs=500,
+                                        rng=random.Random(0))
+        assert sampled == pytest.approx(full, rel=0.3)
+
+    def test_subset(self):
+        g = path_graph(10)
+        index = LandmarkIndex(g, num_landmarks=3)
+        assert index.wiener_estimate(nodes=[0, 1]) >= 1.0
+
+    def test_tiny(self):
+        index = LandmarkIndex(path_graph(4), num_landmarks=2)
+        assert index.wiener_estimate(nodes=[2]) == 0.0

@@ -1,0 +1,94 @@
+"""Tests for graph summary metrics (Table-1 columns)."""
+
+import pytest
+
+from conftest import random_connected_graph, to_networkx
+from repro.graphs.graph import Graph
+from repro.graphs.generators import complete_graph, path_graph, star_graph
+from repro.graphs.metrics import (
+    average_clustering,
+    average_degree,
+    degree_histogram,
+    density,
+    effective_diameter,
+    local_clustering,
+    summarize,
+)
+
+
+class TestDensity:
+    def test_complete_graph(self):
+        assert density(complete_graph(6)) == 1.0
+
+    def test_path(self):
+        assert density(path_graph(4)) == pytest.approx(3 / 6)
+
+    def test_tiny(self):
+        assert density(Graph()) == 0.0
+        assert density(Graph(nodes=[1])) == 0.0
+
+
+class TestAverageDegree:
+    def test_cycle(self):
+        from repro.graphs.generators import cycle_graph
+
+        assert average_degree(cycle_graph(7)) == 2.0
+
+    def test_empty(self):
+        assert average_degree(Graph()) == 0.0
+
+
+class TestClustering:
+    def test_triangle(self, triangle):
+        assert local_clustering(triangle, 0) == 1.0
+        assert average_clustering(triangle) == 1.0
+
+    def test_star_no_triangles(self, star):
+        assert average_clustering(star) == 0.0
+
+    def test_degree_below_two(self, path5):
+        assert local_clustering(path5, 0) == 0.0
+
+    def test_matches_networkx(self):
+        import networkx as nx
+
+        g = random_connected_graph(40, 0.15, 64)
+        ours = average_clustering(g)
+        theirs = nx.average_clustering(to_networkx(g))
+        assert ours == pytest.approx(theirs)
+
+    def test_sampled_close(self):
+        g = random_connected_graph(150, 0.06, 65)
+        import random
+
+        full = average_clustering(g)
+        sampled = average_clustering(g, sample_size=80, rng=random.Random(0))
+        assert sampled == pytest.approx(full, abs=0.1)
+
+
+class TestEffectiveDiameter:
+    def test_complete_graph_is_one(self):
+        assert effective_diameter(complete_graph(10)) == pytest.approx(1.0, abs=0.2)
+
+    def test_path_below_true_diameter(self):
+        ed = effective_diameter(path_graph(30))
+        assert 15 < ed < 29
+
+    def test_tiny(self):
+        assert effective_diameter(Graph(nodes=[1])) == 0.0
+
+
+class TestDegreeHistogram:
+    def test_star(self, star):
+        assert degree_histogram(star) == {5: 1, 1: 5}
+
+
+class TestSummarize:
+    def test_summary_fields(self, two_triangles_bridge):
+        summary = summarize(two_triangles_bridge, name="bridge")
+        assert summary.name == "bridge"
+        assert summary.num_nodes == 6
+        assert summary.num_edges == 7
+        assert 0 < summary.density < 1
+        assert summary.average_degree == pytest.approx(14 / 6)
+        assert "bridge" in summary.formatted()

@@ -1,0 +1,119 @@
+"""Tests for the Section-4 objective chain (W, A, Ã, B) and its lemmas."""
+
+import math
+import random
+
+import pytest
+
+from conftest import random_connected_graph
+from repro.core.objectives import (
+    a_objective,
+    b_objective,
+    best_rooted_a,
+    optimal_lambda,
+    verify_lemma1,
+    weak_a_objective,
+    wiener_of_nodes,
+)
+from repro.graphs.generators import path_graph, star_graph
+from repro.graphs.traversal import bfs_distances
+from repro.graphs.wiener import wiener_index
+
+
+class TestAObjective:
+    def test_star_hub_root(self):
+        g = star_graph(4)
+        # A = |V| * sum of distances to hub = 5 * 4.
+        assert a_objective(g, g.nodes(), 0) == 20
+
+    def test_disconnected_subset_infinite(self, two_triangles_bridge):
+        assert a_objective(two_triangles_bridge, [0, 4], 0) == math.inf
+
+    def test_best_rooted_a_picks_center(self):
+        g = path_graph(5)
+        value, root = best_rooted_a(g, g.nodes())
+        assert root == 2
+        assert value == 5 * (2 + 1 + 0 + 1 + 2)
+
+
+class TestLemma1:
+    """min_r Σd(v,r) <= 2W/|V| <= 2 min_r Σd(v,r) for every connected graph."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_graphs(self, seed):
+        g = random_connected_graph(18, 0.2, seed + 40)
+        low, middle, high = verify_lemma1(g, g.nodes())
+        assert low <= middle + 1e-9 <= high + 1e-9
+
+    def test_on_path(self):
+        g = path_graph(7)
+        low, middle, high = verify_lemma1(g, g.nodes())
+        assert low <= middle <= high
+
+
+class TestWeakAObjective:
+    def test_matches_a_when_distances_preserved(self):
+        g = path_graph(5)
+        distances = bfs_distances(g, 0)
+        nodes = [0, 1, 2]
+        assert weak_a_objective(nodes, distances) == a_objective(g, nodes, 0)
+
+    def test_unreachable_infinite(self):
+        assert weak_a_objective([0, 9], {0: 0}) == math.inf
+
+
+class TestBObjective:
+    def test_formula(self):
+        distances = {0: 0, 1: 1, 2: 2}
+        value = b_objective([0, 1, 2], distances, lam=2.0)
+        assert value == 2.0 * 3 + 3 / 2.0
+
+    def test_invalid_lambda(self):
+        with pytest.raises(ValueError):
+            b_objective([0], {0: 0}, lam=0.0)
+
+    def test_unreachable_infinite(self):
+        assert b_objective([5], {0: 0}, lam=1.0) == math.inf
+
+    def test_optimal_lambda_balances_terms(self):
+        """At λ* = sqrt(Σd/|S|), both B-terms are equal (AM-GM tightness)."""
+        distances = {i: i for i in range(10)}
+        nodes = list(range(10))
+        lam = optimal_lambda(nodes, distances)
+        left = lam * len(nodes)
+        right = sum(distances.values()) / lam
+        assert left == pytest.approx(right)
+
+    def test_optimal_lambda_clamped(self):
+        # All-zero distances would give λ = 0; Lemma 3 clamps at 1/√2.
+        assert optimal_lambda([0], {0: 0}) == pytest.approx(1 / math.sqrt(2))
+
+    def test_optimal_lambda_empty_raises(self):
+        with pytest.raises(ValueError):
+            optimal_lambda([], {})
+
+
+class TestLemma3Consequence:
+    """B at the optimal λ squares to the weak-A objective (Lemma 10)."""
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_b_squared_vs_weak_a(self, seed):
+        g = random_connected_graph(25, 0.15, seed + 60)
+        rng = random.Random(seed)
+        root = next(iter(g.nodes()))
+        distances = bfs_distances(g, root)
+        nodes = rng.sample(sorted(g.nodes()), 8)
+        if any(n not in distances for n in nodes):
+            pytest.skip("unreachable sample")
+        lam = optimal_lambda(nodes, distances)
+        b = b_objective(nodes, distances, lam)
+        weak = weak_a_objective(nodes, distances)
+        # 4xy = (xλ + y/λ)² at λ = sqrt(y/x), so B² = 4 Ã.
+        assert b * b == pytest.approx(4 * weak, rel=1e-9)
+
+
+class TestWienerOfNodes:
+    def test_equals_subgraph_wiener(self, two_triangles_bridge):
+        nodes = [0, 1, 2, 3]
+        expected = wiener_index(two_triangles_bridge.subgraph(nodes))
+        assert wiener_of_nodes(two_triangles_bridge, nodes) == expected

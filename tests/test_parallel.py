@@ -1,0 +1,45 @@
+"""Tests for the §6.6 parallel execution of WienerSteiner."""
+
+import random
+
+import pytest
+
+from conftest import random_connected_graph
+from repro.errors import InvalidQueryError
+from repro.core.parallel import parallel_wiener_steiner
+from repro.core.wiener_steiner import wiener_steiner
+from repro.graphs.components import nodes_connect
+
+
+class TestParallelWienerSteiner:
+    def test_matches_sequential_quality(self):
+        g = random_connected_graph(120, 0.05, 7)
+        rng = random.Random(7)
+        query = rng.sample(sorted(g.nodes()), 5)
+        sequential = wiener_steiner(g, query, selection="wiener")
+        parallel = parallel_wiener_steiner(g, query, max_workers=2)
+        assert parallel.wiener_index == sequential.wiener_index
+
+    def test_contract(self):
+        g = random_connected_graph(80, 0.08, 8)
+        rng = random.Random(8)
+        query = rng.sample(sorted(g.nodes()), 4)
+        result = parallel_wiener_steiner(g, query, max_workers=2)
+        assert set(query) <= set(result.nodes)
+        assert nodes_connect(g, result.nodes)
+        assert result.metadata["parallel"] is True
+        assert result.metadata["root"] in set(query)
+
+    def test_single_vertex_query(self):
+        g = random_connected_graph(20, 0.2, 9)
+        only = next(iter(g.nodes()))
+        result = parallel_wiener_steiner(g, [only])
+        assert result.nodes == frozenset([only])
+
+    def test_empty_query_raises(self, triangle):
+        with pytest.raises(InvalidQueryError):
+            parallel_wiener_steiner(triangle, [])
+
+    def test_unknown_vertex_raises(self, triangle):
+        with pytest.raises(InvalidQueryError):
+            parallel_wiener_steiner(triangle, [0, 99])

@@ -1,0 +1,182 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+These encode the paper's structural facts as executable properties over
+randomly generated graphs and queries:
+
+* metric axioms of BFS distances;
+* Lemma 1's sandwich between the Wiener index and rooted distance sums;
+* monotonicity of induced distances under subgraph restriction;
+* Lemma 2's guarantees for AdjustDistances;
+* the connector contract and approximation sanity of WienerSteiner;
+* admissibility of the branch-and-bound lower bounds.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.adjust import adjust_distances, verify_lemma2
+from repro.core.exact import brute_force
+from repro.core.objectives import verify_lemma1
+from repro.core.steiner import steiner_tree_unweighted
+from repro.core.wiener_steiner import wiener_steiner
+from repro.graphs.components import is_tree, nodes_connect
+from repro.graphs.generators import connectify, erdos_renyi
+from repro.graphs.graph import Graph
+from repro.graphs.traversal import bfs_distances
+from repro.graphs.wiener import wiener_index
+from repro.solvers.bounds import query_distance_maps, query_pair_bound
+
+
+@st.composite
+def connected_graphs(draw, min_nodes=4, max_nodes=24):
+    """A connected random graph plus its rng seed."""
+    n = draw(st.integers(min_nodes, max_nodes))
+    seed = draw(st.integers(0, 10_000))
+    p = draw(st.floats(0.1, 0.5))
+    rng = random.Random(seed)
+    graph = connectify(erdos_renyi(n, p, rng=rng), rng=rng)
+    return graph
+
+
+@st.composite
+def graphs_with_queries(draw, min_query=2, max_query=5):
+    graph = draw(connected_graphs())
+    nodes = sorted(graph.nodes())
+    k = draw(st.integers(min_query, min(max_query, len(nodes))))
+    seed = draw(st.integers(0, 10_000))
+    query = random.Random(seed).sample(nodes, k)
+    return graph, query
+
+
+common = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestDistanceAxioms:
+    @common
+    @given(connected_graphs())
+    def test_triangle_inequality(self, graph):
+        nodes = sorted(graph.nodes())
+        maps = {v: bfs_distances(graph, v) for v in nodes[:4]}
+        for u in list(maps)[:2]:
+            for v in list(maps)[:4]:
+                for w in nodes[:6]:
+                    assert maps[u][w] <= maps[u][v] + maps[v][w]
+
+    @common
+    @given(connected_graphs())
+    def test_symmetry(self, graph):
+        nodes = sorted(graph.nodes())
+        u, v = nodes[0], nodes[-1]
+        assert bfs_distances(graph, u)[v] == bfs_distances(graph, v)[u]
+
+
+class TestWienerProperties:
+    @common
+    @given(connected_graphs())
+    def test_lemma1_sandwich(self, graph):
+        low, middle, high = verify_lemma1(graph, graph.nodes())
+        assert low <= middle + 1e-9 <= high + 1e-9
+
+    @common
+    @given(graphs_with_queries())
+    def test_induced_distances_dominate_host(self, graph_query):
+        """d_{G[S]}(u,v) >= d_G(u,v) for any induced subgraph."""
+        graph, query = graph_query
+        sub_nodes = set(query)
+        # Grow the set with neighbors so it is usually connected.
+        for q in query:
+            sub_nodes.update(list(graph.neighbors(q)))
+        sub = graph.subgraph(sub_nodes)
+        host = bfs_distances(graph, query[0])
+        inside = bfs_distances(sub, query[0])
+        for node, d in inside.items():
+            assert d >= host[node]
+
+    @common
+    @given(connected_graphs())
+    def test_wiener_lower_bound_by_pairs(self, graph):
+        """W(G) >= C(n,2) for connected graphs (every pair >= 1)."""
+        n = graph.num_nodes
+        assert wiener_index(graph) >= n * (n - 1) / 2
+
+
+class TestSteinerProperties:
+    @common
+    @given(graphs_with_queries())
+    def test_steiner_tree_is_tree_spanning_terminals(self, graph_query):
+        graph, query = graph_query
+        tree = steiner_tree_unweighted(graph, query)
+        assert is_tree(tree)
+        assert set(query) <= set(tree.nodes())
+
+    @common
+    @given(graphs_with_queries())
+    def test_adjust_distances_lemma2(self, graph_query):
+        graph, query = graph_query
+        tree = steiner_tree_unweighted(graph, query)
+        root = query[0]
+        adjusted = adjust_distances(graph, tree, root)
+        assert verify_lemma2(graph, tree, adjusted, root) == []
+
+
+class TestConnectorProperties:
+    @common
+    @given(graphs_with_queries())
+    def test_ws_q_contract(self, graph_query):
+        graph, query = graph_query
+        result = wiener_steiner(graph, query)
+        assert set(query) <= set(result.nodes)
+        assert nodes_connect(graph, result.nodes)
+        assert result.wiener_index < math.inf
+
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(graphs_with_queries(max_query=4))
+    def test_ws_q_within_constant_of_optimum(self, graph_query):
+        graph, query = graph_query
+        if graph.num_nodes - len(query) > 14:
+            return  # brute force infeasible; skip silently
+        optimum = brute_force(graph, query, max_candidates=14).wiener_index
+        approx = wiener_steiner(graph, query).wiener_index
+        assert optimum <= approx <= 3 * optimum + 1e-9
+
+    @common
+    @given(graphs_with_queries())
+    def test_query_pair_bound_admissible(self, graph_query):
+        graph, query = graph_query
+        maps = query_distance_maps(graph, query)
+        bound = query_pair_bound(query, maps)
+        ws = wiener_steiner(graph, query).wiener_index
+        assert bound <= ws + 1e-9
+
+
+class TestGraphStructureProperties:
+    @common
+    @given(connected_graphs())
+    def test_subgraph_of_all_nodes_is_identity(self, graph):
+        assert graph.subgraph(graph.nodes()) == graph
+
+    @common
+    @given(connected_graphs(), st.integers(0, 10_000))
+    def test_edge_removal_count(self, graph, seed):
+        rng = random.Random(seed)
+        edges = list(graph.edges())
+        u, v = rng.choice(edges)
+        before = graph.num_edges
+        clone = graph.copy()
+        clone.remove_edge(u, v)
+        assert clone.num_edges == before - 1
+        assert graph.has_edge(u, v)  # original untouched
+
+    @common
+    @given(connected_graphs())
+    def test_degree_sum_is_twice_edges(self, graph):
+        assert sum(graph.degree(v) for v in graph.nodes()) == 2 * graph.num_edges

@@ -1,0 +1,111 @@
+"""Tests for the ASCII reporting helpers and experiment stats plumbing."""
+
+import math
+
+import pytest
+
+from conftest import random_connected_graph
+from repro.experiments.reporting import (
+    format_quantity,
+    percentile,
+    render_cdf,
+    render_series,
+    render_table,
+)
+from repro.experiments.stats import (
+    SolutionStats,
+    average_stats,
+    characterize,
+    host_betweenness,
+    run_methods,
+)
+
+
+class TestFormatQuantity:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (5.0, "5"),
+            (0.125, "0.12"),
+            (1500.0, "≈1.5k"),
+            (2_000_000.0, "≈2.0M"),
+            (1.5e9, "≈1.5G"),
+            (math.inf, "inf"),
+        ],
+    )
+    def test_cases(self, value, expected):
+        assert format_quantity(value) == expected
+
+    def test_nan(self):
+        assert format_quantity(float("nan")) == "nan"
+
+
+class TestRenderTable:
+    def test_alignment_and_title(self):
+        text = render_table(("a", "bbb"), [(1, 2), (333, 4)], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bbb" in lines[1]
+        assert len(lines) == 5
+
+    def test_wide_cells_expand_columns(self):
+        text = render_table(("x",), [("wide-content",)])
+        assert "wide-content" in text
+
+
+class TestRenderSeries:
+    def test_layout(self):
+        text = render_series("n", [1, 2], {"m": [10.0, 20.0]}, title="s")
+        assert "n" in text and "m" in text
+        assert "10" in text and "20" in text
+
+
+class TestCdf:
+    def test_percentile(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(values, 0.5) == 2.0
+        assert percentile(values, 1.0) == 4.0
+        with pytest.raises(ValueError):
+            percentile([], 0.5)
+
+    def test_render_cdf(self):
+        text = render_cdf([1.0, 1.5, 2.0], "ratio", points=4)
+        assert "CDF of ratio" in text
+        assert "p100%" in text
+
+    def test_render_cdf_empty(self):
+        assert "(no data)" in render_cdf([], "ratio")
+
+
+class TestStats:
+    def test_characterize(self):
+        from repro.core.wiener_steiner import wiener_steiner
+
+        g = random_connected_graph(40, 0.12, 31)
+        centrality = host_betweenness(g)
+        query = sorted(g.nodes())[:4]
+        result = wiener_steiner(g, query)
+        stats = characterize(result, centrality)
+        assert stats.method == "ws-q"
+        assert stats.size == result.size
+        assert stats.wiener == result.wiener_index
+        assert 0 <= stats.betweenness <= 1
+
+    def test_run_methods_covers_registry(self):
+        from repro.baselines import METHODS
+
+        g = random_connected_graph(40, 0.12, 32)
+        centrality = host_betweenness(g)
+        query = sorted(g.nodes())[:3]
+        stats = run_methods(g, query, centrality)
+        assert set(stats) == set(METHODS)
+        for value in stats.values():
+            assert value.runtime_seconds >= 0
+
+    def test_average_stats(self):
+        a = {"m": SolutionStats("m", 10, 0.2, 0.1, 100.0, 1.0)}
+        b = {"m": SolutionStats("m", 20, 0.4, 0.3, 300.0, 3.0)}
+        merged = average_stats([a, b])
+        assert merged["m"].size == 15
+        assert merged["m"].density == pytest.approx(0.3)
+        assert merged["m"].wiener == pytest.approx(200.0)

@@ -1,0 +1,165 @@
+"""Tests for the exact solvers: bounds, branch-and-bound, LP relaxation."""
+
+import math
+import random
+
+import pytest
+
+from conftest import random_connected_graph
+from repro.errors import InvalidQueryError, ReproError
+from repro.core.exact import brute_force
+from repro.core.wiener_steiner import wiener_steiner
+from repro.graphs.generators import figure2_gadget, path_graph, star_graph
+from repro.solvers import (
+    candidate_pool,
+    flow_lp_lower_bound,
+    query_distance_maps,
+    query_pair_bound,
+    solve_exact,
+    vertex_margin,
+)
+
+
+class TestBounds:
+    def test_query_pair_bound_on_path(self):
+        g = path_graph(6)
+        maps = query_distance_maps(g, [0, 5])
+        assert query_pair_bound([0, 5], maps) == 5.0
+
+    def test_vertex_margin(self):
+        g = path_graph(5)
+        maps = query_distance_maps(g, [0, 4])
+        assert vertex_margin(2, [0, 4], maps) == 4.0
+
+    def test_pool_prunes_far_vertices(self):
+        g = star_graph(8)
+        maps = query_distance_maps(g, [1, 2])
+        # d(1,2) = 2; UB barely above it -> only the hub can help.
+        pool = candidate_pool(g, [1, 2], upper_bound=2 + 2.5, distance_maps=maps)
+        assert pool == [0]
+
+    def test_pool_ordering_by_margin(self):
+        g = path_graph(7)
+        pool = candidate_pool(g, [0, 6], upper_bound=1000.0)
+        maps = query_distance_maps(g, [0, 6])
+        margins = [vertex_margin(v, [0, 6], maps) for v in pool]
+        assert margins == sorted(margins)
+
+    def test_bound_is_admissible(self):
+        for seed in range(5):
+            g = random_connected_graph(14, 0.25, seed + 750)
+            rng = random.Random(seed)
+            q = rng.sample(sorted(g.nodes()), 3)
+            maps = query_distance_maps(g, q)
+            bound = query_pair_bound(q, maps)
+            optimum = brute_force(g, q, max_candidates=14).wiener_index
+            assert bound <= optimum + 1e-9
+
+
+class TestBranchAndBound:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_brute_force(self, seed):
+        g = random_connected_graph(14, 0.22, seed + 760)
+        rng = random.Random(seed)
+        q = rng.sample(sorted(g.nodes()), 4)
+        expected = brute_force(g, q, max_candidates=14).wiener_index
+        outcome = solve_exact(g, q)
+        assert outcome.optimal
+        assert outcome.upper_bound == expected
+        assert outcome.lower_bound == expected
+        assert outcome.gap == 0.0
+
+    def test_figure2(self):
+        outcome = solve_exact(figure2_gadget(10), list(range(1, 11)))
+        assert outcome.optimal
+        assert outcome.upper_bound == 142
+        assert outcome.result.nodes >= {"r1", "r2"}
+
+    def test_result_is_connector(self):
+        g = random_connected_graph(20, 0.2, 3)
+        q = sorted(g.nodes())[:4]
+        outcome = solve_exact(g, q)
+        from repro.graphs.components import nodes_connect
+
+        assert nodes_connect(g, outcome.result.nodes)
+        assert set(q) <= set(outcome.result.nodes)
+
+    def test_budget_exhaustion_gives_valid_interval(self):
+        g = random_connected_graph(30, 0.15, 4)
+        q = sorted(g.nodes())[:6]
+        tight = solve_exact(g, q, node_budget=3)
+        assert tight.lower_bound <= tight.upper_bound
+        full = solve_exact(g, q, node_budget=500_000)
+        if full.optimal:
+            assert tight.lower_bound <= full.upper_bound <= tight.upper_bound
+
+    def test_time_budget(self):
+        g = random_connected_graph(40, 0.12, 5)
+        q = sorted(g.nodes())[:8]
+        outcome = solve_exact(g, q, time_budget_seconds=0.05)
+        assert outcome.lower_bound <= outcome.upper_bound
+        assert outcome.runtime_seconds < 10
+
+    def test_never_worse_than_warm_start(self):
+        for seed in range(4):
+            g = random_connected_graph(25, 0.15, seed + 770)
+            q = sorted(g.nodes())[:4]
+            ws = wiener_steiner(g, q)
+            outcome = solve_exact(g, q, initial=ws, node_budget=10)
+            assert outcome.upper_bound <= ws.wiener_index
+
+    def test_empty_query_raises(self, triangle):
+        with pytest.raises(InvalidQueryError):
+            solve_exact(triangle, [])
+
+    def test_strengthen_modes_agree(self):
+        g = random_connected_graph(16, 0.2, 6)
+        q = sorted(g.nodes())[:3]
+        on = solve_exact(g, q, strengthen=True)
+        off = solve_exact(g, q, strengthen=False)
+        assert on.upper_bound == off.upper_bound
+
+
+class TestLP:
+    def test_lower_bounds_optimum(self):
+        for seed in range(4):
+            g = random_connected_graph(14, 0.25, seed + 780)
+            rng = random.Random(seed)
+            q = rng.sample(sorted(g.nodes()), 3)
+            lp = flow_lp_lower_bound(g, q)
+            optimum = brute_force(g, q, max_candidates=14).wiener_index
+            assert lp.status == "optimal"
+            assert lp.value <= optimum + 1e-6
+
+    def test_at_least_query_pair_bound(self):
+        g = random_connected_graph(14, 0.25, 8)
+        q = sorted(g.nodes())[:3]
+        maps = query_distance_maps(g, q)
+        base = query_pair_bound(q, maps)
+        lp = flow_lp_lower_bound(g, q, extended_pairs=False)
+        assert lp.value == pytest.approx(base, abs=1e-6)
+
+    def test_extended_pairs_not_weaker(self):
+        g = random_connected_graph(12, 0.3, 9)
+        q = sorted(g.nodes())[:3]
+        plain = flow_lp_lower_bound(g, q, extended_pairs=False)
+        extended = flow_lp_lower_bound(g, q, extended_pairs=True)
+        assert extended.value >= plain.value - 1e-6
+
+    def test_size_guard(self):
+        g = random_connected_graph(200, 0.05, 10)
+        with pytest.raises(ReproError):
+            flow_lp_lower_bound(g, sorted(g.nodes())[:30])
+
+    def test_empty_query_raises(self, triangle):
+        with pytest.raises(InvalidQueryError):
+            flow_lp_lower_bound(triangle, [])
+
+    def test_unknown_query_raises(self, triangle):
+        with pytest.raises(InvalidQueryError):
+            flow_lp_lower_bound(triangle, [99])
+
+    def test_exact_on_single_pair(self):
+        g = path_graph(5)
+        lp = flow_lp_lower_bound(g, [0, 4], extended_pairs=False)
+        assert lp.value == pytest.approx(4.0, abs=1e-6)

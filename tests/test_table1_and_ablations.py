@@ -1,0 +1,69 @@
+"""Tests for the Table-1 summary experiment and the ablation study."""
+
+from repro.experiments import ablations, table1
+
+
+class TestTable1:
+    def test_reduced_run(self):
+        rows = table1.run(datasets=("football", "jazz"))
+        assert [row.summary.name for row in rows] == ["football", "jazz"]
+        for row in rows:
+            assert row.summary.num_nodes > 0
+            assert row.paper_nodes > 0
+        # football is full size, so not scaled.
+        assert rows[0].scaled is False
+
+    def test_scaled_marker(self):
+        rows = table1.run(datasets=("oregon",))
+        assert rows[0].scaled is True
+        rendered = table1.render(rows)
+        assert "oregon*" in rendered
+
+    def test_render_contains_paper_columns(self):
+        rows = table1.run(datasets=("football",))
+        rendered = table1.render(rows)
+        assert "paper |V|" in rendered
+        assert "115" in rendered
+
+
+class TestAblations:
+    def test_reduced_run(self):
+        rows = ablations.run(
+            dataset="football", query_size=4, avg_distance=2.0,
+            runs=1, include_all_roots=False,
+        )
+        knobs = {row.knob for row in rows}
+        assert knobs == {"baseline", "beta", "adjust", "selection"}
+        baseline = next(row for row in rows if row.knob == "baseline")
+        assert baseline.wiener > 0
+        assert baseline.seconds > 0
+
+    def test_finer_beta_not_worse(self):
+        rows = ablations.run(
+            dataset="football", query_size=4, avg_distance=2.0,
+            runs=2, include_all_roots=False,
+        )
+        by_setting = {(row.knob, row.setting): row for row in rows}
+        fine = by_setting[("beta", "0.25")]
+        coarse = by_setting[("beta", "2.0")]
+        assert fine.wiener <= coarse.wiener + 1e-9
+
+    def test_exact_selection_not_worse_than_proxy(self):
+        rows = ablations.run(
+            dataset="football", query_size=4, avg_distance=2.0,
+            runs=2, include_all_roots=False,
+        )
+        by_setting = {(row.knob, row.setting): row for row in rows}
+        assert (
+            by_setting[("selection", "exact-W")].wiener
+            <= by_setting[("selection", "A-proxy")].wiener + 1e-9
+        )
+
+    def test_render(self):
+        rows = ablations.run(
+            dataset="football", query_size=3, avg_distance=2.0,
+            runs=1, include_all_roots=False,
+        )
+        rendered = ablations.render(rows)
+        assert "Ablations" in rendered
+        assert "baseline" in rendered

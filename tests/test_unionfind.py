@@ -1,0 +1,82 @@
+"""Tests (incl. property-based) for the disjoint-set forest."""
+
+import random
+
+from hypothesis import given, strategies as st
+
+from repro.graphs.unionfind import UnionFind
+
+
+class TestUnionFindBasics:
+    def test_singletons(self):
+        uf = UnionFind([1, 2, 3])
+        assert uf.num_sets == 3
+        assert not uf.connected(1, 2)
+
+    def test_union_reduces_sets(self):
+        uf = UnionFind([1, 2, 3])
+        assert uf.union(1, 2)
+        assert uf.num_sets == 2
+        assert uf.connected(1, 2)
+
+    def test_union_idempotent(self):
+        uf = UnionFind()
+        assert uf.union("a", "b")
+        assert not uf.union("a", "b")
+        assert uf.num_sets == 1
+
+    def test_lazy_element_creation(self):
+        uf = UnionFind()
+        assert uf.find("x") == "x"
+        assert "x" in uf
+        assert len(uf) == 1
+
+    def test_transitive(self):
+        uf = UnionFind()
+        uf.union(1, 2)
+        uf.union(2, 3)
+        uf.union(4, 5)
+        assert uf.connected(1, 3)
+        assert not uf.connected(1, 4)
+
+    def test_sets_materialization(self):
+        uf = UnionFind(range(4))
+        uf.union(0, 1)
+        partition = sorted(sorted(s) for s in uf.sets())
+        assert partition == [[0, 1], [2], [3]]
+
+
+class TestUnionFindProperties:
+    @given(st.lists(st.tuples(st.integers(0, 30), st.integers(0, 30)), max_size=80))
+    def test_matches_naive_partition(self, unions):
+        """UF connectivity must equal a naive set-merging implementation."""
+        uf = UnionFind()
+        naive: list[set[int]] = [{i} for i in range(31)]
+
+        def naive_find(x: int) -> set[int]:
+            for group in naive:
+                if x in group:
+                    return group
+            raise AssertionError
+
+        for a, b in unions:
+            uf.union(a, b)
+            ga, gb = naive_find(a), naive_find(b)
+            if ga is not gb:
+                ga |= gb
+                naive.remove(gb)
+        for a in range(31):
+            for b in range(a + 1, 31):
+                assert uf.connected(a, b) == (naive_find(a) is naive_find(b))
+
+    @given(st.integers(2, 200), st.integers(0, 10_000))
+    def test_num_sets_invariant(self, n, seed):
+        """num_sets = elements - successful unions, always."""
+        rng = random.Random(seed)
+        uf = UnionFind(range(n))
+        successes = 0
+        for _ in range(n * 2):
+            a, b = rng.randrange(n), rng.randrange(n)
+            if a != b and uf.union(a, b):
+                successes += 1
+        assert uf.num_sets == n - successes

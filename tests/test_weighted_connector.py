@@ -1,0 +1,126 @@
+"""Tests for the weighted-graph extension of the algorithm."""
+
+import math
+import random
+
+import pytest
+
+from repro.errors import DisconnectedGraphError, InvalidQueryError
+from repro.core.weighted import (
+    brute_force_weighted,
+    induced_weighted_subgraph,
+    weighted_wiener_index,
+    wiener_steiner_weighted,
+)
+from repro.core.wiener_steiner import wiener_steiner
+from repro.graphs.generators import connectify, erdos_renyi
+from repro.graphs.graph import Graph, WeightedGraph
+
+
+def random_weighted(n: int, seed: int, weights=(1.0, 2.0, 3.0)) -> WeightedGraph:
+    rng = random.Random(seed)
+    plain = connectify(erdos_renyi(n, 0.25, rng=rng), rng=rng)
+    weighted = WeightedGraph()
+    for node in plain.nodes():
+        weighted.add_node(node)
+    for u, v in plain.edges():
+        weighted.add_edge(u, v, rng.choice(weights))
+    return weighted
+
+
+class TestWeightedWiener:
+    def test_unit_weights_match_unweighted(self):
+        from repro.graphs.wiener import wiener_index
+
+        g = random_weighted(15, 1, weights=(1.0,))
+        plain = g.unweighted()
+        assert weighted_wiener_index(g) == wiener_index(plain)
+
+    def test_triangle_with_heavy_edge(self):
+        g = WeightedGraph([(0, 1, 1.0), (1, 2, 1.0), (0, 2, 5.0)])
+        # d(0,1)=1, d(1,2)=1, d(0,2)=2 via vertex 1.
+        assert weighted_wiener_index(g) == 4.0
+
+    def test_disconnected_infinite(self):
+        g = WeightedGraph([(0, 1, 1.0)])
+        g.add_node(2)
+        assert weighted_wiener_index(g) == math.inf
+
+    def test_tiny(self):
+        assert weighted_wiener_index(WeightedGraph()) == 0.0
+
+
+class TestInducedSubgraph:
+    def test_carries_weights(self):
+        g = WeightedGraph([(0, 1, 2.5), (1, 2, 1.0)])
+        sub = induced_weighted_subgraph(g, [0, 1])
+        assert sub.num_edges == 1
+        assert sub.weight(0, 1) == 2.5
+
+
+class TestWienerSteinerWeighted:
+    def test_contract(self):
+        g = random_weighted(25, 2)
+        query = sorted(g.nodes())[:4]
+        result = wiener_steiner_weighted(g, query)
+        assert set(query) <= set(result.nodes)
+        assert result.wiener_index() < math.inf
+
+    def test_single_vertex(self):
+        g = random_weighted(10, 3)
+        only = next(iter(g.nodes()))
+        result = wiener_steiner_weighted(g, [only])
+        assert result.nodes == frozenset([only])
+
+    def test_empty_query_raises(self):
+        with pytest.raises(InvalidQueryError):
+            wiener_steiner_weighted(random_weighted(8, 4), [])
+
+    def test_unknown_vertex_raises(self):
+        with pytest.raises(InvalidQueryError):
+            wiener_steiner_weighted(random_weighted(8, 5), [999])
+
+    def test_disconnected_raises(self):
+        g = WeightedGraph([(0, 1, 1.0), (2, 3, 1.0)])
+        with pytest.raises(DisconnectedGraphError):
+            wiener_steiner_weighted(g, [0, 3])
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_close_to_weighted_optimum(self, seed):
+        g = random_weighted(12, seed + 100)
+        rng = random.Random(seed)
+        query = rng.sample(sorted(g.nodes()), 3)
+        optimum = brute_force_weighted(g, query, max_candidates=12)
+        approx = wiener_steiner_weighted(g, query)
+        opt_value = optimum.metadata["optimum"]
+        assert opt_value <= approx.wiener_index() + 1e-9
+        assert approx.wiener_index() <= 3 * opt_value + 1e-9
+
+    def test_unit_weights_agree_with_unweighted_pipeline(self):
+        g = random_weighted(20, 6, weights=(1.0,))
+        plain = g.unweighted()
+        query = sorted(g.nodes())[:4]
+        weighted_result = wiener_steiner_weighted(g, query)
+        plain_result = wiener_steiner(plain, query, selection="wiener")
+        # Same algorithm family; objectives should match closely (the λ
+        # grids differ slightly, so allow the better of the two to win).
+        assert weighted_result.wiener_index() <= plain_result.wiener_index * 1.5 + 1e-9
+
+    def test_heavy_shortcut_avoided(self):
+        # Path 0-1-2 (weight 1 each) vs direct edge 0-2 of weight 10:
+        # the connector for {0, 2} should include vertex 1.
+        g = WeightedGraph([(0, 1, 1.0), (1, 2, 1.0), (0, 2, 10.0)])
+        result = wiener_steiner_weighted(g, [0, 2])
+        assert 1 in result.nodes
+
+
+class TestBruteForceWeighted:
+    def test_pool_guard(self):
+        g = random_weighted(25, 7)
+        with pytest.raises(InvalidQueryError):
+            brute_force_weighted(g, sorted(g.nodes())[:2], max_candidates=5)
+
+    def test_known_instance(self):
+        g = WeightedGraph([(0, 1, 1.0), (1, 2, 1.0), (0, 2, 10.0)])
+        result = brute_force_weighted(g, [0, 2])
+        assert result.nodes == frozenset([0, 1, 2])

@@ -1,0 +1,117 @@
+"""Tests for Wiener index computation, vs closed forms and networkx."""
+
+import math
+import random
+
+import pytest
+
+from conftest import random_connected_graph, to_networkx
+from repro.graphs.graph import Graph
+from repro.graphs.generators import complete_graph, cycle_graph, path_graph, star_graph
+from repro.graphs.wiener import (
+    average_distance,
+    distance_sum_lower_bound,
+    rooted_distance_sum,
+    wiener_index,
+    wiener_index_of_subset,
+    wiener_index_sampled,
+)
+
+
+class TestWienerClosedForms:
+    @pytest.mark.parametrize("n", [2, 3, 5, 10])
+    def test_path(self, n):
+        # W(P_n) = C(n+1, 3) = n(n²-1)/6.
+        assert wiener_index(path_graph(n)) == n * (n * n - 1) / 6
+
+    @pytest.mark.parametrize("n", [2, 4, 7])
+    def test_complete(self, n):
+        assert wiener_index(complete_graph(n)) == n * (n - 1) / 2
+
+    @pytest.mark.parametrize("n", [3, 5, 8])
+    def test_star(self, n):
+        # Hub at distance 1 from n leaves; leaves pairwise at distance 2.
+        assert wiener_index(star_graph(n)) == n + 2 * (n * (n - 1) / 2)
+
+    @pytest.mark.parametrize("n,expected", [(4, 8), (5, 15), (6, 27)])
+    def test_cycle(self, n, expected):
+        # W(C_n) = n³/8 for even n, n(n²-1)/8 for odd n.
+        assert wiener_index(cycle_graph(n)) == expected
+
+    def test_tiny_graphs(self):
+        assert wiener_index(Graph()) == 0.0
+        assert wiener_index(Graph(nodes=[1])) == 0.0
+        assert wiener_index(Graph([(1, 2)])) == 1.0
+
+    def test_disconnected_infinite(self):
+        assert wiener_index(Graph([(0, 1)], nodes=[2])) == math.inf
+
+
+class TestWienerVsNetworkx:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_random_graphs(self, seed):
+        import networkx as nx
+
+        g = random_connected_graph(40, 0.12, seed + 500)
+        assert wiener_index(g) == pytest.approx(nx.wiener_index(to_networkx(g)))
+
+
+class TestRootedSum:
+    def test_path_endpoint(self):
+        assert rooted_distance_sum(path_graph(5), 0) == 0 + 1 + 2 + 3 + 4
+
+    def test_star_hub_vs_leaf(self):
+        g = star_graph(5)
+        assert rooted_distance_sum(g, 0) == 5
+        assert rooted_distance_sum(g, 1) == 1 + 2 * 4
+
+    def test_disconnected_infinite(self):
+        assert rooted_distance_sum(Graph([(0, 1)], nodes=[2]), 0) == math.inf
+
+
+class TestAverageDistance:
+    def test_matches_definition(self):
+        g = path_graph(4)
+        n = g.num_nodes
+        assert average_distance(g) == wiener_index(g) / (n * (n - 1) / 2)
+
+    def test_single_node(self):
+        assert average_distance(Graph(nodes=[1])) == 0.0
+
+
+class TestSampledWiener:
+    def test_exact_when_sample_covers(self):
+        g = path_graph(8)
+        assert wiener_index_sampled(g, num_sources=8) == wiener_index(g)
+
+    def test_estimate_close(self):
+        g = random_connected_graph(120, 0.06, 9)
+        exact = wiener_index(g)
+        estimate = wiener_index_sampled(g, 60, rng=random.Random(1))
+        assert estimate == pytest.approx(exact, rel=0.25)
+
+    def test_disconnected_infinite(self):
+        g = Graph([(0, 1)], nodes=[2])
+        assert wiener_index_sampled(g, 3) == math.inf
+
+
+class TestSubsetAndBound:
+    def test_subset_equals_subgraph(self, two_triangles_bridge):
+        nodes = [0, 1, 2]
+        expected = wiener_index(two_triangles_bridge.subgraph(nodes))
+        assert wiener_index_of_subset(two_triangles_bridge, nodes) == expected
+
+    def test_lower_bound_is_lower(self):
+        for seed in range(4):
+            g = random_connected_graph(25, 0.15, seed + 900)
+            rng = random.Random(seed)
+            nodes = rng.sample(sorted(g.nodes()), 5)
+            bound = distance_sum_lower_bound(g, nodes)
+            # Any connector containing `nodes` has at least this Wiener index;
+            # in particular the full graph restricted to any connected superset.
+            actual = wiener_index(g.subgraph(g.nodes()))
+            assert bound <= actual + 1e-9
+
+    def test_lower_bound_disconnected(self):
+        g = Graph([(0, 1)], nodes=[2])
+        assert distance_sum_lower_bound(g, [0, 2]) == math.inf

@@ -1,0 +1,156 @@
+"""Tests for the WienerSteiner approximation algorithm (Algorithm 1)."""
+
+import random
+
+import pytest
+
+from conftest import random_connected_graph
+from repro.errors import DisconnectedGraphError, InvalidQueryError
+from repro.core.exact import brute_force
+from repro.core.wiener_steiner import (
+    _lambda_grid,
+    minimum_wiener_connector,
+    wiener_steiner,
+)
+from repro.graphs.components import nodes_connect
+from repro.graphs.generators import figure2_gadget, path_graph, star_graph
+from repro.graphs.graph import Graph
+
+
+class TestBasicContracts:
+    def test_solution_is_connector(self):
+        for seed in range(6):
+            g = random_connected_graph(40, 0.1, seed + 600)
+            rng = random.Random(seed)
+            query = rng.sample(sorted(g.nodes()), 4)
+            result = wiener_steiner(g, query)
+            assert set(query) <= set(result.nodes)
+            assert nodes_connect(g, result.nodes)
+            assert result.wiener_index < float("inf")
+
+    def test_single_query_vertex(self, path5):
+        result = wiener_steiner(path5, [3])
+        assert result.nodes == frozenset([3])
+        assert result.wiener_index == 0.0
+
+    def test_query_pair_gets_shortest_path(self):
+        g = path_graph(7)
+        result = wiener_steiner(g, [0, 6])
+        assert result.nodes == frozenset(range(7))
+
+    def test_alias(self):
+        assert minimum_wiener_connector is wiener_steiner
+
+    def test_empty_query_raises(self, path5):
+        with pytest.raises(InvalidQueryError):
+            wiener_steiner(path5, [])
+
+    def test_unknown_vertex_raises(self, path5):
+        with pytest.raises(InvalidQueryError):
+            wiener_steiner(path5, [0, 99])
+
+    def test_disconnected_query_raises(self):
+        g = Graph([(0, 1), (2, 3)])
+        with pytest.raises(DisconnectedGraphError):
+            wiener_steiner(g, [0, 3])
+
+    def test_metadata_populated(self):
+        g = star_graph(6)
+        result = wiener_steiner(g, [1, 2, 3])
+        assert result.method == "ws-q"
+        assert result.metadata["candidates"] >= 1
+        assert result.metadata["root"] in {1, 2, 3}
+        assert result.metadata["runtime_seconds"] >= 0
+
+
+class TestQuality:
+    def test_star_query_adds_hub(self):
+        g = star_graph(8)
+        result = wiener_steiner(g, [1, 2, 3, 4])
+        assert 0 in result.nodes
+        assert result.size == 5
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_close_to_optimum_on_small_graphs(self, seed):
+        g = random_connected_graph(15, 0.22, seed + 610)
+        rng = random.Random(seed)
+        query = rng.sample(sorted(g.nodes()), 4)
+        optimum = brute_force(g, query, max_candidates=15).wiener_index
+        approx = wiener_steiner(g, query).wiener_index
+        assert optimum <= approx
+        # Theorem 4 guarantees O(1); empirically we stay well under 2x.
+        assert approx <= 2 * optimum + 1e-9
+
+    def test_figure2_within_constant(self):
+        g = figure2_gadget(10)
+        result = wiener_steiner(g, list(range(1, 11)))
+        assert result.wiener_index <= 151  # optimum is 142
+
+    def test_smaller_beta_never_worse(self):
+        g = random_connected_graph(30, 0.12, 777)
+        query = sorted(g.nodes())[:5]
+        coarse = wiener_steiner(g, query, beta=4.0).wiener_index
+        fine = wiener_steiner(g, query, beta=0.25).wiener_index
+        assert fine <= coarse + 1e-9
+
+
+class TestKnobs:
+    def test_lambda_grid_covers_range(self):
+        import math
+
+        grid = _lambda_grid(100, beta=1.0)
+        assert grid[0] == pytest.approx(1 / math.sqrt(2))
+        assert grid[-1] == pytest.approx(10.0)
+        assert all(a < b for a, b in zip(grid, grid[1:]))
+
+    def test_lambda_grid_invalid_beta(self):
+        with pytest.raises(ValueError):
+            _lambda_grid(10, beta=0.0)
+
+    def test_explicit_lambda_values(self, two_triangles_bridge):
+        result = wiener_steiner(
+            two_triangles_bridge, [0, 4], lambda_values=[1.0]
+        )
+        assert nodes_connect(two_triangles_bridge, result.nodes)
+
+    def test_selection_policies_agree_on_validity(self):
+        g = random_connected_graph(25, 0.15, 55)
+        query = sorted(g.nodes())[:4]
+        for policy in ("a", "wiener", "auto"):
+            result = wiener_steiner(g, query, selection=policy)
+            assert nodes_connect(g, result.nodes)
+
+    def test_selection_wiener_not_worse(self):
+        for seed in range(4):
+            g = random_connected_graph(25, 0.15, seed + 630)
+            query = sorted(g.nodes())[:4]
+            exact = wiener_steiner(g, query, selection="wiener").wiener_index
+            proxy = wiener_steiner(g, query, selection="a").wiener_index
+            assert exact <= proxy + 1e-9
+
+    def test_invalid_selection_policy(self, path5):
+        with pytest.raises(ValueError):
+            wiener_steiner(path5, [0, 4], selection="bogus")
+
+    def test_adjust_off_still_valid(self):
+        g = random_connected_graph(30, 0.12, 88)
+        query = sorted(g.nodes())[:4]
+        result = wiener_steiner(g, query, adjust=False)
+        assert nodes_connect(g, result.nodes)
+
+    def test_custom_roots(self):
+        g = star_graph(6)
+        result = wiener_steiner(g, [1, 2], roots=[0])
+        assert nodes_connect(g, result.nodes)
+        assert result.metadata["root"] == 0
+
+    def test_empty_roots_raises(self, path5):
+        with pytest.raises(InvalidQueryError):
+            wiener_steiner(path5, [0, 4], roots=[])
+
+    def test_all_roots_not_worse_than_query_roots(self):
+        g = random_connected_graph(20, 0.2, 99)
+        query = sorted(g.nodes())[:3]
+        restricted = wiener_steiner(g, query).wiener_index
+        unrestricted = wiener_steiner(g, query, roots=list(g.nodes())).wiener_index
+        assert unrestricted <= restricted + 1e-9

@@ -1,0 +1,128 @@
+"""Tests for query workload generators."""
+
+import random
+
+import pytest
+
+from conftest import random_connected_graph
+from repro.errors import InvalidQueryError
+from repro.communities import make_community_graph
+from repro.workloads import (
+    average_pairwise_distance,
+    community_workload,
+    different_communities_query,
+    query_with_distance,
+    random_query,
+    same_community_query,
+    workload,
+)
+from repro.graphs.generators import path_graph
+
+
+class TestRandomQuery:
+    def test_size_and_distinct(self):
+        g = random_connected_graph(50, 0.1, 0)
+        q = random_query(g, 7, random.Random(0))
+        assert len(q) == len(set(q)) == 7
+        assert all(g.has_node(v) for v in q)
+
+    def test_invalid_size(self, triangle):
+        with pytest.raises(InvalidQueryError):
+            random_query(triangle, 0)
+        with pytest.raises(InvalidQueryError):
+            random_query(triangle, 4)
+
+
+class TestAveragePairwiseDistance:
+    def test_path(self):
+        g = path_graph(5)
+        assert average_pairwise_distance(g, [0, 4]) == 4.0
+        assert average_pairwise_distance(g, [0, 2, 4]) == (2 + 4 + 2) / 3
+
+    def test_single_node(self, triangle):
+        assert average_pairwise_distance(triangle, [0]) == 0.0
+
+    def test_disconnected_infinite(self):
+        from repro.graphs.graph import Graph
+
+        g = Graph([(0, 1)], nodes=[2])
+        assert average_pairwise_distance(g, [0, 2]) == float("inf")
+
+
+class TestDistanceControlledQuery:
+    @pytest.mark.parametrize("target", [2.0, 4.0])
+    def test_hits_target(self, target):
+        g = random_connected_graph(400, 0.015, 1)
+        q = query_with_distance(g, 8, target, rng=random.Random(2))
+        achieved = average_pairwise_distance(g, q)
+        assert achieved == pytest.approx(target, abs=1.0)
+
+    def test_size_one(self):
+        g = random_connected_graph(30, 0.2, 2)
+        assert len(query_with_distance(g, 1, 3.0, rng=random.Random(0))) == 1
+
+    def test_invalid_size(self, triangle):
+        with pytest.raises(InvalidQueryError):
+            query_with_distance(triangle, 9, 2.0)
+
+    def test_distinct_vertices(self):
+        g = random_connected_graph(100, 0.05, 3)
+        q = query_with_distance(g, 10, 3.0, rng=random.Random(4))
+        assert len(set(q)) == 10
+
+
+class TestWorkload:
+    def test_shape(self):
+        g = random_connected_graph(60, 0.1, 5)
+        queries = workload(g, sizes=[3, 5], queries_per_size=4, seed=1)
+        assert len(queries) == 8
+        assert sorted({len(q) for q in queries}) == [3, 5]
+
+    def test_deterministic(self):
+        g = random_connected_graph(60, 0.1, 5)
+        a = workload(g, sizes=[3], queries_per_size=3, seed=9)
+        b = workload(g, sizes=[3], queries_per_size=3, seed=9)
+        assert a == b
+
+
+class TestCommunityWorkloads:
+    @pytest.fixture(scope="class")
+    def data(self):
+        return make_community_graph(
+            "toy", [40, 40, 40, 40], p_in=0.3, p_out=0.01, seed=11
+        )
+
+    def test_same_community(self, data):
+        rng = random.Random(0)
+        for _ in range(5):
+            q = same_community_query(data, 5, rng)
+            assert len(data.communities_of(q)) == 1
+
+    def test_different_communities(self, data):
+        rng = random.Random(1)
+        for _ in range(5):
+            q = different_communities_query(data, 4, rng)
+            assert len(data.communities_of(q)) == 4
+
+    def test_dc_too_many_communities(self, data):
+        with pytest.raises(InvalidQueryError):
+            different_communities_query(data, 9, random.Random(2))
+
+    def test_sc_respects_min_size(self, data):
+        q = same_community_query(data, 3, random.Random(3), min_community_size=40)
+        assert len(data.communities_of(q)) == 1
+
+    def test_workload_shape(self, data):
+        queries = community_workload(
+            data, "sc", sizes=(3, 4), queries_per_size=5, seed=4
+        )
+        assert len(queries) == 10
+
+    def test_workload_flavor_guard(self, data):
+        with pytest.raises(InvalidQueryError):
+            community_workload(data, "xx")
+
+    def test_workload_deterministic(self, data):
+        a = community_workload(data, "dc", sizes=(3,), queries_per_size=4, seed=8)
+        b = community_workload(data, "dc", sizes=(3,), queries_per_size=4, seed=8)
+        assert a == b
