@@ -19,12 +19,15 @@ from repro.core.objectives import (
     wiener_of_nodes,
 )
 from repro.core.result import ConnectorResult
+from repro.core.fastpath import CSRWienerSteinerEngine, mehlhorn_steiner_csr
 from repro.core.steiner import (
     mehlhorn_steiner_tree,
     minimum_spanning_tree,
     prune_steiner_leaves,
+    steiner_tree_from_voronoi,
     steiner_tree_unweighted,
     tree_total_weight,
+    voronoi_dijkstra_canonical,
 )
 from repro.core.parallel import parallel_wiener_steiner
 from repro.core.weighted import (
@@ -33,6 +36,7 @@ from repro.core.weighted import (
     wiener_steiner_weighted,
 )
 from repro.core.wiener_steiner import (
+    CSR_AUTO_THRESHOLD,
     EXACT_SCORING_THRESHOLD,
     minimum_wiener_connector,
     wiener_steiner,
@@ -54,11 +58,16 @@ __all__ = [
     "weak_a_objective",
     "wiener_of_nodes",
     "ConnectorResult",
+    "CSRWienerSteinerEngine",
+    "mehlhorn_steiner_csr",
     "mehlhorn_steiner_tree",
     "minimum_spanning_tree",
     "prune_steiner_leaves",
+    "steiner_tree_from_voronoi",
     "steiner_tree_unweighted",
     "tree_total_weight",
+    "voronoi_dijkstra_canonical",
+    "CSR_AUTO_THRESHOLD",
     "EXACT_SCORING_THRESHOLD",
     "minimum_wiener_connector",
     "parallel_wiener_steiner",

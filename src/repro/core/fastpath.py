@@ -1,0 +1,466 @@
+"""CSR fast path for WienerSteiner — the array backend of Algorithm 1.
+
+The seed implementation rebuilt a hashable-node ``WeightedGraph`` for every
+``(root, λ)`` Steiner instance and ran every traversal as dict/deque BFS.
+This module keeps a single :class:`~repro.graphs.csr.CSRGraph` for the
+whole sweep and replaces each inner loop with array operations:
+
+* line 1 of Algorithm 1 (one BFS per candidate root) uses the vectorized
+  frontier BFS of :meth:`CSRGraph.bfs_tree`, cached per root;
+* the Lemma-4 reweighting ``w(u,v) = λ + max(d_r(u), d_r(v))/λ`` becomes a
+  single vectorized expression over a per-root ``max(d_r[u], d_r[v])`` arc
+  array — one numpy line per λ instead of ``O(|E|)`` dict inserts per
+  ``(root, λ)`` pair;
+* Mehlhorn phase 1 (:func:`mehlhorn_steiner_csr`) runs an array-heap
+  multi-source Dijkstra directly over ``(indptr, indices, weights)`` and
+  reduces the crossing-edge candidates with one ``lexsort``;
+* candidate scoring reuses the CSR structure through
+  :meth:`CSRGraph.induced` index masks instead of ``graph.subgraph``
+  rebuilds.
+
+Tie-breaking everywhere is by the relabeled integer index — the same
+canonical rule the dict backend applies through its order map — and phases
+2–3 of Mehlhorn are literally shared code
+(:func:`repro.core.steiner.steiner_tree_from_voronoi`), so
+``backend="csr"`` returns the *same connector* as ``backend="dict"``, just
+one to two orders of magnitude faster on large graphs.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from collections.abc import Iterable
+
+from repro.core.adjust import adjust_distances
+from repro.core.steiner import steiner_tree_from_voronoi
+from repro.graphs.csr import (
+    HAS_NUMPY,
+    CSRGraph,
+    np,
+    scipy_csr_matrix as _scipy_csr_matrix,
+    scipy_dijkstra as _scipy_dijkstra,
+)
+from repro.graphs.graph import Graph, Node, WeightedGraph
+
+__all__ = [
+    "CSRWienerSteinerEngine",
+    "dijkstra_distances_csr",
+    "mehlhorn_steiner_csr",
+    "voronoi_dijkstra_csr",
+]
+
+
+def voronoi_dijkstra_csr(
+    indptr: list[int],
+    indices: list[int],
+    weights: list[float],
+    num_nodes: int,
+    source_indices: Iterable[int],
+) -> tuple[list[float], list[int], list[int]]:
+    """Array-heap multi-source Dijkstra (Mehlhorn phase 1) on flat CSR lists.
+
+    Plain Python lists beat numpy arrays here: the heap loop does scalar
+    indexing, where ndarray ``__getitem__`` overhead dominates.  Heap keys
+    are ``(dist, source_idx, node_idx, parent_idx)`` — identical to
+    :func:`repro.core.steiner.voronoi_dijkstra_canonical`, so both backends
+    settle every node with the same distance, source, and parent.
+    """
+    inf = math.inf
+    n = num_nodes
+    dist = [inf] * n
+    parent = [-1] * n
+    closest = [-1] * n
+    best = [inf] * n
+    settled = bytearray(n)
+    # Heap entries are (dist, packed) with packed = (s*n + v)*(n+1) + (p+1):
+    # ordering by packed equals ordering by (s, v, p), so pops happen in the
+    # exact (dist, source, node, parent) order of the dict twin while tuple
+    # construction and comparison stay cheap in the hot loop.
+    base = n + 1
+    heap: list[tuple[float, int]] = []
+    for source_idx in sorted(set(source_indices)):
+        best[source_idx] = 0.0
+        heap.append((0.0, (source_idx * n + source_idx) * base))
+    heapq.heapify(heap)
+    push = heapq.heappush
+    pop = heapq.heappop
+    while heap:
+        d, packed = pop(heap)
+        rest = packed // base
+        u_idx = rest % n
+        if settled[u_idx]:
+            continue
+        settled[u_idx] = 1
+        dist[u_idx] = d
+        source_base = rest - u_idx  # == s * n
+        closest[u_idx] = source_base // n
+        parent[u_idx] = packed % base - 1
+        u_tag = u_idx + 1
+        lo = indptr[u_idx]
+        hi = indptr[u_idx + 1]
+        for v_idx, weight in zip(indices[lo:hi], weights[lo:hi]):
+            if settled[v_idx]:
+                continue
+            candidate = d + weight
+            if candidate < best[v_idx]:
+                best[v_idx] = candidate
+                push(heap, (candidate, (source_base + v_idx) * base + u_tag))
+    return dist, parent, closest
+
+
+def _voronoi_phase(
+    csr: CSRGraph,
+    weights,
+    terminals: list[int],
+    indptr_list: list[int] | None = None,
+    indices_list: list[int] | None = None,
+):
+    """Mehlhorn phase 1, fastest available route.
+
+    For strictly positive weights (every ``G_{r,λ}`` instance qualifies:
+    ``w ≥ λ > 0``), only the *distances* need a Dijkstra — the canonical
+    ``(parent, closest)`` are a pure function of the distance array
+    (:func:`_voronoi_from_distances`).  Distances come from scipy's C
+    Dijkstra when available, else the Python array-heap; both give the
+    same bits, because the float min-plus fixpoint is unique for
+    non-negative weights.  Zero weights fall back to the canonical
+    settle-order heap (:func:`voronoi_dijkstra_csr`), matching the dict
+    backend's branch exactly.
+    """
+    positive = bool(len(weights)) and float(weights.min()) > 0.0
+    if positive and _scipy_dijkstra is not None:
+        n = csr.num_nodes
+        matrix = _scipy_csr_matrix(
+            (weights, csr.indices, csr.indptr), shape=(n, n)
+        )
+        dist_arr = _scipy_dijkstra(
+            matrix, directed=True, indices=terminals, min_only=True
+        )
+        parent, closest = _voronoi_from_distances(csr, weights, dist_arr, terminals)
+        return dist_arr, parent, closest
+    if indptr_list is None:
+        indptr_list = csr.indptr.tolist()
+    if indices_list is None:
+        indices_list = csr.indices.tolist()
+    if not positive:
+        return voronoi_dijkstra_csr(
+            indptr_list, indices_list, weights.tolist(), csr.num_nodes, terminals
+        )
+    dist = dijkstra_distances_csr(
+        indptr_list, indices_list, weights.tolist(), csr.num_nodes, terminals
+    )
+    dist_arr = np.asarray(dist, dtype=np.float64)
+    parent, closest = _voronoi_from_distances(csr, weights, dist_arr, terminals)
+    return dist_arr, parent, closest
+
+
+def dijkstra_distances_csr(
+    indptr: list[int],
+    indices: list[int],
+    weights: list[float],
+    num_nodes: int,
+    source_indices: Iterable[int],
+) -> list[float]:
+    """Distance-only multi-source Dijkstra on flat CSR lists.
+
+    The CSR twin of
+    :func:`repro.core.steiner.dijkstra_distances_canonical`: 2-tuple heap
+    entries, no parent/source bookkeeping.  Distances are tie-free, so
+    this returns the same bits as the packed-key loop or scipy — it just
+    does strictly less work per edge when only distances are needed.
+    """
+    inf = math.inf
+    dist = [inf] * num_nodes
+    best = [inf] * num_nodes
+    settled = bytearray(num_nodes)
+    heap: list[tuple[float, int]] = []
+    for source_idx in sorted(set(source_indices)):
+        best[source_idx] = 0.0
+        heap.append((0.0, source_idx))
+    heapq.heapify(heap)
+    push = heapq.heappush
+    pop = heapq.heappop
+    while heap:
+        d, u_idx = pop(heap)
+        if settled[u_idx]:
+            continue
+        settled[u_idx] = 1
+        dist[u_idx] = d
+        lo = indptr[u_idx]
+        hi = indptr[u_idx + 1]
+        for v_idx, weight in zip(indices[lo:hi], weights[lo:hi]):
+            if settled[v_idx]:
+                continue
+            candidate = d + weight
+            if candidate < best[v_idx]:
+                best[v_idx] = candidate
+                push(heap, (candidate, v_idx))
+    return dist
+
+
+def _voronoi_from_distances(
+    csr: CSRGraph, weights, dist_arr, terminals: list[int]
+) -> tuple[list[int], "np.ndarray"]:
+    """The canonical Voronoi forest as a pure function of exact distances.
+
+    A node's parent is the *tight* inbound neighbor — ``dist[u] + w(u, v)
+    == dist[v]``, bit-exact — minimizing ``(dist[u], u)``; ``closest`` is
+    the root of the resulting forest (every root is a source, because
+    strictly positive weights force ``dist[parent] < dist[child]``).  The
+    dict backend applies the same rule edge-by-edge
+    (:func:`repro.core.steiner.canonical_forest_from_distances`), so both
+    backends reconstruct the same forest from the same distances.  Tight
+    arcs number ``O(|V|)`` in practice and everything here is vectorized:
+    one lexsort for parents, pointer-doubling for roots.
+    """
+    src = csr.arc_src
+    dst = csr.indices
+    num_nodes = csr.num_nodes
+    finite = np.isfinite(dist_arr)
+    tight = finite[src] & finite[dst]
+    tight &= dist_arr[src] + weights == dist_arr[dst]
+    tail = src[tight]
+    head = dst[tight]
+    parent = np.full(num_nodes, -1, dtype=np.int64)
+    if tail.size:
+        order = np.lexsort((tail, dist_arr[tail], head))
+        head_sorted = head[order]
+        first = np.ones(head_sorted.size, dtype=bool)
+        first[1:] = head_sorted[1:] != head_sorted[:-1]
+        parent[head_sorted[first]] = tail[order][first]
+    # Sources never have tight inbound arcs (w > 0), but pin them anyway.
+    parent[np.asarray(terminals, dtype=np.int64)] = -1
+    jump = np.where(parent >= 0, parent, np.arange(num_nodes, dtype=np.int64))
+    while True:
+        doubled = jump[jump]
+        if np.array_equal(doubled, jump):
+            break
+        jump = doubled
+    closest = jump
+    closest[~finite] = -1
+    return parent.tolist(), closest
+
+
+def _crossing_candidates(
+    csr: CSRGraph,
+    weights,
+    dist: list[float],
+    closest: list[int],
+    terminals_arr,
+) -> dict[tuple[int, int], tuple[float, int, int]]:
+    """Best crossing edge per terminal pair, via a scatter-min over arcs.
+
+    Matches the dict backend's per-key minimum of
+    ``(length, min endpoint, max endpoint)`` exactly: lengths are always
+    evaluated as ``dist[lo] + w + dist[hi]`` over the ``lo < hi`` arc
+    orientation (bit-identical floats), ``np.minimum.at`` finds the exact
+    minimum length per terminal pair, and length ties fall back to the
+    first matching arc — arcs arrive in CSR order, which *is* ascending
+    ``(lo, hi)``, so the tie-break is the canonical one.
+    """
+    dist_arr = np.asarray(dist, dtype=np.float64)
+    closest_arr = np.asarray(closest, dtype=np.int64)
+    positions, tails, heads = csr.half_arcs
+    half_weights = weights[positions]
+    source_a = closest_arr[tails]
+    source_b = closest_arr[heads]
+    mask = (source_a >= 0) & (source_b >= 0) & (source_a != source_b)
+    mask &= np.isfinite(half_weights)
+    if not bool(mask.any()):
+        return {}
+    lo = tails[mask]
+    hi = heads[mask]
+    lengths = dist_arr[lo] + half_weights[mask] + dist_arr[hi]
+    # Compact the source labels (node indices) to 0..t-1 terminal slots so
+    # the scatter-min target stays tiny.
+    slot_a = np.searchsorted(terminals_arr, source_a[mask])
+    slot_b = np.searchsorted(terminals_arr, source_b[mask])
+    pair_key = (
+        np.minimum(slot_a, slot_b) * len(terminals_arr)
+        + np.maximum(slot_a, slot_b)
+    )
+    if len(terminals_arr) ** 2 <= 1 << 22:
+        min_length = np.full(len(terminals_arr) ** 2, np.inf)
+    else:
+        # Huge terminal sets: a dense |T|^2 scatter-min target would be
+        # gigabytes; compact to the pairs actually present instead.
+        unique_keys, pair_key = np.unique(pair_key, return_inverse=True)
+        min_length = np.full(len(unique_keys), np.inf)
+    np.minimum.at(min_length, pair_key, lengths)
+    candidates: dict[tuple[int, int], tuple[float, int, int]] = {}
+    for i in np.flatnonzero(lengths <= min_length[pair_key]):
+        a = int(terminals_arr[slot_a[i]])
+        b = int(terminals_arr[slot_b[i]])
+        key = (a, b) if a < b else (b, a)
+        if key not in candidates:
+            candidates[key] = (float(lengths[i]), int(lo[i]), int(hi[i]))
+    return candidates
+
+
+def mehlhorn_steiner_csr(
+    csr: CSRGraph,
+    weights,
+    terminal_indices: Iterable[int],
+    indptr_list: list[int] | None = None,
+    indices_list: list[int] | None = None,
+) -> tuple[list[int], list[tuple[int, int]]]:
+    """Mehlhorn's 2-approximation consuming ``(indptr, indices, weights)``.
+
+    Returns ``(nodes, edges)`` of the pruned Steiner tree in index space —
+    identical to what :func:`repro.core.steiner.mehlhorn_steiner_tree`
+    returns (after relabeling) on the equivalent ``WeightedGraph``.
+    ``indptr_list``/``indices_list`` let callers reuse pre-converted flat
+    lists across many invocations (the engine does).
+
+    Raises
+    ------
+    DisconnectedGraphError
+        If the terminals do not lie in a single component.
+    """
+    terminals = sorted(set(int(t) for t in terminal_indices))
+    if len(terminals) == 1:
+        return terminals, []
+    dist, parent, closest = _voronoi_phase(
+        csr, weights, terminals, indptr_list, indices_list
+    )
+    terminals_arr = np.asarray(terminals, dtype=np.int64)
+    candidates = _crossing_candidates(csr, weights, dist, closest, terminals_arr)
+    return steiner_tree_from_voronoi(
+        terminals,
+        candidates,
+        parent.__getitem__,
+        lambda a, b: float(weights[csr.arc_weight_position(a, b)]),
+    )
+
+
+class _IntArrayMapping:
+    """Read-only ``Mapping[int, int]`` view of an int array with ``-1`` = absent."""
+
+    __slots__ = ("_values",)
+
+    def __init__(self, values) -> None:
+        self._values = values
+
+    def get(self, key: int, default=None):
+        value = self._values[key]
+        return int(value) if value >= 0 else default
+
+    def __getitem__(self, key: int) -> int:
+        value = self._values[key]
+        if value < 0:
+            raise KeyError(key)
+        return int(value)
+
+    def __contains__(self, key: int) -> bool:
+        return self._values[key] >= 0
+
+
+class _IndexHost:
+    """The minimal host-graph facade :func:`adjust_distances` needs."""
+
+    __slots__ = ("_num_nodes",)
+
+    def __init__(self, num_nodes: int) -> None:
+        self._num_nodes = num_nodes
+
+    def has_node(self, node) -> bool:
+        return isinstance(node, int) and 0 <= node < self._num_nodes
+
+
+class CSRWienerSteinerEngine:
+    """Per-call state of ``wiener_steiner(backend="csr")``.
+
+    Holds the CSR arrays, the per-root BFS caches (distances, canonical
+    parents, and the per-arc ``max(d_r[u], d_r[v])`` used by the Lemma-4
+    reweighting), and the scoring kernels.  One engine serves the whole
+    λ×root sweep of a single query.
+    """
+
+    def __init__(self, graph: Graph) -> None:
+        if not HAS_NUMPY:  # pragma: no cover - guarded by the dispatcher
+            raise RuntimeError("the CSR backend requires numpy")
+        self.graph = graph
+        self.csr = CSRGraph.from_graph(graph)
+        # Flat-list copies feed the pure-Python heap loops; the scipy route
+        # never touches them, so build them lazily.
+        self._indptr_list: list[int] | None = None
+        self._indices_list: list[int] | None = None
+        self._root_cache: dict[Node, tuple] = {}
+
+    def _flat_lists(self) -> tuple[list[int], list[int]]:
+        if self._indptr_list is None:
+            self._indptr_list = self.csr.indptr.tolist()
+            self._indices_list = self.csr.indices.tolist()
+        return self._indptr_list, self._indices_list
+
+    # -- line 1: per-root BFS cache -----------------------------------
+    def _root_data(self, root: Node):
+        cached = self._root_cache.get(root)
+        if cached is None:
+            root_idx = self.csr.index_of[root]
+            dist, parent = self.csr.bfs_tree(root_idx)
+            arc_max = np.maximum(dist[self.csr.arc_src], dist[self.csr.indices])
+            cached = (dist, parent, arc_max)
+            self._root_cache[root] = cached
+        return cached
+
+    def unreachable_queries(self, root: Node, query_set) -> list[Node]:
+        dist = self._root_data(root)[0]
+        index_of = self.csr.index_of
+        return [q for q in query_set if dist[index_of[q]] < 0]
+
+    # -- lines 7-11: one (root, λ) candidate --------------------------
+    def candidate(
+        self, root: Node, lam: float, query_set, adjust: bool
+    ) -> frozenset[Node]:
+        dist, parent, arc_max = self._root_data(root)
+        weights = lam + arc_max / lam
+        if bool((arc_max < 0).any()):
+            # Arcs inside components unreachable from the root: the dict
+            # backend omits them from G_{r,λ}; +inf is the array equivalent.
+            weights = np.where(arc_max < 0, np.inf, weights)
+        index_of = self.csr.index_of
+        terminals = sorted({index_of[q] for q in query_set} | {index_of[root]})
+        if _scipy_dijkstra is None:
+            indptr_list, indices_list = self._flat_lists()
+        else:
+            indptr_list = indices_list = None
+        tree_nodes, tree_edges = mehlhorn_steiner_csr(
+            self.csr,
+            weights,
+            terminals,
+            indptr_list=indptr_list,
+            indices_list=indices_list,
+        )
+        if adjust:
+            # Rebuild the (small) tree with dict adjacency in canonical
+            # insertion order so AdjustDistances walks it exactly like the
+            # dict backend walks its label-space twin.
+            tree = WeightedGraph()
+            for idx in tree_nodes:
+                tree.add_node(idx)
+            for a, b in tree_edges:
+                tree.add_edge(a, b, 1.0)
+            adjusted = adjust_distances(
+                _IndexHost(self.csr.num_nodes),
+                tree,
+                index_of[root],
+                bfs_distances_map=_IntArrayMapping(dist),
+                bfs_parents_map=_IntArrayMapping(parent),
+            )
+            node_indices = set(adjusted.nodes())
+        else:
+            node_indices = set(tree_nodes)
+        node_of = self.csr.node_of
+        nodes = {node_of[i] for i in node_indices}
+        nodes |= query_set
+        return frozenset(nodes)
+
+    # -- line 15: scoring via induced index masks ---------------------
+    def score_exact(self, nodes) -> float:
+        return self.csr.induced(self.csr.indices_for(nodes)).wiener_index()
+
+    def score_proxy(self, nodes, root: Node) -> float:
+        sub = self.csr.induced(self.csr.indices_for(nodes))
+        return len(nodes) * sub.rooted_distance_sum(sub.index_of[root])

@@ -68,6 +68,7 @@ def parallel_wiener_steiner(
     max_workers: int | None = None,
     beta: float = 1.0,
     adjust: bool = True,
+    backend: str = "auto",
 ) -> ConnectorResult:
     """Run WienerSteiner with one worker process per candidate root.
 
@@ -80,6 +81,10 @@ def parallel_wiener_steiner(
     ----------
     max_workers:
         Process count; defaults to ``min(|Q|, os.cpu_count())``.
+    backend:
+        Forwarded to each worker's :func:`wiener_steiner` call —
+        ``"auto"`` (default), ``"csr"``, or ``"dict"``.  Each worker
+        builds its own CSR arrays once and reuses them across its λ sweep.
     """
     query_set = frozenset(query)
     if not query_set:
@@ -93,7 +98,7 @@ def parallel_wiener_steiner(
         return wiener_steiner(graph, query_set)
 
     roots = sorted(query_set, key=repr)
-    options = {"beta": beta, "adjust": adjust}
+    options = {"beta": beta, "adjust": adjust, "backend": backend}
     jobs = [(root, query_set) for root in roots]
 
     best: _RootOutcome | None = None

@@ -225,7 +225,10 @@ def _weighted_candidate(
             continue  # unreachable side; never useful for this root
         reweighted.add_edge(u, v, lam + max(du, dv) / lam)
 
-    tree = mehlhorn_steiner_tree(reweighted, set(query_set) | {root})
+    # Reweighted instances have w = λ + max(du, dv)/λ ≥ λ > 0.
+    tree = mehlhorn_steiner_tree(
+        reweighted, set(query_set) | {root}, assume_positive_weights=True
+    )
     nodes = _adjust_distances_weighted(graph, tree, root, distances, parents)
     return frozenset(nodes | set(query_set))
 

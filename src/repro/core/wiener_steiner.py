@@ -14,6 +14,27 @@ A constant-factor approximation for Min Wiener Connector running in
 4. rebalance the resulting tree with ``AdjustDistances`` (Lemma 2);
 5. keep the candidate minimizing ``A(H, r)`` — or, following Remark 1, the
    exact Wiener index when the candidate is small enough to afford it.
+
+Backend architecture
+--------------------
+
+The λ×root sweep (grid, root list, dedup, scoring policy, selection) is
+backend-independent; only the per-``(r, λ)`` candidate construction and
+the scoring kernels are dispatched:
+
+* ``backend="dict"`` — the pure-Python reference path: hashable-node
+  ``WeightedGraph`` rebuilt per instance, dict/deque BFS, heap Dijkstra.
+  Always available; the debugging escape hatch.
+* ``backend="csr"`` — :class:`repro.core.fastpath.CSRWienerSteinerEngine`:
+  the graph is relabeled once to ``0..n-1`` int arrays, BFS caches /
+  reweighting / Steiner solving / scoring all run on numpy arrays.
+  Requires numpy.
+* ``backend="auto"`` (default) — ``"csr"`` when numpy is available and the
+  graph has at least :data:`CSR_AUTO_THRESHOLD` nodes, else ``"dict"``.
+
+Both backends break every tie by the canonical relabeled index (see
+:func:`repro.graphs.csr.order_map`), so they return **identical**
+connectors — the property-test suite asserts this on random corpora.
 """
 
 from __future__ import annotations
@@ -22,18 +43,23 @@ import math
 import time
 from collections.abc import Iterable, Mapping
 
-from repro.errors import DisconnectedGraphError, InvalidQueryError
+from repro.errors import DisconnectedGraphError, GraphError, InvalidQueryError
 from repro.core.adjust import adjust_distances
 from repro.core.result import ConnectorResult
 from repro.core.steiner import mehlhorn_steiner_tree
+from repro.graphs.csr import HAS_NUMPY, order_map
 from repro.graphs.graph import Graph, Node, WeightedGraph
-from repro.graphs.traversal import bfs_tree
+from repro.graphs.traversal import bfs_tree_canonical
 from repro.graphs.wiener import rooted_distance_sum, wiener_index
 
 #: Candidates at most this large are scored with the exact Wiener index
 #: when ``selection="auto"`` (Remark 1: exact scoring is affordable because
 #: solutions are typically small).
 EXACT_SCORING_THRESHOLD = 600
+
+#: ``backend="auto"`` switches to the CSR array backend at this many nodes;
+#: below it the relabeling overhead eats the vectorization gain.
+CSR_AUTO_THRESHOLD = 64
 
 
 def wiener_steiner(
@@ -44,6 +70,7 @@ def wiener_steiner(
     selection: str = "auto",
     adjust: bool = True,
     lambda_values: Iterable[float] | None = None,
+    backend: str = "auto",
 ) -> ConnectorResult:
     """Return an approximate minimum Wiener connector for ``query``.
 
@@ -70,13 +97,16 @@ def wiener_steiner(
         approximation guarantee needs it; turning it off is an ablation.
     lambda_values:
         Explicit λ grid overriding the geometric sweep.
+    backend:
+        ``"auto"`` (default), ``"csr"``, or ``"dict"`` — see the module
+        docstring.  Both backends return identical connectors.
 
     Returns
     -------
     ConnectorResult
         With ``metadata`` keys ``root``, ``lambda``, ``candidates``
-        (number of distinct candidate vertex sets scored) and
-        ``runtime_seconds``.
+        (number of distinct candidate vertex sets scored), ``backend``
+        and ``runtime_seconds``.
 
     Raises
     ------
@@ -84,16 +114,20 @@ def wiener_steiner(
         If ``query`` is empty or mentions vertices outside the graph.
     DisconnectedGraphError
         If the query vertices do not lie in one connected component.
+    GraphError
+        If ``backend="csr"`` is forced while numpy is unavailable.
     """
     started = time.perf_counter()
     query_set = frozenset(query)
     _validate_query(graph, query_set)
+    backend_name = _resolve_backend(backend, graph)
 
     if len(query_set) == 1:
         only = next(iter(query_set))
         return ConnectorResult(
             host=graph, nodes=frozenset([only]), query=query_set, method="ws-q",
             metadata={"root": only, "lambda": None, "candidates": 1,
+                      "backend": backend_name,
                       "runtime_seconds": time.perf_counter() - started},
         )
 
@@ -103,12 +137,11 @@ def wiener_steiner(
     if not root_list:
         raise InvalidQueryError("root candidate list must be non-empty")
 
-    # Line 1: one BFS per query vertex / root candidate.
-    bfs_cache: dict[Node, tuple[dict[Node, int], dict[Node, Node]]] = {}
+    engine = _make_engine(backend_name, graph)
+
+    # Line 1: one BFS per query vertex / root candidate (cached by the engine).
     for root in root_list:
-        bfs_cache[root] = bfs_tree(graph, root)
-        reached = bfs_cache[root][0]
-        unreachable = [q for q in query_set if q not in reached]
+        unreachable = engine.unreachable_queries(root, query_set)
         if unreachable:
             raise DisconnectedGraphError(
                 f"query vertices {sorted(map(repr, unreachable))} unreachable "
@@ -127,13 +160,10 @@ def wiener_steiner(
 
     for lam in grid:
         for root in root_list:
-            host_distances, host_parents = bfs_cache[root]
-            candidate = _candidate_for(
-                graph, query_set, root, lam, host_distances, host_parents, adjust
-            )
+            candidate = engine.candidate(root, lam, query_set, adjust)
             if candidate in scored:
                 continue
-            key = _score(graph, candidate, root, selection)
+            key = _score(engine, candidate, root, selection)
             scored[candidate] = key
             if key < best_key:
                 best_key = key
@@ -151,6 +181,7 @@ def wiener_steiner(
             "root": best_root,
             "lambda": best_lambda,
             "candidates": len(scored),
+            "backend": backend_name,
             "runtime_seconds": time.perf_counter() - started,
         },
     )
@@ -158,6 +189,87 @@ def wiener_steiner(
 
 #: Public alias matching the paper's problem name.
 minimum_wiener_connector = wiener_steiner
+
+
+def _resolve_backend(backend: str, graph: Graph) -> str:
+    if backend == "auto":
+        if HAS_NUMPY and graph.num_nodes >= CSR_AUTO_THRESHOLD:
+            return "csr"
+        return "dict"
+    if backend == "csr":
+        if not HAS_NUMPY:
+            raise GraphError(
+                "backend='csr' requires numpy; use backend='dict' instead"
+            )
+        return "csr"
+    if backend == "dict":
+        return "dict"
+    raise ValueError(f"unknown backend {backend!r}")
+
+
+def _make_engine(backend_name: str, graph: Graph):
+    if backend_name == "csr":
+        from repro.core.fastpath import CSRWienerSteinerEngine
+
+        return CSRWienerSteinerEngine(graph)
+    return _DictEngine(graph)
+
+
+class _DictEngine:
+    """The pure-Python reference engine (hashable nodes, dict adjacency).
+
+    Structurally this is the seed implementation — a fresh reweighted
+    ``WeightedGraph`` per ``(root, λ)`` instance — with tie-breaks
+    canonicalized through the node order map so its output matches the CSR
+    engine's exactly.
+    """
+
+    def __init__(self, graph: Graph) -> None:
+        self.graph = graph
+        self._order = order_map(graph)
+        self._root_cache: dict[Node, tuple[dict, dict]] = {}
+
+    def _root_data(self, root: Node) -> tuple[dict, dict]:
+        cached = self._root_cache.get(root)
+        if cached is None:
+            cached = bfs_tree_canonical(self.graph, root, self._order)
+            self._root_cache[root] = cached
+        return cached
+
+    def unreachable_queries(self, root: Node, query_set) -> list[Node]:
+        distances = self._root_data(root)[0]
+        return [q for q in query_set if q not in distances]
+
+    def candidate(
+        self, root: Node, lam: float, query_set, adjust: bool
+    ) -> frozenset[Node]:
+        """Lines 7–11 of Algorithm 1 for one ``(r, λ)`` pair."""
+        host_distances, host_parents = self._root_data(root)
+        reweighted = _reweighted_graph(self.graph, host_distances, lam)
+        terminals = set(query_set) | {root}
+        # G_{r,λ} weights are λ + max(·)/λ ≥ λ > 0 by construction.
+        tree = mehlhorn_steiner_tree(
+            reweighted, terminals, assume_positive_weights=True
+        )
+        if adjust:
+            adjusted = adjust_distances(
+                self.graph,
+                tree,
+                root,
+                bfs_distances_map=host_distances,
+                bfs_parents_map=host_parents,
+            )
+            nodes = set(adjusted.nodes())
+        else:
+            nodes = set(tree.nodes())
+        nodes |= query_set
+        return frozenset(nodes)
+
+    def score_exact(self, nodes) -> float:
+        return wiener_index(self.graph.subgraph(nodes))
+
+    def score_proxy(self, nodes, root: Node) -> float:
+        return len(nodes) * rooted_distance_sum(self.graph.subgraph(nodes), root)
 
 
 def _validate_query(graph: Graph, query_set: frozenset[Node]) -> None:
@@ -185,61 +297,39 @@ def _lambda_grid(num_nodes: int, beta: float) -> list[float]:
     return grid
 
 
-def _candidate_for(
-    graph: Graph,
-    query_set: frozenset[Node],
-    root: Node,
-    lam: float,
-    host_distances: Mapping[Node, int],
-    host_parents: Mapping[Node, Node],
-    adjust: bool,
-) -> frozenset[Node]:
-    """Lines 7–11 of Algorithm 1 for one ``(r, λ)`` pair."""
-    reweighted = _reweighted_graph(graph, host_distances, lam)
-    terminals = set(query_set) | {root}
-    tree = mehlhorn_steiner_tree(reweighted, terminals)
-    if adjust:
-        adjusted = adjust_distances(
-            graph,
-            tree,
-            root,
-            bfs_distances_map=host_distances,
-            bfs_parents_map=host_parents,
-        )
-        nodes = set(adjusted.nodes())
-    else:
-        nodes = set(tree.nodes())
-    nodes |= query_set
-    return frozenset(nodes)
-
-
 def _reweighted_graph(
     graph: Graph, host_distances: Mapping[Node, int], lam: float
 ) -> WeightedGraph:
     """Build ``G_{r,λ}`` with ``w(u,v) = λ + max(d_G(r,u), d_G(r,v)) / λ``.
 
     Lemma 4 shows Steiner trees of this weighted graph approximate the
-    node-weighted objective ``B(·, r, λ)`` within a factor 2.
+    node-weighted objective ``B(·, r, λ)`` within a factor 2.  Edges inside
+    components unreachable from the root are omitted — they can never be
+    useful for this root (the CSR backend marks them ``+inf`` instead).
     """
     reweighted = WeightedGraph()
     for node in graph.nodes():
         reweighted.add_node(node)
     for u, v in graph.edges():
-        weight = lam + max(host_distances[u], host_distances[v]) / lam
-        reweighted.add_edge(u, v, weight)
+        du = host_distances.get(u)
+        dv = host_distances.get(v)
+        if du is None or dv is None:
+            continue
+        reweighted.add_edge(u, v, lam + max(du, dv) / lam)
     return reweighted
 
 
-def _score(
-    graph: Graph, nodes: frozenset[Node], root: Node, selection: str
-) -> float:
-    """Score a candidate per the selection policy (line 15 / Remark 1)."""
+def _score(engine, nodes: frozenset[Node], root: Node, selection: str) -> float:
+    """Score a candidate per the selection policy (line 15 / Remark 1).
+
+    Exact Wiener sums are integers, so both engines return bit-equal
+    scores for the same candidate set.
+    """
     if selection not in ("a", "wiener", "auto"):
         raise ValueError(f"unknown selection policy {selection!r}")
-    subgraph = graph.subgraph(nodes)
     use_exact = selection == "wiener" or (
         selection == "auto" and len(nodes) <= EXACT_SCORING_THRESHOLD
     )
     if use_exact:
-        return wiener_index(subgraph)
-    return len(nodes) * rooted_distance_sum(subgraph, root)
+        return engine.score_exact(nodes)
+    return engine.score_proxy(nodes, root)

@@ -1,11 +1,17 @@
 """Graph substrate: data structures, traversals, metrics, and generators.
 
-This package is the foundation the paper's algorithms are built on.  It is
-self-contained pure Python — the library never depends on networkx (which is
-used only as a test oracle).
+This package is the foundation the paper's algorithms are built on.  The
+dict/set :class:`Graph` API is pure Python — the library never depends on
+networkx (which is used only as a test oracle).  :mod:`repro.graphs.csr`
+adds an optional numpy-backed CSR array layer (:class:`CSRGraph`): nodes
+relabeled once to ``0..n-1`` in insertion order (the *canonical order*
+used for every tie-break in the library), traversals vectorized over whole
+BFS frontiers.  ``HAS_NUMPY`` gates it; every caller falls back to the
+dict implementations when numpy is absent.
 """
 
 from repro.graphs.graph import Graph, WeightedGraph, Node, Edge
+from repro.graphs.csr import CSRGraph, HAS_NUMPY, order_map
 from repro.graphs.components import (
     connected_components,
     is_connected,
@@ -19,10 +25,12 @@ from repro.graphs.traversal import (
     bfs_distances,
     bfs_limited,
     bfs_tree,
+    bfs_tree_canonical,
     dijkstra,
     eccentricity,
     multi_source_bfs,
     multi_source_dijkstra,
+    parents_from_dijkstra,
     shortest_path,
 )
 from repro.graphs.unionfind import UnionFind
@@ -59,6 +67,11 @@ __all__ = [
     "WeightedGraph",
     "Node",
     "Edge",
+    "CSRGraph",
+    "HAS_NUMPY",
+    "order_map",
+    "bfs_tree_canonical",
+    "parents_from_dijkstra",
     "connected_components",
     "is_connected",
     "is_tree",

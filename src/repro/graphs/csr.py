@@ -1,0 +1,392 @@
+"""CSR (compressed sparse row) array backend for the graph substrate.
+
+The hashable-node :class:`~repro.graphs.graph.Graph` is the library's
+public data model, but its dict/set adjacency makes every traversal pay
+Python-interpreter constants per edge.  :class:`CSRGraph` is the
+acceleration layer underneath: nodes are relabeled once to ``0..n-1``
+integers (in :meth:`Graph.nodes` insertion order — the *canonical order*
+every tie-break in the library refers to), adjacency becomes two flat
+integer arrays (``indptr``/``indices``), and the traversal inner loops
+become vectorized numpy expressions over whole BFS frontiers.
+
+Where the CSR backend kicks in
+------------------------------
+
+* :func:`repro.graphs.wiener.wiener_index` converts to CSR above a size
+  threshold — the one-off ``O(|E|)`` relabeling is amortized over ``|V|``
+  BFS traversals;
+* ``wiener_steiner(backend="csr")`` (see :mod:`repro.core.fastpath`)
+  keeps one :class:`CSRGraph` for the whole λ×root sweep: BFS caches,
+  per-arc reweighting, Steiner solving and candidate scoring all reuse
+  the same arrays;
+* candidate scoring uses :meth:`CSRGraph.induced` index masks instead of
+  rebuilding hash-based subgraphs.
+
+Canonical tie-breaking
+----------------------
+
+All kernels here resolve ties by the smallest integer index (e.g. a BFS
+parent is the *lowest-index* neighbor on the previous level).  The dict
+backend applies the same rule via its node→index order map, which is what
+makes ``backend="csr"`` and ``backend="dict"`` return bit-identical
+results rather than merely equivalent ones.
+
+numpy is a soft dependency: importing this module without numpy leaves
+``HAS_NUMPY`` false and :class:`CSRGraph` unusable; callers are expected
+to gate on :data:`HAS_NUMPY` and fall back to the dict implementations.
+scipy, when present, is used only where results are tie-free (all-pairs
+distance matrices for Wiener scoring) so it can never change an answer.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.errors import GraphError, NodeNotFoundError
+from repro.graphs.graph import Graph, Node, WeightedGraph
+
+try:  # pragma: no cover - exercised implicitly by every import
+    import numpy as np
+except ImportError:  # pragma: no cover - the CI image always has numpy
+    np = None  # type: ignore[assignment]
+
+HAS_NUMPY = np is not None
+
+try:  # pragma: no cover - scipy is optional icing over the numpy kernels
+    from scipy.sparse import csr_matrix as scipy_csr_matrix
+    from scipy.sparse.csgraph import dijkstra as scipy_dijkstra
+    from scipy.sparse.csgraph import shortest_path as _scipy_shortest_path
+except ImportError:  # pragma: no cover
+    scipy_csr_matrix = None
+    scipy_dijkstra = None
+    _scipy_shortest_path = None
+
+HAS_SCIPY = scipy_csr_matrix is not None
+
+# Backwards-compatible private alias used inside this module.
+_scipy_csr_matrix = scipy_csr_matrix
+
+#: Above this many nodes an all-pairs matrix would not fit comfortably in
+#: memory, so Wiener computation falls back to one-source-at-a-time BFS.
+_SCIPY_ALL_PAIRS_MAX_NODES = 2048
+
+
+def _require_numpy() -> None:
+    if not HAS_NUMPY:
+        raise GraphError(
+            "the CSR backend requires numpy; install it or use the dict backend"
+        )
+
+
+class CSRGraph:
+    """An immutable index-array view of a :class:`Graph`.
+
+    Attributes
+    ----------
+    indptr:
+        ``int64[n + 1]`` — row pointers; the arcs of node ``i`` live at
+        ``indices[indptr[i]:indptr[i + 1]]``.
+    indices:
+        ``int64[2m]`` — arc heads, sorted ascending within each row (the
+        canonical adjacency order).
+    node_of:
+        ``list`` mapping index → original node label (identity when the
+        CSR was built directly from arrays).
+    index_of:
+        ``dict`` mapping original node label → index.
+    """
+
+    __slots__ = ("indptr", "indices", "node_of", "index_of", "_arc_src", "_half_arcs")
+
+    def __init__(self, indptr, indices, node_of=None, index_of=None) -> None:
+        _require_numpy()
+        self.indptr = np.ascontiguousarray(indptr, dtype=np.int64)
+        self.indices = np.ascontiguousarray(indices, dtype=np.int64)
+        if node_of is None:
+            node_of = list(range(len(self.indptr) - 1))
+        self.node_of = node_of
+        if index_of is None:
+            index_of = {node: i for i, node in enumerate(node_of)}
+        self.index_of = index_of
+        self._arc_src = None
+        self._half_arcs = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_graph(cls, graph: Graph) -> "CSRGraph":
+        """Relabel ``graph`` to ``0..n-1`` (insertion order) and pack to CSR."""
+        _require_numpy()
+        node_of = list(graph.nodes())
+        index_of = {node: i for i, node in enumerate(node_of)}
+        n = len(node_of)
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        for i, node in enumerate(node_of):
+            indptr[i + 1] = indptr[i] + graph.degree(node)
+        indices = np.empty(int(indptr[-1]), dtype=np.int64)
+        for i, node in enumerate(node_of):
+            row = sorted(index_of[v] for v in graph.neighbors(node))
+            indices[int(indptr[i]) : int(indptr[i + 1])] = row
+        return cls(indptr, indices, node_of, index_of)
+
+    @classmethod
+    def from_weighted_graph(cls, graph: WeightedGraph):
+        """Pack a :class:`WeightedGraph`; returns ``(csr, weights)``.
+
+        ``weights[k]`` is the weight of the arc ``arc_src[k] -> indices[k]``
+        (each undirected edge appears as two arcs with equal weight).
+        """
+        _require_numpy()
+        node_of = list(graph.nodes())
+        index_of = {node: i for i, node in enumerate(node_of)}
+        n = len(node_of)
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        for i, node in enumerate(node_of):
+            indptr[i + 1] = indptr[i] + graph.degree(node)
+        indices = np.empty(int(indptr[-1]), dtype=np.int64)
+        weights = np.empty(int(indptr[-1]), dtype=np.float64)
+        for i, node in enumerate(node_of):
+            row = sorted(
+                (index_of[v], w) for v, w in graph.neighbors(node).items()
+            )
+            lo = int(indptr[i])
+            for k, (j, w) in enumerate(row):
+                indices[lo + k] = j
+                weights[lo + k] = w
+        return cls(indptr, indices, node_of, index_of), weights
+
+    # ------------------------------------------------------------------
+    # Basic shape
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return len(self.indptr) - 1
+
+    @property
+    def num_arcs(self) -> int:
+        return len(self.indices)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.indices) // 2
+
+    @property
+    def arc_src(self):
+        """``int64[2m]`` — arc tails, i.e. ``arc_src[k] -> indices[k]``."""
+        if self._arc_src is None:
+            degrees = np.diff(self.indptr)
+            self._arc_src = np.repeat(
+                np.arange(self.num_nodes, dtype=np.int64), degrees
+            )
+        return self._arc_src
+
+    @property
+    def half_arcs(self):
+        """``(positions, tails, heads)`` of the arcs with ``tail < head``.
+
+        One entry per undirected edge, in ascending ``(tail, head)`` order —
+        the canonical edge enumeration the candidate-reduction kernels rely
+        on for their tie-breaks.
+        """
+        if self._half_arcs is None:
+            positions = np.flatnonzero(self.arc_src < self.indices)
+            self._half_arcs = (
+                positions,
+                self.arc_src[positions],
+                self.indices[positions],
+            )
+        return self._half_arcs
+
+    def indices_for(self, nodes: Iterable[Node]):
+        """Map node labels to an ``int64`` index array (raises on unknowns)."""
+        try:
+            return np.fromiter(
+                (self.index_of[v] for v in nodes), dtype=np.int64
+            )
+        except KeyError as exc:
+            raise NodeNotFoundError(exc.args[0]) from None
+
+    def labels_for(self, index_array) -> list[Node]:
+        """Map an index array back to original node labels."""
+        node_of = self.node_of
+        return [node_of[int(i)] for i in index_array]
+
+    def arc_weight_position(self, u: int, v: int) -> int:
+        """Position ``k`` of arc ``u -> v`` (for indexing a weights array)."""
+        lo = int(self.indptr[u])
+        hi = int(self.indptr[u + 1])
+        k = lo + int(np.searchsorted(self.indices[lo:hi], v))
+        if k >= hi or int(self.indices[k]) != v:
+            raise GraphError(f"arc {u} -> {v} not present")
+        return k
+
+    # ------------------------------------------------------------------
+    # Vectorized traversals
+    # ------------------------------------------------------------------
+    def _expand(self, frontier):
+        """Gather all arcs out of ``frontier``; returns ``(heads, tails)``."""
+        indptr = self.indptr
+        starts = indptr[frontier]
+        counts = indptr[frontier + 1] - starts
+        total = int(counts.sum())
+        if total == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty
+        cumstart = np.cumsum(counts) - counts
+        positions = np.repeat(starts - cumstart, counts) + np.arange(
+            total, dtype=np.int64
+        )
+        return self.indices[positions], np.repeat(frontier, counts)
+
+    def bfs_distances(self, source: int):
+        """``int64[n]`` of hop distances from ``source``; ``-1`` = unreachable."""
+        dist = np.full(self.num_nodes, -1, dtype=np.int64)
+        dist[source] = 0
+        frontier = np.array([source], dtype=np.int64)
+        level = 0
+        while frontier.size:
+            level += 1
+            heads, _ = self._expand(frontier)
+            heads = heads[dist[heads] < 0]
+            if heads.size == 0:
+                break
+            frontier = np.unique(heads)
+            dist[frontier] = level
+        return dist
+
+    def bfs_tree(self, source: int):
+        """``(dist, parent)`` arrays with *canonical* (min-index) parents.
+
+        ``parent[v]`` is the lowest-index neighbor of ``v`` on the previous
+        BFS level (``-1`` for the source and unreachable nodes).  This is
+        the tie-break rule the dict backend mirrors via its order map.
+        """
+        n = self.num_nodes
+        dist = np.full(n, -1, dtype=np.int64)
+        parent = np.full(n, -1, dtype=np.int64)
+        dist[source] = 0
+        frontier = np.array([source], dtype=np.int64)
+        level = 0
+        while frontier.size:
+            level += 1
+            heads, tails = self._expand(frontier)
+            fresh = dist[heads] < 0
+            heads, tails = heads[fresh], tails[fresh]
+            if heads.size == 0:
+                break
+            order = np.lexsort((tails, heads))
+            heads, tails = heads[order], tails[order]
+            frontier, first = np.unique(heads, return_index=True)
+            dist[frontier] = level
+            parent[frontier] = tails[first]
+        return dist, parent
+
+    def multi_source_bfs(self, sources):
+        """``(dist, closest)`` arrays; ties pick the lowest-index source."""
+        n = self.num_nodes
+        dist = np.full(n, -1, dtype=np.int64)
+        closest = np.full(n, -1, dtype=np.int64)
+        frontier = np.unique(np.asarray(list(sources), dtype=np.int64))
+        dist[frontier] = 0
+        closest[frontier] = frontier
+        level = 0
+        while frontier.size:
+            level += 1
+            heads, tails = self._expand(frontier)
+            fresh = dist[heads] < 0
+            heads, tails = heads[fresh], tails[fresh]
+            if heads.size == 0:
+                break
+            order = np.lexsort((closest[tails], heads))
+            heads, tails = heads[order], tails[order]
+            frontier, first = np.unique(heads, return_index=True)
+            dist[frontier] = level
+            closest[frontier] = closest[tails[first]]
+        return dist, closest
+
+    # ------------------------------------------------------------------
+    # Distance aggregates
+    # ------------------------------------------------------------------
+    def rooted_distance_sum(self, source: int) -> float:
+        """``Σ_v d(source, v)``; ``inf`` if any node is unreachable."""
+        dist = self.bfs_distances(source)
+        if bool((dist < 0).any()):
+            return float("inf")
+        return float(int(dist.sum()))
+
+    def wiener_index(self) -> float:
+        """Exact Wiener index; ``inf`` when disconnected, 0 below 2 nodes.
+
+        Distances are tie-free, so any correct engine gives the same
+        answer: scipy's C BFS matrix when the graph is small enough for an
+        all-pairs matrix, otherwise a loop of vectorized numpy BFS passes.
+        """
+        n = self.num_nodes
+        if n < 2:
+            return 0.0
+        if HAS_SCIPY and n <= _SCIPY_ALL_PAIRS_MAX_NODES:
+            matrix = _scipy_csr_matrix(
+                (
+                    np.ones(len(self.indices), dtype=np.int8),
+                    self.indices,
+                    self.indptr,
+                ),
+                shape=(n, n),
+            )
+            dist = _scipy_shortest_path(
+                matrix, method="D", directed=False, unweighted=True
+            )
+            if bool(np.isinf(dist).any()):
+                return float("inf")
+            # Entries are exact small integers stored as floats; the sum is
+            # exact well past any graph that fits in memory.
+            return float(dist.sum()) / 2
+        total = 0
+        for source in range(n):
+            dist = self.bfs_distances(source)
+            if bool((dist < 0).any()):
+                return float("inf")
+            total += int(dist.sum())
+        return total / 2
+
+    # ------------------------------------------------------------------
+    # Induced subgraphs
+    # ------------------------------------------------------------------
+    def induced(self, index_array) -> "CSRGraph":
+        """The induced sub-CSR on ``index_array`` (need not be sorted).
+
+        Sub-indices follow the *sorted* order of ``index_array`` so the
+        canonical (ascending) adjacency order is preserved; ``node_of``
+        maps sub-indices back to the original labels.
+        """
+        idx = np.unique(np.asarray(index_array, dtype=np.int64))
+        sub_id = np.full(self.num_nodes, -1, dtype=np.int64)
+        sub_id[idx] = np.arange(len(idx), dtype=np.int64)
+        heads, tails = self._expand(idx)
+        keep = sub_id[heads] >= 0
+        sub_heads = sub_id[heads[keep]]
+        sub_tails = sub_id[tails[keep]]
+        counts = np.bincount(sub_tails, minlength=len(idx))
+        indptr = np.zeros(len(idx) + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        node_of = self.labels_for(idx)
+        return CSRGraph(indptr, sub_heads, node_of)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return f"CSRGraph(|V|={self.num_nodes}, |E|={self.num_edges})"
+
+
+def csr_from_graph(graph: Graph) -> CSRGraph:
+    """Module-level alias for :meth:`CSRGraph.from_graph`."""
+    return CSRGraph.from_graph(graph)
+
+
+def order_map(graph: Graph | WeightedGraph) -> dict[Node, int]:
+    """The canonical node → index map (insertion order), without numpy.
+
+    This is the exact relabeling :meth:`CSRGraph.from_graph` uses; the
+    dict-backend code paths use it to apply the same integer tie-breaks
+    the CSR kernels get for free.
+    """
+    return {node: i for i, node in enumerate(graph.nodes())}

@@ -195,8 +195,12 @@ class Graph:
     def relabeled(self) -> tuple["Graph", dict[Node, int]]:
         """Return an isomorphic copy with nodes relabeled ``0..n-1``.
 
-        Returns the new graph and the ``old -> new`` mapping.  Useful before
-        handing the graph to array-based numeric code.
+        Returns the new graph and the ``old -> new`` mapping (insertion
+        order — the same canonical order :mod:`repro.graphs.csr` uses).
+        Useful before handing the graph to array-based numeric code; for
+        the packed adjacency arrays themselves use
+        :meth:`repro.graphs.csr.CSRGraph.from_graph`, which performs this
+        relabeling internally.
         """
         mapping = {node: index for index, node in enumerate(self._adj)}
         relabeled = Graph(nodes=mapping.values())

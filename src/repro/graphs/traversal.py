@@ -3,6 +3,12 @@
 These routines are the workhorses of the whole library — the WienerSteiner
 algorithm's complexity is dominated by ``|Q|`` single-source traversals
 (Algorithm 1, line 1), and the Wiener index itself is an all-pairs BFS sum.
+
+This module is the pure-Python ("dict") implementation.  The CSR array
+backend (:mod:`repro.graphs.csr`) provides vectorized equivalents of the
+BFS kernels; hot paths such as ``wiener_steiner(backend="csr")`` use those
+directly, while these versions remain the reference implementation, the
+fallback when numpy is unavailable, and the API for hashable node labels.
 """
 
 from __future__ import annotations
@@ -150,20 +156,26 @@ def dijkstra(
     """Single-source Dijkstra on a non-negatively weighted graph.
 
     Returns ``(distances, parents)``; unreachable nodes are absent from both
-    maps.  Runs in ``O(|E| log |V|)`` with a binary heap.
+    maps.  Runs in ``O(|E| log |V|)`` with a binary heap.  Parents are
+    tracked inline in the heap loop (the relaxing predecessor travels with
+    each heap entry and is committed when the node settles) — no separate
+    float-tolerance recovery pass is needed; see
+    :func:`parents_from_dijkstra` for the standalone recovery utility.
     """
     if not graph.has_node(source):
         raise NodeNotFoundError(source)
     distances: dict[Node, float] = {}
     parents: dict[Node, Node] = {}
     counter = 0  # tie-breaker so heterogeneous node types never get compared
-    heap: list[tuple[float, int, Node]] = [(0.0, counter, source)]
+    heap: list[tuple[float, int, Node, Node | None]] = [(0.0, counter, source, None)]
     tentative: dict[Node, float] = {source: 0.0}
     while heap:
-        dist, _, u = heapq.heappop(heap)
+        dist, _, u, parent = heapq.heappop(heap)
         if u in distances:
             continue
         distances[u] = dist
+        if parent is not None:
+            parents[u] = parent
         for v, weight in graph.neighbors(u).items():
             if v in distances:
                 continue
@@ -171,8 +183,8 @@ def dijkstra(
             if candidate < tentative.get(v, float("inf")):
                 tentative[v] = candidate
                 counter += 1
-                heapq.heappush(heap, (candidate, counter, v))
-    return distances, parents_from_dijkstra(graph, distances)
+                heapq.heappush(heap, (candidate, counter, v, u))
+    return distances, parents
 
 
 def parents_from_dijkstra(
@@ -230,6 +242,38 @@ def multi_source_dijkstra(
                 counter += 1
                 heapq.heappush(heap, (dist + weight, counter, v, source, u))
     return distances, parents, closest
+
+
+def bfs_tree_canonical(
+    graph: Graph, source: Node, order: dict[Node, int] | None = None
+) -> tuple[dict[Node, int], dict[Node, Node]]:
+    """BFS tree with *canonical* parents: the lowest-order previous-level neighbor.
+
+    Plain :func:`bfs_tree` breaks parent ties by adjacency-set iteration
+    order, which is an implementation accident.  Here ``parents[v]`` is the
+    neighbor ``u`` with ``dist[u] == dist[v] - 1`` minimizing ``order[u]``
+    (``order`` defaults to node insertion order — the same relabeling the
+    CSR backend uses), so the dict and array backends build the exact same
+    shortest-path tree.
+    """
+    if order is None:
+        order = {node: index for index, node in enumerate(graph.nodes())}
+    distances = bfs_distances(graph, source)
+    parents: dict[Node, Node] = {}
+    for v, dist_v in distances.items():
+        if dist_v == 0:
+            continue
+        best: Node | None = None
+        best_order = -1
+        for u in graph.neighbors(v):
+            if distances.get(u) != dist_v - 1:
+                continue
+            u_order = order[u]
+            if best is None or u_order < best_order:
+                best = u
+                best_order = u_order
+        parents[v] = best
+    return distances, parents
 
 
 def eccentricity(graph: Graph, source: Node) -> int:

@@ -1,7 +1,8 @@
 """Shared fixtures for the test suite.
 
-networkx appears here (and only here) as an independent oracle for
-cross-checking our graph algorithms; the library itself never imports it.
+networkx appears in the oracle helpers (``tests/helpers.py``) and only
+there as an independent oracle for cross-checking our graph algorithms;
+the library itself never imports it.
 """
 
 from __future__ import annotations
@@ -11,7 +12,6 @@ import random
 import pytest
 
 from repro.graphs.graph import Graph
-from repro.graphs.generators import connectify, erdos_renyi
 
 
 @pytest.fixture
@@ -41,19 +41,3 @@ def two_triangles_bridge() -> Graph:
 @pytest.fixture
 def rng() -> random.Random:
     return random.Random(20150531)  # SIGMOD'15 started May 31
-
-
-def random_connected_graph(n: int, p: float, seed: int) -> Graph:
-    """A connected ER graph — helper shared by several test modules."""
-    local = random.Random(seed)
-    return connectify(erdos_renyi(n, p, rng=local), rng=local)
-
-
-def to_networkx(graph: Graph):
-    """Convert to a networkx graph for oracle comparisons."""
-    import networkx as nx
-
-    oracle = nx.Graph()
-    oracle.add_nodes_from(graph.nodes())
-    oracle.add_edges_from(graph.edges())
-    return oracle

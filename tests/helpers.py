@@ -1,0 +1,32 @@
+"""Importable helpers shared across test modules.
+
+These used to live in ``tests/conftest.py`` and be imported with
+``from conftest import ...``, which breaks as soon as pytest's rootdir
+contains *another* conftest (the benchmark harness has one): ``conftest``
+then resolves to whichever file was loaded first.  A plain module with a
+unique name has no such ambiguity — ``pyproject.toml`` puts ``tests/`` on
+``pythonpath`` so ``from helpers import ...`` always works.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.graphs.graph import Graph
+from repro.graphs.generators import connectify, erdos_renyi
+
+
+def random_connected_graph(n: int, p: float, seed: int) -> Graph:
+    """A connected ER graph — helper shared by several test modules."""
+    local = random.Random(seed)
+    return connectify(erdos_renyi(n, p, rng=local), rng=local)
+
+
+def to_networkx(graph: Graph):
+    """Convert to a networkx graph for oracle comparisons."""
+    import networkx as nx
+
+    oracle = nx.Graph()
+    oracle.add_nodes_from(graph.nodes())
+    oracle.add_edges_from(graph.edges())
+    return oracle

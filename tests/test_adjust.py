@@ -4,7 +4,7 @@ import random
 
 import pytest
 
-from conftest import random_connected_graph
+from helpers import random_connected_graph
 from repro.errors import NodeNotFoundError
 from repro.core.adjust import ALPHA, adjust_distances, verify_lemma2
 from repro.core.steiner import steiner_tree_unweighted

@@ -4,7 +4,7 @@ import random
 
 import pytest
 
-from conftest import random_connected_graph
+from helpers import random_connected_graph
 from repro.errors import DisconnectedGraphError, InvalidQueryError
 from repro.baselines import METHODS, cps_connector, ctp_connector, ppr_connector, steiner_connector
 from repro.baselines.common import greedy_connect, validate_query

@@ -4,7 +4,7 @@ import random
 
 import pytest
 
-from conftest import random_connected_graph, to_networkx
+from helpers import random_connected_graph, to_networkx
 from repro.errors import InvalidQueryError
 from repro.graphs.graph import Graph
 from repro.graphs.generators import path_graph, star_graph

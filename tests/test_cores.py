@@ -4,7 +4,7 @@ import random
 
 import pytest
 
-from conftest import random_connected_graph, to_networkx
+from helpers import random_connected_graph, to_networkx
 from repro.baselines.ctp import ctp_connector, greedy_peel
 from repro.graphs.cores import core_numbers, k_core_nodes, max_core_component_with
 from repro.graphs.generators import complete_graph, path_graph, star_graph

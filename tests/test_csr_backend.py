@@ -1,0 +1,274 @@
+"""Property tests for the CSR array backend.
+
+The contract under test is strong: the CSR kernels must return results
+*identical* to the dict reference implementations — identical distances,
+identical canonical BFS/Voronoi trees, identical Steiner trees, and
+identical ``wiener_steiner`` connectors — on random corpora, not merely
+results of equal quality.
+"""
+
+import math
+import random
+
+import pytest
+
+from helpers import random_connected_graph
+from repro.core.fastpath import (
+    mehlhorn_steiner_csr,
+    voronoi_dijkstra_csr,
+)
+from repro.core.steiner import (
+    canonical_forest_from_distances,
+    dijkstra_distances_canonical,
+    mehlhorn_steiner_tree,
+    tree_total_weight,
+    voronoi_dijkstra_canonical,
+)
+from repro.core.wiener_steiner import wiener_steiner
+from repro.graphs.csr import HAS_NUMPY, CSRGraph, order_map
+from repro.graphs.generators import connectify, erdos_renyi
+from repro.graphs.graph import Graph, WeightedGraph
+from repro.graphs.traversal import (
+    bfs_distances,
+    bfs_tree_canonical,
+    dijkstra,
+    multi_source_bfs,
+)
+from repro.graphs.wiener import rooted_distance_sum, wiener_index
+
+pytestmark = pytest.mark.skipif(not HAS_NUMPY, reason="CSR backend needs numpy")
+
+
+def random_weighted_graph(n: int, num_edges: int, seed: int) -> WeightedGraph:
+    rng = random.Random(seed)
+    graph = WeightedGraph()
+    for _ in range(num_edges):
+        u, v = rng.sample(range(n), 2)
+        graph.add_edge(u, v, rng.choice([1.0, 2.0, 2.5, 3.0, 4.0]))
+    return graph
+
+
+class TestCSRStructure:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_round_trip(self, seed):
+        g = random_connected_graph(50, 0.1, seed + 9000)
+        csr = CSRGraph.from_graph(g)
+        assert csr.num_nodes == g.num_nodes
+        assert csr.num_edges == g.num_edges
+        for node in g.nodes():
+            idx = csr.index_of[node]
+            row = csr.indices[csr.indptr[idx] : csr.indptr[idx + 1]]
+            assert {csr.node_of[int(j)] for j in row} == g.neighbors(node)
+            assert list(row) == sorted(row)  # canonical adjacency order
+
+    def test_order_matches_order_map(self):
+        g = random_connected_graph(30, 0.15, 9100)
+        csr = CSRGraph.from_graph(g)
+        assert csr.index_of == order_map(g)
+
+    def test_induced_matches_subgraph(self):
+        g = random_connected_graph(60, 0.1, 9200)
+        nodes = sorted(g.nodes())[:25]
+        csr = CSRGraph.from_graph(g)
+        sub = csr.induced(csr.indices_for(nodes))
+        expected = g.subgraph(nodes)
+        assert sub.num_nodes == expected.num_nodes
+        assert sub.num_edges == expected.num_edges
+        assert sub.wiener_index() == wiener_index(expected)
+
+
+class TestTraversalEquivalence:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_bfs_distances_identical(self, seed):
+        g = random_connected_graph(70, 0.07, seed + 9300)
+        csr = CSRGraph.from_graph(g)
+        source = sorted(g.nodes())[seed % g.num_nodes]
+        expected = bfs_distances(g, source)
+        dist = csr.bfs_distances(csr.index_of[source])
+        assert {csr.node_of[i]: int(d) for i, d in enumerate(dist)} == expected
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_bfs_tree_parents_are_canonical(self, seed):
+        g = random_connected_graph(60, 0.08, seed + 9400)
+        csr = CSRGraph.from_graph(g)
+        source = sorted(g.nodes())[0]
+        expected_dist, expected_parents = bfs_tree_canonical(g, source)
+        dist, parent = csr.bfs_tree(csr.index_of[source])
+        for node, expected_parent in expected_parents.items():
+            assert csr.node_of[int(parent[csr.index_of[node]])] == expected_parent
+        for node, d in expected_dist.items():
+            assert int(dist[csr.index_of[node]]) == d
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_multi_source_bfs_distances(self, seed):
+        g = random_connected_graph(60, 0.08, seed + 9500)
+        csr = CSRGraph.from_graph(g)
+        sources = sorted(g.nodes())[: 3 + seed]
+        expected, _ = multi_source_bfs(g, sources)
+        dist, closest = csr.multi_source_bfs([csr.index_of[s] for s in sources])
+        for node, d in expected.items():
+            idx = csr.index_of[node]
+            assert int(dist[idx]) == d
+            # the claimed source must actually realize the distance
+            source = csr.node_of[int(closest[idx])]
+            assert bfs_distances(g, source)[node] == d
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_wiener_and_rooted_sum(self, seed):
+        g = random_connected_graph(50, 0.1, seed + 9600)
+        csr = CSRGraph.from_graph(g)
+        # dict reference, computed below the CSR dispatch threshold
+        n = g.num_nodes
+        total = sum(sum(bfs_distances(g, v).values()) for v in g.nodes())
+        assert csr.wiener_index() == total / 2
+        assert wiener_index(g) == total / 2
+        root = sorted(g.nodes())[0]
+        assert rooted_distance_sum(g, root, csr=csr) == rooted_distance_sum(g, root)
+
+    def test_wiener_disconnected_infinite(self):
+        g = Graph([(0, 1)], nodes=[2])
+        csr = CSRGraph.from_graph(g)
+        assert csr.wiener_index() == math.inf
+
+
+class TestDijkstraInlineParents:
+    """Satellite: dijkstra tracks parents in the heap loop, no second pass."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_parents_form_shortest_path_tree(self, seed):
+        g = random_weighted_graph(25, 90, seed + 9700)
+        source = next(iter(g.nodes()))
+        distances, parents = dijkstra(g, source)
+        assert source not in parents
+        for node, parent in parents.items():
+            assert distances[parent] + g.weight(parent, node) == pytest.approx(
+                distances[node]
+            )
+        # every settled node except the source has a parent
+        assert set(parents) == set(distances) - {source}
+
+
+class TestSteinerEquivalence:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_voronoi_dijkstra_identical(self, seed):
+        wg = random_weighted_graph(30, 110, seed + 9800)
+        order = order_map(wg)
+        node_of = list(wg.nodes())
+        rng = random.Random(seed)
+        sources = rng.sample(node_of, 4)
+        expected = voronoi_dijkstra_canonical(wg, sources, order, node_of)
+        csr, weights = CSRGraph.from_weighted_graph(wg)
+        actual = voronoi_dijkstra_csr(
+            csr.indptr.tolist(),
+            csr.indices.tolist(),
+            weights.tolist(),
+            csr.num_nodes,
+            [order[s] for s in sources],
+        )
+        assert actual == tuple(expected) or list(actual) == list(expected)
+        # distance-only variant agrees too
+        assert (
+            dijkstra_distances_canonical(wg, sources, order, node_of)
+            == expected[0]
+        )
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_canonical_forest_consistent(self, seed):
+        wg = random_weighted_graph(30, 110, seed + 9900)
+        order = order_map(wg)
+        node_of = list(wg.nodes())
+        rng = random.Random(seed)
+        sources = rng.sample(node_of, 3)
+        terminal_indices = sorted(order[s] for s in sources)
+        dist = dijkstra_distances_canonical(wg, sources, order, node_of)
+        parent, closest = canonical_forest_from_distances(
+            wg, dist, order, node_of, terminal_indices
+        )
+        for v_idx, p_idx in enumerate(parent):
+            if p_idx < 0:
+                continue
+            w = wg.weight(node_of[p_idx], node_of[v_idx])
+            assert dist[p_idx] + w == dist[v_idx]
+            assert closest[v_idx] == closest[p_idx]
+        for t_idx in terminal_indices:
+            assert closest[t_idx] == t_idx
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_mehlhorn_csr_matches_dict(self, seed):
+        wg = random_weighted_graph(28, 100, seed + 10000)
+        rng = random.Random(seed)
+        terminals = rng.sample(sorted(wg.nodes()), 5)
+        try:
+            tree = mehlhorn_steiner_tree(wg, terminals)
+        except Exception:
+            pytest.skip("terminals disconnected in this sample")
+        csr, weights = CSRGraph.from_weighted_graph(wg)
+        nodes, edges = mehlhorn_steiner_csr(
+            csr, weights, [csr.index_of[t] for t in terminals]
+        )
+        assert {csr.node_of[i] for i in nodes} == set(tree.nodes())
+        total = sum(
+            weights[csr.arc_weight_position(a, b)] for a, b in edges
+        )
+        assert total == tree_total_weight(tree)
+
+
+class TestBackendEquality:
+    """The headline acceptance property: identical connectors."""
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_connectors_identical(self, seed):
+        rng = random.Random(seed)
+        n = rng.randint(12, 90)
+        g = connectify(erdos_renyi(n, rng.uniform(0.05, 0.3), rng=rng), rng=rng)
+        k = min(rng.randint(2, 6), g.num_nodes)
+        query = rng.sample(sorted(g.nodes()), k)
+        a = wiener_steiner(g, query, backend="dict")
+        b = wiener_steiner(g, query, backend="csr")
+        assert a.nodes == b.nodes
+        assert a.wiener_index == b.wiener_index
+        assert a.metadata["backend"] == "dict"
+        assert b.metadata["backend"] == "csr"
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"adjust": False},
+            {"selection": "a"},
+            {"selection": "wiener"},
+            {"beta": 0.5},
+            {"lambda_values": [1.0, 2.5]},
+        ],
+    )
+    def test_connectors_identical_across_knobs(self, kwargs):
+        for seed in range(4):
+            g = random_connected_graph(45, 0.1, seed + 10100)
+            rng = random.Random(seed)
+            query = rng.sample(sorted(g.nodes()), 4)
+            a = wiener_steiner(g, query, backend="dict", **kwargs)
+            b = wiener_steiner(g, query, backend="csr", **kwargs)
+            assert a.nodes == b.nodes, (seed, kwargs)
+
+    def test_custom_roots_identical(self):
+        g = random_connected_graph(40, 0.12, 10200)
+        query = sorted(g.nodes())[:3]
+        roots = sorted(g.nodes())[:8]
+        a = wiener_steiner(g, query, roots=roots, backend="dict")
+        b = wiener_steiner(g, query, roots=roots, backend="csr")
+        assert a.nodes == b.nodes
+
+    def test_disconnected_host_identical(self):
+        g = Graph([(0, 1), (1, 2), (2, 3), (3, 4), (10, 11), (11, 12)])
+        a = wiener_steiner(g, [0, 4], backend="dict")
+        b = wiener_steiner(g, [0, 4], backend="csr")
+        assert a.nodes == b.nodes == frozenset(range(5))
+
+    def test_auto_backend_picks_csr_on_large_graphs(self):
+        g = random_connected_graph(200, 0.03, 10300)
+        query = sorted(g.nodes())[:3]
+        result = wiener_steiner(g, query)
+        assert result.metadata["backend"] == "csr"
+
+    def test_unknown_backend_raises(self, path5):
+        with pytest.raises(ValueError):
+            wiener_steiner(path5, [0, 4], backend="bogus")

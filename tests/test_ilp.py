@@ -5,7 +5,7 @@ import random
 
 import pytest
 
-from conftest import random_connected_graph
+from helpers import random_connected_graph
 from repro.errors import InvalidQueryError, ReproError
 from repro.core.exact import brute_force
 from repro.graphs.generators import cycle_graph, figure2_gadget, path_graph

@@ -4,7 +4,7 @@ import random
 
 import pytest
 
-from conftest import random_connected_graph
+from helpers import random_connected_graph
 from repro.errors import GraphError
 from repro.graphs.landmarks import LandmarkIndex
 from repro.graphs.generators import barabasi_albert, connectify, path_graph, star_graph

@@ -2,7 +2,7 @@
 
 import pytest
 
-from conftest import random_connected_graph, to_networkx
+from helpers import random_connected_graph, to_networkx
 from repro.graphs.graph import Graph
 from repro.graphs.generators import complete_graph, path_graph, star_graph
 from repro.graphs.metrics import (

@@ -5,7 +5,7 @@ import random
 
 import pytest
 
-from conftest import random_connected_graph
+from helpers import random_connected_graph
 from repro.core.objectives import (
     a_objective,
     b_objective,

@@ -4,7 +4,7 @@ import random
 
 import pytest
 
-from conftest import random_connected_graph
+from helpers import random_connected_graph
 from repro.errors import InvalidQueryError
 from repro.core.parallel import parallel_wiener_steiner
 from repro.core.wiener_steiner import wiener_steiner

@@ -4,7 +4,7 @@ import math
 
 import pytest
 
-from conftest import random_connected_graph
+from helpers import random_connected_graph
 from repro.experiments.reporting import (
     format_quantity,
     percentile,

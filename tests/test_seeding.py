@@ -1,9 +1,15 @@
 """Tests for deterministic experiment seeding."""
 
+import pathlib
 import subprocess
 import sys
 
+import repro
 from repro.workloads.seeding import stable_seed
+
+#: Wherever `repro` was imported from; forwarded to subprocesses so the test
+#: works from a source checkout without an installed package.
+_SRC_DIR = str(pathlib.Path(repro.__file__).resolve().parent.parent)
 
 
 class TestStableSeed:
@@ -35,7 +41,11 @@ class TestStableSeed:
                 [sys.executable, "-c", code],
                 capture_output=True,
                 text=True,
-                env={"PYTHONHASHSEED": hash_seed, "PATH": "/usr/bin:/bin"},
+                env={
+                    "PYTHONHASHSEED": hash_seed,
+                    "PATH": "/usr/bin:/bin",
+                    "PYTHONPATH": _SRC_DIR,
+                },
             )
             assert result.returncode == 0, result.stderr
             outputs.add(result.stdout.strip())

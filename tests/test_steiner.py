@@ -5,7 +5,7 @@ import random
 
 import pytest
 
-from conftest import random_connected_graph
+from helpers import random_connected_graph
 from repro.errors import DisconnectedGraphError, InvalidQueryError
 from repro.graphs.graph import Graph, WeightedGraph
 from repro.graphs.components import is_tree

@@ -2,7 +2,7 @@
 
 import pytest
 
-from conftest import random_connected_graph, to_networkx
+from helpers import random_connected_graph, to_networkx
 from repro.errors import NodeNotFoundError
 from repro.graphs.graph import Graph, WeightedGraph
 from repro.graphs.traversal import (

@@ -4,7 +4,7 @@ import random
 
 import pytest
 
-from conftest import random_connected_graph
+from helpers import random_connected_graph
 from repro.errors import DisconnectedGraphError, InvalidQueryError
 from repro.core.exact import brute_force
 from repro.core.wiener_steiner import (

@@ -4,7 +4,7 @@ import random
 
 import pytest
 
-from conftest import random_connected_graph
+from helpers import random_connected_graph
 from repro.errors import InvalidQueryError
 from repro.communities import make_community_graph
 from repro.workloads import (
