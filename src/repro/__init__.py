@@ -6,6 +6,9 @@ pairwise shortest-path distances).  The package ships:
 
 * :func:`repro.minimum_wiener_connector` — the paper's constant-factor
   approximation algorithm (``ws-q``);
+* :class:`repro.ConnectorService` — the persistent serving API: build one
+  index per graph, then ``solve`` / ``solve_many`` many queries against it
+  (cached roots, candidates, and results; optional process parallelism);
 * exact algorithms and certified lower bounds (``repro.core.exact``,
   ``repro.solvers``);
 * the evaluation baselines ``ppr``, ``cps``, ``ctp``, ``st``
@@ -37,6 +40,8 @@ from repro.errors import (
 from repro.graphs import Graph, WeightedGraph, wiener_index
 from repro.core import (
     ConnectorResult,
+    ConnectorService,
+    SolveOptions,
     minimum_wiener_connector,
     steiner_tree_unweighted,
     wiener_steiner,
@@ -49,6 +54,8 @@ __all__ = [
     "WeightedGraph",
     "wiener_index",
     "ConnectorResult",
+    "ConnectorService",
+    "SolveOptions",
     "minimum_wiener_connector",
     "wiener_steiner",
     "steiner_tree_unweighted",

@@ -10,33 +10,69 @@ cps     Center-piece Subgraph (RWR + Hadamard product)
 ctp     Cocktail-Party community search (BFS-restricted greedy)
 ======  ==========================================================
 
-``METHODS`` maps tags to callables with the uniform signature
-``(graph, query) -> ConnectorResult`` for the experiment harness.
+Every ``METHODS`` value satisfies the :class:`repro.core.options.Method`
+protocol — ``solve(graph, query, options)`` plus a ``name`` tag — so the
+experiment harness, the CLI, and :class:`repro.core.service.ConnectorService`
+dispatch every method uniformly through :class:`SolveOptions` instead of
+per-method keyword soups.  The entries remain *callable* with the legacy
+``(graph, query, **kwargs)`` convention, so pre-redesign call sites keep
+working unchanged.
 """
 
-from collections.abc import Callable, Iterable
+from collections.abc import Iterable
 
 from repro.baselines.cps import cps_connector
 from repro.baselines.ctp import ctp_connector
 from repro.baselines.ppr import ppr_connector
 from repro.baselines.steiner_baseline import steiner_connector
+from repro.core.options import FunctionMethod, Method, SolveOptions
 from repro.core.result import ConnectorResult
 from repro.core.wiener_steiner import wiener_steiner
 from repro.graphs.graph import Graph, Node
 
-ConnectorMethod = Callable[[Graph, Iterable[Node]], ConnectorResult]
+#: Back-compat alias — the registry's value type used to be a bare
+#: ``Callable[[Graph, Iterable[Node]], ConnectorResult]``.
+ConnectorMethod = Method
 
-METHODS: dict[str, ConnectorMethod] = {
-    "ws-q": wiener_steiner,
-    "st": steiner_connector,
-    "ppr": ppr_connector,
-    "cps": cps_connector,
-    "ctp": ctp_connector,
+
+class _WienerSteinerMethod:
+    """``ws-q`` as a :class:`Method`: a throwaway service per solve."""
+
+    name = "ws-q"
+
+    def solve(
+        self,
+        graph: Graph,
+        query: Iterable[Node],
+        options: SolveOptions | None = None,
+    ) -> ConnectorResult:
+        from repro.core.service import ConnectorService
+
+        if options is not None and options.method not in ("ws-q",):
+            options = options.replace(method="ws-q")
+        return ConnectorService(
+            graph, options, max_cached_roots=None
+        ).solve(query)
+
+    def __call__(self, graph: Graph, query: Iterable[Node], **kwargs):
+        return wiener_steiner(graph, query, **kwargs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return f"{type(self).__name__}({self.name!r})"
+
+
+METHODS: dict[str, Method] = {
+    "ws-q": _WienerSteinerMethod(),
+    "st": FunctionMethod("st", steiner_connector),
+    "ppr": FunctionMethod("ppr", ppr_connector),
+    "cps": FunctionMethod("cps", cps_connector),
+    "ctp": FunctionMethod("ctp", ctp_connector),
 }
 
 __all__ = [
     "METHODS",
     "ConnectorMethod",
+    "Method",
     "cps_connector",
     "ctp_connector",
     "ppr_connector",

@@ -4,15 +4,24 @@ Examples
 --------
 ::
 
-    repro list                 # show available experiments
-    repro figure2              # the Steiner-vs-Wiener gadget (instant)
-    repro table2               # approximation quality vs certified bounds
-    repro query email 3 17 42  # run ws-q on a dataset with an ad-hoc query
+    repro list                          # show available experiments
+    repro figure2                       # the Steiner-vs-Wiener gadget (instant)
+    repro table2                        # approximation quality vs certified bounds
+    repro query email 3 17 42           # run ws-q on a dataset with an ad-hoc query
+    repro query email --batch q.txt     # serve a whole batch from one index
+    repro query email 3 17 42 --json    # machine-readable output
+
+Ad-hoc queries are served through
+:class:`repro.core.service.ConnectorService`: the dataset is indexed once
+and every query of the invocation (one positional query, a ``--batch``
+file, or both) reuses the same CSR arrays and caches.  Batch files hold
+one whitespace-separated query per line, or a JSON list of vertex lists.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.experiments import EXPERIMENTS
@@ -35,11 +44,27 @@ def build_parser() -> argparse.ArgumentParser:
         summary = doc[0] if doc else name
         sub.add_parser(name, help=summary)
 
-    query = sub.add_parser("query", help="run ws-q on a dataset with a query set")
+    query = sub.add_parser(
+        "query", help="run a connector method on a dataset with query sets"
+    )
     query.add_argument("dataset", help="stand-in dataset name (see `repro list`)")
-    query.add_argument("vertices", nargs="+", type=int, help="query vertex ids")
+    query.add_argument("vertices", nargs="*", type=int, help="query vertex ids")
     query.add_argument("--method", default="ws-q",
                        help="ws-q, st, ppr, cps or ctp (default ws-q)")
+    query.add_argument("--batch", metavar="FILE",
+                       help="file of additional queries: one whitespace-"
+                            "separated query per line, or a JSON list of "
+                            "vertex lists")
+    query.add_argument("--json", action="store_true", dest="as_json",
+                       help="emit one JSON document instead of text")
+    query.add_argument("--beta", type=float, default=1.0,
+                       help="λ-grid resolution of Algorithm 1 (default 1.0)")
+    query.add_argument("--selection", default="auto",
+                       choices=("a", "wiener", "auto", "sampled"),
+                       help="candidate scoring policy (default auto)")
+    query.add_argument("--backend", default="auto",
+                       choices=("auto", "csr", "dict"),
+                       help="solver backend (default auto)")
     return parser
 
 
@@ -65,23 +90,112 @@ def main(argv: list[str] | None = None) -> int:
     return 0
 
 
+def _canonical_sort(values):
+    """Sort labels canonically: numerically when comparable, else by type
+    name and repr — never the lexicographic-repr order that ranks 10
+    before 2."""
+    try:
+        return sorted(values)
+    except TypeError:
+        return sorted(values, key=lambda v: (type(v).__name__, repr(v)))
+
+
+def _read_batch(path: str) -> list[list[int]]:
+    """Parse a batch file: JSON list-of-lists or one query per line."""
+    with open(path, encoding="utf-8") as handle:
+        text = handle.read()
+    stripped = text.lstrip()
+    if stripped.startswith(("[", "{")):
+        payload = json.loads(text)
+        if isinstance(payload, dict):
+            payload = payload.get("queries", [])
+        queries = [[int(v) for v in entry] for entry in payload]
+    else:
+        queries = [
+            [int(token) for token in line.split()]
+            for line in text.splitlines()
+            if line.strip() and not line.lstrip().startswith("#")
+        ]
+    return [q for q in queries if q]
+
+
 def _run_query(args: argparse.Namespace) -> int:
     from repro.baselines import METHODS
+    from repro.core.options import SolveOptions
+    from repro.core.service import ConnectorService
     from repro.datasets import load_dataset
 
     if args.method not in METHODS:
         print(f"unknown method {args.method!r}; choose from {sorted(METHODS)}",
               file=sys.stderr)
         return 2
-    graph = load_dataset(args.dataset)
-    missing = [v for v in args.vertices if not graph.has_node(v)]
-    if missing:
-        print(f"vertices not in graph: {missing} (graph has 0..{graph.num_nodes - 1})",
+
+    queries: list[list[int]] = []
+    if args.vertices:
+        queries.append(args.vertices)
+    if args.batch:
+        try:
+            queries.extend(_read_batch(args.batch))
+        except (OSError, ValueError) as exc:
+            print(f"cannot read batch file {args.batch!r}: {exc}",
+                  file=sys.stderr)
+            return 2
+    if not queries:
+        print("no queries: pass vertex ids and/or --batch FILE",
               file=sys.stderr)
         return 2
-    result = METHODS[args.method](graph, args.vertices)
-    print(result.summary())
-    print(f"added vertices: {sorted(map(repr, result.added_nodes))}")
+
+    graph = load_dataset(args.dataset)
+    missing = _canonical_sort(
+        {v for query in queries for v in query if not graph.has_node(v)}
+    )
+    if missing:
+        known = _canonical_sort(graph.nodes())
+        print(
+            f"vertices not in graph: {missing} (dataset {args.dataset!r} has "
+            f"{len(known)} vertices: {known[0]!r} .. {known[-1]!r})",
+            file=sys.stderr,
+        )
+        return 2
+
+    options = SolveOptions(
+        method=args.method,
+        beta=args.beta,
+        selection=args.selection,
+        backend=args.backend,
+    )
+    service = ConnectorService(graph, options)
+    results = service.solve_many(queries)
+
+    if args.as_json:
+        document = {
+            "dataset": args.dataset,
+            "method": args.method,
+            "results": [
+                {
+                    "query": _canonical_sort(result.query),
+                    "nodes": _canonical_sort(result.nodes),
+                    "added": _canonical_sort(result.added_nodes),
+                    "size": result.size,
+                    "wiener_index": result.wiener_index,
+                    "density": result.density,
+                    "metadata": {
+                        key: value
+                        for key, value in result.metadata.items()
+                        if isinstance(value, (int, float, str, bool, type(None)))
+                    },
+                }
+                for result in results
+            ],
+        }
+        print(json.dumps(document, indent=2))
+        return 0
+
+    for query, result in zip(queries, results):
+        if len(results) > 1:
+            print(f"query {_canonical_sort(set(query))}:")
+        print(result.summary())
+        print(f"added vertices: {_canonical_sort(result.added_nodes)}")
     return 0
 
 

@@ -1,8 +1,12 @@
 """The paper's core contribution: the WienerSteiner approximation algorithm,
-its objective-function chain, exact algorithms, and Steiner-tree machinery.
+its objective-function chain, exact algorithms, and Steiner-tree machinery —
+plus the serving layer (:class:`ConnectorService` / :class:`SolveOptions`)
+that amortizes one graph index across many queries.
 """
 
 from repro.core.adjust import ALPHA, adjust_distances, verify_lemma2
+from repro.core.options import FunctionMethod, Method, SolveOptions
+from repro.core.service import ConnectorService, ServiceStats
 from repro.core.exact import (
     brute_force,
     exact_pair,
@@ -44,6 +48,11 @@ from repro.core.wiener_steiner import (
 
 __all__ = [
     "ALPHA",
+    "ConnectorService",
+    "FunctionMethod",
+    "Method",
+    "ServiceStats",
+    "SolveOptions",
     "adjust_distances",
     "verify_lemma2",
     "brute_force",

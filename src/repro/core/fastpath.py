@@ -30,6 +30,8 @@ from __future__ import annotations
 
 import heapq
 import math
+import random
+from collections import OrderedDict
 from collections.abc import Iterable
 
 from repro.core.adjust import adjust_distances
@@ -115,6 +117,7 @@ def _voronoi_phase(
     terminals: list[int],
     indptr_list: list[int] | None = None,
     indices_list: list[int] | None = None,
+    matrix=None,
 ):
     """Mehlhorn phase 1, fastest available route.
 
@@ -131,9 +134,16 @@ def _voronoi_phase(
     positive = bool(len(weights)) and float(weights.min()) > 0.0
     if positive and _scipy_dijkstra is not None:
         n = csr.num_nodes
-        matrix = _scipy_csr_matrix(
-            (weights, csr.indices, csr.indptr), shape=(n, n)
-        )
+        if matrix is not None:
+            # A persistent caller (the engine) hands us a preassembled
+            # matrix over the same (indptr, indices); only the weight
+            # buffer changes between candidates, so skip scipy's
+            # construction-time validation and just overwrite the data.
+            matrix.data[:] = weights
+        else:
+            matrix = _scipy_csr_matrix(
+                (weights, csr.indices, csr.indptr), shape=(n, n)
+            )
         dist_arr = _scipy_dijkstra(
             matrix, directed=True, indices=terminals, min_only=True
         )
@@ -304,6 +314,7 @@ def mehlhorn_steiner_csr(
     terminal_indices: Iterable[int],
     indptr_list: list[int] | None = None,
     indices_list: list[int] | None = None,
+    matrix=None,
 ) -> tuple[list[int], list[tuple[int, int]]]:
     """Mehlhorn's 2-approximation consuming ``(indptr, indices, weights)``.
 
@@ -311,7 +322,9 @@ def mehlhorn_steiner_csr(
     identical to what :func:`repro.core.steiner.mehlhorn_steiner_tree`
     returns (after relabeling) on the equivalent ``WeightedGraph``.
     ``indptr_list``/``indices_list`` let callers reuse pre-converted flat
-    lists across many invocations (the engine does).
+    lists across many invocations (the engine does); ``matrix`` likewise
+    lets them reuse a preassembled scipy matrix whose data buffer is
+    overwritten with ``weights``.
 
     Raises
     ------
@@ -322,7 +335,7 @@ def mehlhorn_steiner_csr(
     if len(terminals) == 1:
         return terminals, []
     dist, parent, closest = _voronoi_phase(
-        csr, weights, terminals, indptr_list, indices_list
+        csr, weights, terminals, indptr_list, indices_list, matrix
     )
     terminals_arr = np.asarray(terminals, dtype=np.int64)
     candidates = _crossing_candidates(csr, weights, dist, closest, terminals_arr)
@@ -369,30 +382,72 @@ class _IndexHost:
 
 
 class CSRWienerSteinerEngine:
-    """Per-call state of ``wiener_steiner(backend="csr")``.
+    """Array-backend engine behind ``wiener_steiner`` and the serving API.
 
     Holds the CSR arrays, the per-root BFS caches (distances, canonical
     parents, and the per-arc ``max(d_r[u], d_r[v])`` used by the Lemma-4
-    reweighting), and the scoring kernels.  One engine serves the whole
-    λ×root sweep of a single query.
+    reweighting), and the scoring kernels.  A one-shot ``wiener_steiner``
+    call builds a throwaway engine for its single λ×root sweep;
+    :class:`repro.core.service.ConnectorService` keeps one alive across
+    many queries so the CSR arrays and root BFS data amortize.
+
+    Parameters
+    ----------
+    graph:
+        The host :class:`~repro.graphs.graph.Graph`; may be omitted when a
+        prebuilt ``csr`` is supplied (the parallel workers do this — they
+        receive only the int arrays, never a pickled graph).
+    csr:
+        A prebuilt :class:`~repro.graphs.csr.CSRGraph` to adopt instead of
+        packing ``graph`` again.
+    max_cached_roots:
+        LRU bound on the per-root BFS cache (each entry holds ``O(|V| +
+        |E|)`` arrays); ``None`` (default) means unbounded — right for a
+        single sweep, wrong for a long-lived service.
     """
 
-    def __init__(self, graph: Graph) -> None:
+    def __init__(
+        self,
+        graph: Graph | None = None,
+        csr: CSRGraph | None = None,
+        max_cached_roots: int | None = None,
+    ) -> None:
         if not HAS_NUMPY:  # pragma: no cover - guarded by the dispatcher
             raise RuntimeError("the CSR backend requires numpy")
+        if graph is None and csr is None:
+            raise ValueError("need a graph or a prebuilt CSRGraph")
         self.graph = graph
-        self.csr = CSRGraph.from_graph(graph)
+        self.csr = csr if csr is not None else CSRGraph.from_graph(graph)
         # Flat-list copies feed the pure-Python heap loops; the scipy route
         # never touches them, so build them lazily.
         self._indptr_list: list[int] | None = None
         self._indices_list: list[int] | None = None
-        self._root_cache: dict[Node, tuple] = {}
+        self._root_cache: OrderedDict[Node, tuple] = OrderedDict()
+        self._max_cached_roots = max_cached_roots
+        self._matrix = None
 
     def _flat_lists(self) -> tuple[list[int], list[int]]:
         if self._indptr_list is None:
             self._indptr_list = self.csr.indptr.tolist()
             self._indices_list = self.csr.indices.tolist()
         return self._indptr_list, self._indices_list
+
+    def _scipy_matrix(self):
+        """A reusable scipy matrix over the CSR structure (weights buffer
+        overwritten per candidate); ``None`` when scipy is absent."""
+        if _scipy_csr_matrix is None:
+            return None
+        if self._matrix is None:
+            n = self.csr.num_nodes
+            self._matrix = _scipy_csr_matrix(
+                (
+                    np.ones(len(self.csr.indices), dtype=np.float64),
+                    self.csr.indices,
+                    self.csr.indptr,
+                ),
+                shape=(n, n),
+            )
+        return self._matrix
 
     # -- line 1: per-root BFS cache -----------------------------------
     def _root_data(self, root: Node):
@@ -403,7 +458,19 @@ class CSRWienerSteinerEngine:
             arc_max = np.maximum(dist[self.csr.arc_src], dist[self.csr.indices])
             cached = (dist, parent, arc_max)
             self._root_cache[root] = cached
+            if (
+                self._max_cached_roots is not None
+                and len(self._root_cache) > self._max_cached_roots
+            ):
+                self._root_cache.popitem(last=False)
+        else:
+            self._root_cache.move_to_end(root)
         return cached
+
+    @property
+    def cached_roots(self) -> int:
+        """How many root BFS entries are currently cached."""
+        return len(self._root_cache)
 
     def unreachable_queries(self, root: Node, query_set) -> list[Node]:
         dist = self._root_data(root)[0]
@@ -432,6 +499,7 @@ class CSRWienerSteinerEngine:
             terminals,
             indptr_list=indptr_list,
             indices_list=indices_list,
+            matrix=self._scipy_matrix(),
         )
         if adjust:
             # Rebuild the (small) tree with dict adjacency in canonical
@@ -464,3 +532,26 @@ class CSRWienerSteinerEngine:
     def score_proxy(self, nodes, root: Node) -> float:
         sub = self.csr.induced(self.csr.indices_for(nodes))
         return len(nodes) * sub.rooted_distance_sum(sub.index_of[root])
+
+    def score_sampled(self, nodes, num_sources: int, seed: int) -> float:
+        """Remark-1 sampled Wiener estimate of ``G[nodes]`` on the arrays.
+
+        Sources are drawn as *positions* into the canonically sorted node
+        list (ascending relabeled index) with ``random.Random(seed)``, the
+        same rule the dict engine applies, so both backends estimate from
+        identical sources and the integer distance sums agree bit-for-bit.
+        """
+        sub = self.csr.induced(self.csr.indices_for(nodes))
+        n = sub.num_nodes
+        if n < 2:
+            return 0.0
+        if num_sources >= n:
+            return sub.wiener_index()
+        positions = random.Random(seed).sample(range(n), num_sources)
+        total = 0
+        for position in positions:
+            dist = sub.bfs_distances(position)
+            if bool((dist < 0).any()):
+                return math.inf
+            total += int(dist.sum())
+        return (total / num_sources) * n / 2

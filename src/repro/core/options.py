@@ -1,0 +1,181 @@
+"""Uniform solve configuration: :class:`SolveOptions` and the :class:`Method` protocol.
+
+Before the serving redesign every entry point grew its own keyword soup —
+``wiener_steiner(beta, roots, selection, adjust, lambda_values, backend)``,
+``parallel_wiener_steiner(max_workers, beta, adjust, backend)``,
+``wiener_steiner_weighted(beta, max_lambda_values)`` — and the baseline
+registry used a third, positional-only convention.  This module collapses
+all of that into two small contracts:
+
+* :class:`SolveOptions` — a frozen (hence hashable, hence cacheable)
+  dataclass carrying every tunable of a connector solve.  It is the cache
+  key unit of :class:`repro.core.service.ConnectorService` and the only
+  payload besides the graph that the parallel workers receive.
+* :class:`Method` — the protocol every connector method implements:
+  ``solve(graph, query, options)`` plus a ``name`` tag.  The paper's
+  algorithm (``ws-q``) and all four baselines (``st``, ``ppr``, ``cps``,
+  ``ctp``) satisfy it, so the experiment harness and the CLI dispatch
+  through one registry without per-method signatures.
+
+``SolveOptions`` validates eagerly: a typo'd ``selection`` or a negative
+``beta`` fails at construction, not halfway through a λ×root sweep.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Iterable
+from typing import Protocol, runtime_checkable
+
+from repro.core.result import ConnectorResult
+from repro.graphs.graph import Graph, Node
+
+#: Valid candidate-scoring policies (see :data:`SolveOptions.selection`).
+SELECTIONS = ("a", "wiener", "auto", "sampled")
+
+#: Valid engine backends (see :data:`SolveOptions.backend`).
+BACKENDS = ("auto", "csr", "dict")
+
+
+@dataclasses.dataclass(frozen=True)
+class SolveOptions:
+    """Every tunable of a connector solve, in one hashable value.
+
+    Attributes
+    ----------
+    method:
+        Method tag dispatched through :data:`repro.baselines.METHODS` —
+        ``"ws-q"`` (default, the paper's algorithm), ``"st"``, ``"ppr"``,
+        ``"cps"`` or ``"ctp"``.
+    beta:
+        λ-grid resolution of Algorithm 1 (the paper suggests ``β = 1``;
+        smaller β tries more λ values).
+    roots:
+        Candidate roots; ``None`` (default) means the query set itself
+        (Lemma 5).  Normalized to a tuple so options stay hashable.
+    selection:
+        Candidate scoring policy: ``"a"`` always uses the proxy
+        ``A(H, r)``; ``"wiener"`` always scores exactly; ``"auto"``
+        (default) scores exactly up to ``exact_threshold`` vertices and by
+        the proxy beyond; ``"sampled"`` scores exactly up to
+        ``exact_threshold`` and by the Remark-1 sampled Wiener estimator
+        (``sample_sources`` BFS sources, deterministically seeded with
+        ``sample_seed``) beyond — the approximate-scoring path for huge
+        candidates.
+    adjust:
+        Apply the Lemma-2 ``AdjustDistances`` rebalancing (default on;
+        turning it off is an ablation).
+    lambda_values:
+        Explicit λ grid overriding the geometric sweep; normalized to a
+        tuple.
+    backend:
+        ``"auto"`` (default), ``"csr"`` or ``"dict"`` — both backends
+        return bit-identical connectors, see :mod:`repro.core.fastpath`.
+    exact_threshold:
+        Largest candidate scored exactly under ``"auto"``/``"sampled"``.
+    sample_sources:
+        BFS source budget of the ``"sampled"`` estimator.
+    sample_seed:
+        Seed of the ``"sampled"`` estimator's source choice — fixed so
+        repeated scoring of one candidate is deterministic (and therefore
+        cacheable and backend-identical).
+    """
+
+    method: str = "ws-q"
+    beta: float = 1.0
+    roots: tuple[Node, ...] | None = None
+    selection: str = "auto"
+    adjust: bool = True
+    lambda_values: tuple[float, ...] | None = None
+    backend: str = "auto"
+    exact_threshold: int = 600
+    sample_sources: int = 64
+    sample_seed: int = 0
+
+    def __post_init__(self) -> None:
+        # Normalize iterable fields to tuples so the options value is
+        # hashable (it is used directly as a cache key).
+        if self.roots is not None and not isinstance(self.roots, tuple):
+            object.__setattr__(self, "roots", tuple(self.roots))
+        if self.lambda_values is not None and not isinstance(
+            self.lambda_values, tuple
+        ):
+            object.__setattr__(self, "lambda_values", tuple(self.lambda_values))
+        if not self.method or not isinstance(self.method, str):
+            raise ValueError(f"method must be a non-empty string, got {self.method!r}")
+        if self.beta <= 0:
+            raise ValueError(f"beta must be positive, got {self.beta}")
+        if self.selection not in SELECTIONS:
+            raise ValueError(
+                f"unknown selection policy {self.selection!r}; "
+                f"choose from {SELECTIONS}"
+            )
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {self.backend!r}; choose from {BACKENDS}"
+            )
+        if self.exact_threshold < 0:
+            raise ValueError(
+                f"exact_threshold must be non-negative, got {self.exact_threshold}"
+            )
+        if self.sample_sources < 1:
+            raise ValueError(
+                f"sample_sources must be at least 1, got {self.sample_sources}"
+            )
+
+    def replace(self, **changes) -> "SolveOptions":
+        """A copy with the given fields changed (re-validated)."""
+        return dataclasses.replace(self, **changes)
+
+
+@runtime_checkable
+class Method(Protocol):
+    """The uniform contract of every connector method.
+
+    ``METHODS[tag]`` values satisfy this protocol; they additionally stay
+    *callable* with the legacy ``(graph, query, **kwargs)`` convention so
+    pre-redesign call sites keep working unchanged.
+    """
+
+    name: str
+
+    def solve(
+        self,
+        graph: Graph,
+        query: Iterable[Node],
+        options: SolveOptions | None = None,
+    ) -> ConnectorResult:
+        """Solve one query on ``graph`` under ``options``."""
+        ...  # pragma: no cover - protocol definition
+
+
+class FunctionMethod:
+    """Adapt a plain ``(graph, query, **kwargs) -> ConnectorResult`` callable.
+
+    The baselines predate :class:`SolveOptions` and take no Algorithm-1
+    tunables, so their adapter simply ignores the options value; it exists
+    to give them the same ``solve``/``name`` surface as ``ws-q``.
+    """
+
+    __slots__ = ("name", "_fn")
+
+    def __init__(self, name: str, fn) -> None:
+        self.name = name
+        self._fn = fn
+
+    def solve(
+        self,
+        graph: Graph,
+        query: Iterable[Node],
+        options: SolveOptions | None = None,
+    ) -> ConnectorResult:
+        return self._fn(graph, query)
+
+    def __call__(self, graph: Graph, query: Iterable[Node], *args, **kwargs):
+        return self._fn(graph, query, *args, **kwargs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return f"{type(self).__name__}({self.name!r})"
+
+
+__all__ = ["BACKENDS", "SELECTIONS", "FunctionMethod", "Method", "SolveOptions"]

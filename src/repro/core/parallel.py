@@ -6,60 +6,22 @@ from their root, sweep λ, build and solve the Steiner instances, and score
 their own candidates (Map); the driver then keeps the best candidate
 (Reduce), for a linear ``|Q|``-fold speedup when the graph fits in memory.
 
-This module implements exactly that with a process pool (Python threads
-would serialize on the GIL).  The graph is shipped to each worker once via
-the pool initializer, not once per root.
+Historically this module owned its own process pool and shipped the whole
+hashable-node ``Graph`` to every worker.  It is now a thin compatibility
+wrapper over :meth:`repro.core.service.ConnectorService.solve_parallel_roots`,
+which ships each worker the two CSR int arrays (plus the label list)
+instead — the pickled payload shrinks from the full adjacency dict to a
+few flat arrays, and the workers rebuild their engines from the arrays
+once per process.
 """
 
 from __future__ import annotations
 
-import math
 from collections.abc import Iterable
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
 
-from repro.errors import InvalidQueryError
+from repro.core.options import SolveOptions
 from repro.core.result import ConnectorResult
-from repro.core.wiener_steiner import wiener_steiner
 from repro.graphs.graph import Graph, Node
-
-# Worker-process globals, installed by _initialize.
-_worker_graph: Graph | None = None
-_worker_options: dict | None = None
-
-
-@dataclass(frozen=True)
-class _RootOutcome:
-    """What a worker reports back for one root (small and picklable)."""
-
-    root: Node
-    nodes: frozenset[Node]
-    wiener: float
-    candidates: int
-
-
-def _initialize(graph: Graph, options: dict) -> None:
-    global _worker_graph, _worker_options
-    _worker_graph = graph
-    _worker_options = options
-
-
-def _solve_root(args: tuple[Node, frozenset[Node]]) -> _RootOutcome:
-    root, query = args
-    assert _worker_graph is not None and _worker_options is not None
-    result = wiener_steiner(
-        _worker_graph,
-        query,
-        roots=[root],
-        selection="wiener",
-        **_worker_options,
-    )
-    return _RootOutcome(
-        root=root,
-        nodes=result.nodes,
-        wiener=result.wiener_index,
-        candidates=result.metadata["candidates"],
-    )
 
 
 def parallel_wiener_steiner(
@@ -75,54 +37,23 @@ def parallel_wiener_steiner(
     Functionally equivalent to :func:`repro.core.wiener_steiner` with
     ``selection="wiener"`` (ties between equal-quality candidates may
     resolve differently).  Worth it when ``|Q|`` and the graph are large
-    enough to amortize process start-up and graph pickling.
+    enough to amortize process start-up and the (now array-sized) worker
+    payload.
 
     Parameters
     ----------
     max_workers:
         Process count; defaults to ``min(|Q|, os.cpu_count())``.
     backend:
-        Forwarded to each worker's :func:`wiener_steiner` call —
-        ``"auto"`` (default), ``"csr"``, or ``"dict"``.  Each worker
-        builds its own CSR arrays once and reuses them across its λ sweep.
+        Forwarded to each worker's engine — ``"auto"`` (default),
+        ``"csr"``, or ``"dict"``.  CSR workers adopt the driver's shared
+        arrays; dict workers still receive the graph.
     """
-    query_set = frozenset(query)
-    if not query_set:
-        raise InvalidQueryError("query set must be non-empty")
-    missing = [q for q in query_set if not graph.has_node(q)]
-    if missing:
-        raise InvalidQueryError(
-            f"query vertices not in graph: {sorted(map(repr, missing))}"
-        )
-    if len(query_set) == 1:
-        return wiener_steiner(graph, query_set)
+    from repro.core.service import ConnectorService
 
-    roots = sorted(query_set, key=repr)
-    options = {"beta": beta, "adjust": adjust, "backend": backend}
-    jobs = [(root, query_set) for root in roots]
-
-    best: _RootOutcome | None = None
-    total_candidates = 0
-    with ProcessPoolExecutor(
-        max_workers=max_workers or len(roots),
-        initializer=_initialize,
-        initargs=(graph, options),
-    ) as pool:
-        for outcome in pool.map(_solve_root, jobs):
-            total_candidates += outcome.candidates
-            if best is None or outcome.wiener < best.wiener:
-                best = outcome
-
-    assert best is not None and best.wiener < math.inf
-    return ConnectorResult(
-        host=graph,
-        nodes=best.nodes,
-        query=query_set,
-        method="ws-q",
-        metadata={
-            "root": best.root,
-            "parallel": True,
-            "workers": max_workers or len(roots),
-            "candidates": total_candidates,
-        },
+    service = ConnectorService(
+        graph,
+        SolveOptions(beta=beta, adjust=adjust, backend=backend,
+                     selection="wiener"),
     )
+    return service.solve_parallel_roots(query, max_workers=max_workers)

@@ -1,0 +1,701 @@
+"""ConnectorService — a persistent multi-query serving API over one graph.
+
+The paper's §6.6 scalability discussion (parallel roots, approximate
+distances) assumes the expensive per-graph state is *reusable*; before
+this module the public API was one-shot — every ``wiener_steiner()`` call
+rebuilt the CSR arrays, re-ran every root BFS, and threw all of it away.
+:class:`ConnectorService` is the layer that amortizes:
+
+* **one graph index** — the CSR arrays (or the dict engine's order map)
+  are built once at construction and shared by every query;
+* **per-root BFS caches with LRU bounds** — Algorithm 1's line-1 BFS data
+  (distances, canonical parents, the Lemma-4 per-arc ``max`` array) is
+  keyed by root and survives across queries, so workloads whose queries
+  share vertices never recompute a root.  The LRU bound keeps a
+  long-lived service's memory proportional to the hot root set, not to
+  the query history;
+* **candidate / score / result caches** — a ``(root, λ, terminals)``
+  candidate, an exact (or deterministic sampled) Wiener score, and a
+  whole ``(query, options)`` result are each pure functions of their key,
+  so repeated and overlapping queries are answered from cache with
+  *bit-identical* connectors;
+* **array-shipping parallelism** — ``solve_many(parallel=True)`` and the
+  per-root map of :func:`repro.core.parallel.parallel_wiener_steiner`
+  send workers the two CSR int arrays (plus the label list), never a
+  pickled ``Graph``; each worker process rebuilds its engine from the
+  arrays once and then serves its share of the batch;
+* **optional landmark index** — a :class:`repro.graphs.landmarks.LandmarkIndex`
+  built once per service (on the shared CSR arrays when numpy is
+  available) for approximate distance queries alongside exact solves.
+
+Identity contract
+-----------------
+
+``ConnectorService.solve`` returns the *same connector, bit for bit*, as
+the one-shot :func:`repro.core.wiener_steiner.wiener_steiner` under equal
+options — cold or warm caches, after LRU eviction, sequentially or in
+parallel.  Every cache key captures the full input of the value it
+stores, and the λ×root sweep below is the same canonical loop the
+one-shot path always ran (``wiener_steiner()`` is now literally a
+throwaway service).  The property-test suite asserts this on random
+corpora.
+
+Quickstart
+----------
+>>> from repro.core.service import ConnectorService
+>>> from repro.datasets import karate_club
+>>> service = ConnectorService(karate_club())
+>>> results = service.solve_many([[12, 25], [12, 26, 30]])
+>>> [sorted(r.query) for r in results]
+[[12, 25], [12, 26, 30]]
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import time
+from collections import OrderedDict
+from collections.abc import Iterable, Sequence
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+
+from repro.errors import DisconnectedGraphError, GraphError, InvalidQueryError
+from repro.core.options import SolveOptions
+from repro.core.result import ConnectorResult
+from repro.core.wiener_steiner import (
+    _lambda_grid,
+    _make_engine,
+    _resolve_backend,
+    _score,
+    _validate_query,
+)
+from repro.graphs.csr import HAS_NUMPY, CSRGraph
+from repro.graphs.graph import Graph, Node
+
+__all__ = ["ConnectorService", "ServiceStats"]
+
+
+class _LRUCache:
+    """A tiny LRU map with hit/miss counters; ``maxsize=None`` = unbounded."""
+
+    __slots__ = ("_data", "_maxsize", "hits", "misses")
+
+    def __init__(self, maxsize: int | None) -> None:
+        if maxsize is not None and maxsize < 1:
+            raise ValueError(f"cache size must be positive or None, got {maxsize}")
+        self._data: OrderedDict = OrderedDict()
+        self._maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key):
+        try:
+            value = self._data[key]
+        except KeyError:
+            self.misses += 1
+            return None
+        self._data.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key, value) -> None:
+        self._data[key] = value
+        self._data.move_to_end(key)
+        if self._maxsize is not None and len(self._data) > self._maxsize:
+            self._data.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+
+@dataclass(frozen=True)
+class ServiceStats:
+    """Cache observability snapshot (see :meth:`ConnectorService.stats`)."""
+
+    queries_served: int
+    result_hits: int
+    result_misses: int
+    candidate_hits: int
+    candidate_misses: int
+    score_hits: int
+    score_misses: int
+    cached_roots: int
+
+
+@dataclass(frozen=True)
+class _Solved:
+    """The picklable outcome of one λ×root sweep (label space)."""
+
+    nodes: frozenset
+    root: object
+    lam: float | None
+    candidates: int
+    key: float
+    backend: str
+    runtime_seconds: float
+
+
+class ConnectorService:
+    """Serve many Min-Wiener-Connector queries from one persistent index.
+
+    Parameters
+    ----------
+    graph:
+        The host graph.  May be ``None`` when a prebuilt ``csr`` is given
+        (the parallel workers construct services this way); such a
+        service can run sweeps but only the graph-holding parent can
+        build :class:`~repro.core.result.ConnectorResult` objects.
+    options:
+        Default :class:`~repro.core.options.SolveOptions` for every solve;
+        individual calls may override them.
+    csr:
+        A prebuilt :class:`~repro.graphs.csr.CSRGraph` to adopt instead of
+        packing ``graph``.
+    max_cached_roots / max_cached_candidates / max_cached_scores /
+    max_cached_results:
+        LRU bounds of the four cache layers (``None`` = unbounded).  The
+        defaults keep a busy service's footprint modest; a throwaway
+        one-shot service never fills them.
+    landmarks:
+        When set, :attr:`landmark_index` lazily builds a
+        :class:`~repro.graphs.landmarks.LandmarkIndex` with this many
+        landmarks, reusing the service's CSR arrays.
+    """
+
+    def __init__(
+        self,
+        graph: Graph | None = None,
+        options: SolveOptions | None = None,
+        *,
+        csr: CSRGraph | None = None,
+        max_cached_roots: int | None = 512,
+        max_cached_candidates: int | None = 4096,
+        max_cached_scores: int | None = 4096,
+        max_cached_results: int | None = 1024,
+        landmarks: int | None = None,
+    ) -> None:
+        if graph is None and csr is None:
+            raise GraphError("ConnectorService needs a graph or a CSRGraph")
+        self.graph = graph
+        self.options = options if options is not None else SolveOptions()
+        self._csr = csr
+        self._engines: dict[str, object] = {}
+        self._max_cached_roots = max_cached_roots
+        self._candidates = _LRUCache(max_cached_candidates)
+        self._scores = _LRUCache(max_cached_scores)
+        self._results = _LRUCache(max_cached_results)
+        self._landmark_count = landmarks
+        self._landmark_index = None
+        self._queries_served = 0
+
+    # ------------------------------------------------------------------
+    # Shape / validation helpers
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        if self.graph is not None:
+            return self.graph.num_nodes
+        return self._csr.num_nodes
+
+    def _has_node(self, node) -> bool:
+        if self.graph is not None:
+            return self.graph.has_node(node)
+        return node in self._csr.index_of
+
+    def _validate(self, query_set: frozenset) -> None:
+        if self.graph is not None:
+            _validate_query(self.graph, query_set)
+            return
+        if not query_set:
+            raise InvalidQueryError("query set must be non-empty")
+        missing = [q for q in query_set if q not in self._csr.index_of]
+        if missing:
+            raise InvalidQueryError(
+                f"query vertices not in graph: {sorted(map(repr, missing))}"
+            )
+
+    def _backend_name(self, options: SolveOptions) -> str:
+        if self.graph is not None:
+            return _resolve_backend(options.backend, self.graph)
+        # CSR-only services (parallel workers) have no dict fallback.
+        if options.backend == "dict":
+            raise GraphError("backend='dict' needs the original graph")
+        if options.backend == "csr" or HAS_NUMPY:
+            return "csr"
+        raise GraphError("a CSR-only service requires numpy")
+
+    def _engine(self, backend_name: str):
+        engine = self._engines.get(backend_name)
+        if engine is None:
+            if backend_name == "csr":
+                from repro.core.fastpath import CSRWienerSteinerEngine
+
+                if self._csr is None:
+                    self._csr = CSRGraph.from_graph(self.graph)
+                engine = CSRWienerSteinerEngine(
+                    self.graph,
+                    csr=self._csr,
+                    max_cached_roots=self._max_cached_roots,
+                )
+            else:
+                engine = _make_engine(
+                    backend_name, self.graph, self._max_cached_roots
+                )
+            self._engines[backend_name] = engine
+        return engine
+
+    def _merge(self, options: SolveOptions | None) -> SolveOptions:
+        if options is None:
+            return self.options
+        if not isinstance(options, SolveOptions):
+            raise TypeError(
+                f"options must be a SolveOptions, got {type(options).__name__}"
+            )
+        return options
+
+    # ------------------------------------------------------------------
+    # The λ×root sweep (Algorithm 1) with service-level caches
+    # ------------------------------------------------------------------
+    def _solve_ws(self, query_set: frozenset, options: SolveOptions) -> _Solved:
+        """Run one WienerSteiner sweep; returns a label-space outcome.
+
+        This is the exact canonical loop of the historical one-shot
+        ``wiener_steiner``: same grid, same root order, same per-query
+        candidate dedup, same strict-improvement selection.  The caches
+        only short-circuit recomputation of pure functions, so warm and
+        cold services return identical outcomes.
+        """
+        started = time.perf_counter()
+        self._validate(query_set)
+        backend_name = self._backend_name(options)
+
+        if len(query_set) == 1:
+            only = next(iter(query_set))
+            return _Solved(
+                nodes=frozenset([only]), root=only, lam=None, candidates=1,
+                key=0.0, backend=backend_name,
+                runtime_seconds=time.perf_counter() - started,
+            )
+
+        root_list = (
+            list(dict.fromkeys(options.roots))
+            if options.roots is not None
+            else sorted(query_set, key=repr)
+        )
+        if not root_list:
+            raise InvalidQueryError("root candidate list must be non-empty")
+
+        engine = self._engine(backend_name)
+
+        # Line 1: one BFS per candidate root (cached by the engine, shared
+        # across every query that mentions the root).
+        for root in root_list:
+            unreachable = engine.unreachable_queries(root, query_set)
+            if unreachable:
+                raise DisconnectedGraphError(
+                    f"query vertices {sorted(map(repr, unreachable))} "
+                    f"unreachable from root {root!r}"
+                )
+
+        grid = (
+            list(options.lambda_values)
+            if options.lambda_values is not None
+            else _lambda_grid(self.num_nodes, options.beta)
+        )
+
+        best_key: float = math.inf
+        best_nodes: frozenset | None = None
+        best_root = None
+        best_lambda: float | None = None
+        scored: dict[frozenset, float] = {}
+
+        for lam in grid:
+            for root in root_list:
+                candidate = self._candidate(
+                    engine, backend_name, root, lam, query_set, options.adjust
+                )
+                if candidate in scored:
+                    continue
+                key = self._score_candidate(engine, candidate, root, options)
+                scored[candidate] = key
+                if key < best_key:
+                    best_key = key
+                    best_nodes = candidate
+                    best_root = root
+                    best_lambda = lam
+
+        assert best_nodes is not None  # the grid and root list are non-empty
+        return _Solved(
+            nodes=best_nodes,
+            root=best_root,
+            lam=best_lambda,
+            candidates=len(scored),
+            key=best_key,
+            backend=backend_name,
+            runtime_seconds=time.perf_counter() - started,
+        )
+
+    def _candidate(
+        self, engine, backend_name: str, root, lam: float, query_set, adjust: bool
+    ) -> frozenset:
+        """One (root, λ) candidate, cached across queries.
+
+        The candidate is a pure function of the key below — the engine's
+        reweighting, Steiner solve, and rebalancing are deterministic —
+        so a cache hit is bit-identical to recomputation.
+        """
+        cache_key = (backend_name, root, lam, query_set, adjust)
+        cached = self._candidates.get(cache_key)
+        if cached is not None:
+            return cached
+        candidate = engine.candidate(root, lam, query_set, adjust)
+        self._candidates.put(cache_key, candidate)
+        return candidate
+
+    def _score_candidate(
+        self, engine, nodes: frozenset, root, options: SolveOptions
+    ) -> float:
+        """Score per the selection policy, caching root-independent kinds.
+
+        Exact and sampled scores depend only on the candidate set (the
+        sampled estimator is deterministically seeded), so they are cached
+        across roots, λ values, *and* queries; the proxy ``A(H, r)`` is
+        root-dependent and cheap, so it is computed directly.  Both
+        backends return bit-equal scores, hence one shared cache.
+        """
+        selection = options.selection
+        use_exact = selection == "wiener" or (
+            selection in ("auto", "sampled")
+            and len(nodes) <= options.exact_threshold
+        )
+        if use_exact:
+            score_key = ("exact", nodes)
+        elif selection == "sampled":
+            score_key = (
+                "sampled", nodes, options.sample_sources, options.sample_seed
+            )
+        else:
+            return engine.score_proxy(nodes, root)
+        cached = self._scores.get(score_key)
+        if cached is not None:
+            return cached
+        value = _score(
+            engine,
+            nodes,
+            root,
+            selection,
+            exact_threshold=options.exact_threshold,
+            sample_sources=options.sample_sources,
+            sample_seed=options.sample_seed,
+        )
+        self._scores.put(score_key, value)
+        return value
+
+    # ------------------------------------------------------------------
+    # Public solving API
+    # ------------------------------------------------------------------
+    def solve(
+        self, query: Iterable[Node], options: SolveOptions | None = None
+    ) -> ConnectorResult:
+        """Solve one query; repeated ``(query, options)`` pairs hit cache.
+
+        Non-``ws-q`` methods (``options.method``) are dispatched through
+        the uniform :data:`repro.baselines.METHODS` registry and cached
+        the same way.
+
+        Cache hits return the *same* :class:`ConnectorResult` object
+        (standard memoization semantics, and what makes repeats
+        bit-identical for free) — treat ``result.metadata`` as read-only,
+        since mutating it would alter every later response for the query.
+        """
+        if self.graph is None:
+            raise GraphError(
+                "this service was built from bare CSR arrays; only sweeps "
+                "are available, not ConnectorResult construction"
+            )
+        opts = self._merge(options)
+        query_set = frozenset(query)
+        result_key = (query_set, opts)
+        cached = self._results.get(result_key)
+        if cached is not None:
+            self._queries_served += 1
+            return cached
+        if opts.method == "ws-q":
+            solved = self._solve_ws(query_set, opts)
+            result = self._to_result(query_set, solved)
+        else:
+            from repro.baselines import METHODS
+
+            try:
+                method = METHODS[opts.method]
+            except KeyError:
+                raise ValueError(
+                    f"unknown method {opts.method!r}; "
+                    f"choose from {sorted(METHODS)}"
+                ) from None
+            result = method.solve(self.graph, query_set, opts)
+        self._results.put(result_key, result)
+        self._queries_served += 1
+        return result
+
+    def solve_many(
+        self,
+        queries: Iterable[Iterable[Node]],
+        options: SolveOptions | None = None,
+        *,
+        parallel: bool = False,
+        max_workers: int | None = None,
+    ) -> list[ConnectorResult]:
+        """Solve a batch of queries; returns results in input order.
+
+        Sequentially (default) the batch flows through :meth:`solve`, so
+        the engine's root BFS cache deduplicates shared roots across
+        queries and repeated queries are free.  With ``parallel=True`` the
+        *distinct* uncached queries are distributed over worker processes
+        that receive the shared CSR int arrays (not a pickled graph) and
+        keep their own engine caches for the jobs they serve.
+        """
+        query_sets = [frozenset(q) for q in queries]
+        opts = self._merge(options)
+        if not parallel or opts.method != "ws-q":
+            return [self.solve(query_set, opts) for query_set in query_sets]
+        return self._solve_many_parallel(query_sets, opts, max_workers)
+
+    def solve_parallel_roots(
+        self,
+        query: Iterable[Node],
+        options: SolveOptions | None = None,
+        *,
+        max_workers: int | None = None,
+    ) -> ConnectorResult:
+        """The §6.6 Map-Reduce: one worker per candidate root.
+
+        Each worker receives the shared CSR arrays, sweeps the λ grid for
+        its single root with exact (``"wiener"``) scoring, and reports the
+        best candidate; the driver keeps the overall winner.  Equivalent
+        in quality to :meth:`solve` with ``selection="wiener"`` (ties
+        between equal-quality candidates may resolve differently).
+        """
+        if self.graph is None:
+            raise GraphError("solve_parallel_roots needs the original graph")
+        opts = self._merge(options).replace(selection="wiener")
+        query_set = frozenset(query)
+        self._validate(query_set)
+        if len(query_set) == 1:
+            return self.solve(query_set, opts)
+
+        roots = sorted(query_set, key=repr)
+        workers = max_workers or min(len(roots), os.cpu_count() or 1)
+        jobs = [(tuple(sorted(query_set, key=repr)), (root,)) for root in roots]
+        payload = self._worker_payload(opts)
+        best: _Solved | None = None
+        total_candidates = 0
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_worker_init,
+            initargs=(payload,),
+        ) as pool:
+            for solved in pool.map(_worker_solve_roots, jobs):
+                total_candidates += solved.candidates
+                if best is None or solved.key < best.key:
+                    best = solved
+
+        assert best is not None and best.key < math.inf
+        self._queries_served += 1
+        return ConnectorResult(
+            host=self.graph,
+            nodes=best.nodes,
+            query=query_set,
+            method="ws-q",
+            metadata={
+                "root": best.root,
+                "parallel": True,
+                "workers": workers,
+                "candidates": total_candidates,
+                "backend": best.backend,
+            },
+        )
+
+    # ------------------------------------------------------------------
+    # Parallel plumbing (array shipping)
+    # ------------------------------------------------------------------
+    def _worker_payload(self, options: SolveOptions):
+        """What a worker process needs to rebuild its engine.
+
+        For the CSR backend that is the two int arrays plus the label
+        list — orders of magnitude less pickling than the dict-of-sets
+        ``Graph`` the old ``core.parallel`` shipped.  The dict backend
+        (no numpy, or forced) still ships the graph.
+        """
+        backend_name = self._backend_name(options)
+        if backend_name == "csr":
+            self._engine("csr")  # ensures self._csr exists
+            csr = self._csr
+            return ("csr", csr.indptr, csr.indices, csr.node_of, options)
+        return ("graph", self.graph, options)
+
+    def _solve_many_parallel(
+        self,
+        query_sets: Sequence[frozenset],
+        opts: SolveOptions,
+        max_workers: int | None,
+    ) -> list[ConnectorResult]:
+        # Deduplicate the batch and strip queries already served: workers
+        # only ever see distinct, uncached work.  Results for this batch
+        # are held in a local map so LRU eviction (a bounded result cache
+        # smaller than the batch) can never lose them mid-call.
+        batch: dict[frozenset, ConnectorResult] = {}
+        pending: list[frozenset] = []
+        pending_set: set[frozenset] = set()
+        for query_set in query_sets:
+            if query_set in batch or query_set in pending_set:
+                continue
+            cached = self._results.get((query_set, opts))
+            if cached is not None:
+                batch[query_set] = cached
+            else:
+                self._validate(query_set)
+                pending.append(query_set)
+                pending_set.add(query_set)
+        if pending:
+            payload = self._worker_payload(opts)
+            jobs = [tuple(sorted(q, key=repr)) for q in pending]
+            workers = max_workers or min(len(pending), os.cpu_count() or 1)
+            with ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_worker_init,
+                initargs=(payload,),
+            ) as pool:
+                for query_set, solved in zip(pending, pool.map(_worker_solve, jobs)):
+                    result = self._to_result(
+                        query_set,
+                        solved,
+                        extra={"parallel": True, "workers": workers},
+                    )
+                    batch[query_set] = result
+                    self._results.put((query_set, opts), result)
+        self._queries_served += len(query_sets)
+        return [batch[query_set] for query_set in query_sets]
+
+    def _to_result(
+        self, query_set: frozenset, solved: _Solved, extra: dict | None = None
+    ) -> ConnectorResult:
+        metadata = {
+            "root": solved.root,
+            "lambda": solved.lam,
+            "candidates": solved.candidates,
+            "backend": solved.backend,
+            "runtime_seconds": solved.runtime_seconds,
+        }
+        if extra:
+            metadata.update(extra)
+        return ConnectorResult(
+            host=self.graph,
+            nodes=solved.nodes,
+            query=query_set,
+            method="ws-q",
+            metadata=metadata,
+        )
+
+    # ------------------------------------------------------------------
+    # Observability / extras
+    # ------------------------------------------------------------------
+    def stats(self) -> ServiceStats:
+        """A snapshot of the cache layers (serving observability)."""
+        cached_roots = 0
+        for engine in self._engines.values():
+            cached_roots += getattr(engine, "cached_roots", 0)
+        return ServiceStats(
+            queries_served=self._queries_served,
+            result_hits=self._results.hits,
+            result_misses=self._results.misses,
+            candidate_hits=self._candidates.hits,
+            candidate_misses=self._candidates.misses,
+            score_hits=self._scores.hits,
+            score_misses=self._scores.misses,
+            cached_roots=cached_roots,
+        )
+
+    @property
+    def landmark_index(self):
+        """The service's shared :class:`LandmarkIndex` (or ``None``).
+
+        Built lazily on first access when the service was constructed
+        with ``landmarks=k`` — one set of landmark BFS tables serves
+        every approximate-distance consumer for the life of the service
+        (the ROADMAP's "landmark reuse across queries" item).
+        """
+        if self._landmark_count is None:
+            return None
+        if self._landmark_index is None:
+            from repro.graphs.landmarks import LandmarkIndex
+
+            if self.graph is None:
+                raise GraphError("a landmark index needs the original graph")
+            if (
+                self._csr is None
+                and HAS_NUMPY
+                and self.graph.num_nodes >= LandmarkIndex.CSR_THRESHOLD
+            ):
+                # Build the service's shared arrays now rather than letting
+                # the index create a private duplicate; the first CSR solve
+                # adopts the same object.
+                self._csr = CSRGraph.from_graph(self.graph)
+            self._landmark_index = LandmarkIndex(
+                self.graph, num_landmarks=self._landmark_count, csr=self._csr
+            )
+        return self._landmark_index
+
+    def estimate_distance(self, u: Node, v: Node) -> float:
+        """Landmark upper bound on ``d_G(u, v)`` (requires ``landmarks=``)."""
+        index = self.landmark_index
+        if index is None:
+            raise GraphError(
+                "construct the service with landmarks=k to enable estimates"
+            )
+        return index.estimate(u, v)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        shape = (
+            f"|V|={self.num_nodes}" if self.graph is not None or self._csr
+            else "?"
+        )
+        return (
+            f"{type(self).__name__}({shape}, served={self._queries_served}, "
+            f"backends={sorted(self._engines)})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Worker-process globals (installed once per process by the initializer).
+# ----------------------------------------------------------------------
+_WORKER_SERVICE: ConnectorService | None = None
+
+
+def _worker_init(payload) -> None:
+    global _WORKER_SERVICE
+    kind = payload[0]
+    if kind == "csr":
+        _, indptr, indices, node_of, options = payload
+        csr = CSRGraph(indptr, indices, node_of)
+        _WORKER_SERVICE = ConnectorService(csr=csr, options=options)
+    else:
+        _, graph, options = payload
+        _WORKER_SERVICE = ConnectorService(graph, options=options)
+
+
+def _worker_solve(query_tuple) -> _Solved:
+    """solve_many job: one full sweep for one query."""
+    assert _WORKER_SERVICE is not None
+    return _WORKER_SERVICE._solve_ws(
+        frozenset(query_tuple), _WORKER_SERVICE.options
+    )
+
+
+def _worker_solve_roots(args) -> _Solved:
+    """parallel-roots job: sweep the λ grid for one pinned root."""
+    assert _WORKER_SERVICE is not None
+    query_tuple, roots = args
+    options = _WORKER_SERVICE.options.replace(roots=roots)
+    return _WORKER_SERVICE._solve_ws(frozenset(query_tuple), options)

@@ -24,8 +24,12 @@ import itertools
 import math
 from collections.abc import Iterable, Mapping
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.errors import DisconnectedGraphError, GraphError, InvalidQueryError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.options import SolveOptions
 from repro.core.steiner import mehlhorn_steiner_tree
 from repro.graphs.graph import Node, WeightedGraph
 from repro.graphs.traversal import dijkstra
@@ -96,17 +100,27 @@ def wiener_steiner_weighted(
     query: Iterable[Node],
     beta: float = 1.0,
     max_lambda_values: int = 24,
+    options: "SolveOptions | None" = None,
 ) -> WeightedConnectorResult:
     """WienerSteiner generalized to positively weighted graphs.
 
     Parameters mirror :func:`repro.core.wiener_steiner`; the λ grid is
     derived from the observed distance range instead of ``[1/√2, √|V|]``.
+    A :class:`repro.core.options.SolveOptions` value may be passed instead
+    of loose keywords — its ``beta`` and (explicit) ``lambda_values``
+    override the corresponding arguments, giving the weighted variant the
+    same configuration surface as the serving API.
 
     Raises
     ------
     InvalidQueryError / DisconnectedGraphError
         As in the unweighted algorithm.
     """
+    explicit_grid: list[float] | None = None
+    if options is not None:
+        beta = options.beta
+        if options.lambda_values is not None:
+            explicit_grid = list(options.lambda_values)
     query_set = frozenset(query)
     if not query_set:
         raise InvalidQueryError("query set must be non-empty")
@@ -132,7 +146,13 @@ def wiener_steiner_weighted(
             )
         distance_cache[root] = (distances, parents)
 
-    grid = _weighted_lambda_grid(distance_cache, query_set, beta, max_lambda_values)
+    grid = (
+        explicit_grid
+        if explicit_grid is not None
+        else _weighted_lambda_grid(
+            distance_cache, query_set, beta, max_lambda_values
+        )
+    )
 
     best_value = math.inf
     best_nodes: frozenset[Node] | None = None

@@ -35,21 +35,34 @@ the scoring kernels are dispatched:
 Both backends break every tie by the canonical relabeled index (see
 :func:`repro.graphs.csr.order_map`), so they return **identical**
 connectors — the property-test suite asserts this on random corpora.
+
+Serving architecture
+--------------------
+
+Since the ConnectorService redesign this module is the *reference layer*:
+it owns the engine primitives (the dict engine, the λ grid, the scoring
+policy) while the λ×root sweep itself lives in
+:class:`repro.core.service.ConnectorService`, which keeps engines, root
+BFS data, candidates, scores and results cached across queries.
+:func:`wiener_steiner` remains the stable one-shot entry point — it now
+builds a throwaway service per call, so its behavior (and its connectors,
+bit for bit) are unchanged while multi-query callers migrate to
+``ConnectorService.solve_many``.
 """
 
 from __future__ import annotations
 
 import math
-import time
+import random
+from collections import OrderedDict
 from collections.abc import Iterable, Mapping
 
-from repro.errors import DisconnectedGraphError, GraphError, InvalidQueryError
+from repro.errors import GraphError, InvalidQueryError
 from repro.core.adjust import adjust_distances
-from repro.core.result import ConnectorResult
 from repro.core.steiner import mehlhorn_steiner_tree
 from repro.graphs.csr import HAS_NUMPY, order_map
 from repro.graphs.graph import Graph, Node, WeightedGraph
-from repro.graphs.traversal import bfs_tree_canonical
+from repro.graphs.traversal import bfs_distances, bfs_tree_canonical
 from repro.graphs.wiener import rooted_distance_sum, wiener_index
 
 #: Candidates at most this large are scored with the exact Wiener index
@@ -91,7 +104,8 @@ def wiener_steiner(
         analysis of Theorem 4); ``"wiener"`` scores every candidate by its
         exact Wiener index; ``"auto"`` (default) uses exact scoring for
         candidates up to :data:`EXACT_SCORING_THRESHOLD` vertices and the
-        proxy beyond.
+        proxy beyond; ``"sampled"`` replaces that proxy tail with the
+        Remark-1 sampled Wiener estimator.
     adjust:
         Apply the Lemma-2 ``AdjustDistances`` rebalancing (default).  The
         approximation guarantee needs it; turning it off is an ablation.
@@ -117,74 +131,24 @@ def wiener_steiner(
     GraphError
         If ``backend="csr"`` is forced while numpy is unavailable.
     """
-    started = time.perf_counter()
-    query_set = frozenset(query)
-    _validate_query(graph, query_set)
-    backend_name = _resolve_backend(backend, graph)
+    from repro.core.options import SolveOptions
+    from repro.core.service import ConnectorService
 
-    if len(query_set) == 1:
-        only = next(iter(query_set))
-        return ConnectorResult(
-            host=graph, nodes=frozenset([only]), query=query_set, method="ws-q",
-            metadata={"root": only, "lambda": None, "candidates": 1,
-                      "backend": backend_name,
-                      "runtime_seconds": time.perf_counter() - started},
-        )
-
-    root_list = list(dict.fromkeys(roots)) if roots is not None else sorted(
-        query_set, key=repr
+    if selection not in ("a", "wiener", "auto", "sampled"):
+        raise ValueError(f"unknown selection policy {selection!r}")
+    options = SolveOptions(
+        beta=beta,
+        roots=tuple(roots) if roots is not None else None,
+        selection=selection,
+        adjust=adjust,
+        lambda_values=tuple(lambda_values) if lambda_values is not None else None,
+        backend=backend,
+        exact_threshold=EXACT_SCORING_THRESHOLD,
     )
-    if not root_list:
-        raise InvalidQueryError("root candidate list must be non-empty")
-
-    engine = _make_engine(backend_name, graph)
-
-    # Line 1: one BFS per query vertex / root candidate (cached by the engine).
-    for root in root_list:
-        unreachable = engine.unreachable_queries(root, query_set)
-        if unreachable:
-            raise DisconnectedGraphError(
-                f"query vertices {sorted(map(repr, unreachable))} unreachable "
-                f"from root {root!r}"
-            )
-
-    grid = list(lambda_values) if lambda_values is not None else _lambda_grid(
-        graph.num_nodes, beta
-    )
-
-    best_key: float = math.inf
-    best_nodes: frozenset[Node] | None = None
-    best_root: Node | None = None
-    best_lambda: float | None = None
-    scored: dict[frozenset[Node], float] = {}
-
-    for lam in grid:
-        for root in root_list:
-            candidate = engine.candidate(root, lam, query_set, adjust)
-            if candidate in scored:
-                continue
-            key = _score(engine, candidate, root, selection)
-            scored[candidate] = key
-            if key < best_key:
-                best_key = key
-                best_nodes = candidate
-                best_root = root
-                best_lambda = lam
-
-    assert best_nodes is not None  # the grid and root list are non-empty
-    return ConnectorResult(
-        host=graph,
-        nodes=best_nodes,
-        query=query_set,
-        method="ws-q",
-        metadata={
-            "root": best_root,
-            "lambda": best_lambda,
-            "candidates": len(scored),
-            "backend": backend_name,
-            "runtime_seconds": time.perf_counter() - started,
-        },
-    )
+    # A throwaway service sweeps once and dies: an unbounded root cache is
+    # right here (every root is revisited per λ pass), while the service
+    # default LRU bound would thrash on sweeps with many hundreds of roots.
+    return ConnectorService(graph, options, max_cached_roots=None).solve(query)
 
 
 #: Public alias matching the paper's problem name.
@@ -207,12 +171,14 @@ def _resolve_backend(backend: str, graph: Graph) -> str:
     raise ValueError(f"unknown backend {backend!r}")
 
 
-def _make_engine(backend_name: str, graph: Graph):
+def _make_engine(
+    backend_name: str, graph: Graph, max_cached_roots: int | None = None
+):
     if backend_name == "csr":
         from repro.core.fastpath import CSRWienerSteinerEngine
 
-        return CSRWienerSteinerEngine(graph)
-    return _DictEngine(graph)
+        return CSRWienerSteinerEngine(graph, max_cached_roots=max_cached_roots)
+    return _DictEngine(graph, max_cached_roots=max_cached_roots)
 
 
 class _DictEngine:
@@ -221,20 +187,37 @@ class _DictEngine:
     Structurally this is the seed implementation — a fresh reweighted
     ``WeightedGraph`` per ``(root, λ)`` instance — with tie-breaks
     canonicalized through the node order map so its output matches the CSR
-    engine's exactly.
+    engine's exactly.  Like the CSR engine, the per-root BFS cache is
+    optionally LRU-bounded so a long-lived service cannot grow without
+    bound.
     """
 
-    def __init__(self, graph: Graph) -> None:
+    def __init__(
+        self, graph: Graph, max_cached_roots: int | None = None
+    ) -> None:
         self.graph = graph
         self._order = order_map(graph)
-        self._root_cache: dict[Node, tuple[dict, dict]] = {}
+        self._root_cache: OrderedDict[Node, tuple[dict, dict]] = OrderedDict()
+        self._max_cached_roots = max_cached_roots
 
     def _root_data(self, root: Node) -> tuple[dict, dict]:
         cached = self._root_cache.get(root)
         if cached is None:
             cached = bfs_tree_canonical(self.graph, root, self._order)
             self._root_cache[root] = cached
+            if (
+                self._max_cached_roots is not None
+                and len(self._root_cache) > self._max_cached_roots
+            ):
+                self._root_cache.popitem(last=False)
+        else:
+            self._root_cache.move_to_end(root)
         return cached
+
+    @property
+    def cached_roots(self) -> int:
+        """How many root BFS entries are currently cached."""
+        return len(self._root_cache)
 
     def unreachable_queries(self, root: Node, query_set) -> list[Node]:
         distances = self._root_data(root)[0]
@@ -270,6 +253,30 @@ class _DictEngine:
 
     def score_proxy(self, nodes, root: Node) -> float:
         return len(nodes) * rooted_distance_sum(self.graph.subgraph(nodes), root)
+
+    def score_sampled(self, nodes, num_sources: int, seed: int) -> float:
+        """Remark-1 sampled Wiener estimate of ``G[nodes]``.
+
+        Sources are sampled as positions into the canonically sorted node
+        list (ascending order-map index) — the exact rule of
+        :meth:`repro.core.fastpath.CSRWienerSteinerEngine.score_sampled` —
+        so both backends score the same candidate identically.
+        """
+        ordered = sorted(nodes, key=self._order.__getitem__)
+        n = len(ordered)
+        if n < 2:
+            return 0.0
+        sub = self.graph.subgraph(nodes)
+        if num_sources >= n:
+            return wiener_index(sub)
+        positions = random.Random(seed).sample(range(n), num_sources)
+        total = 0
+        for position in positions:
+            distances = bfs_distances(sub, ordered[position])
+            if len(distances) != n:
+                return math.inf
+            total += sum(distances.values())
+        return (total / num_sources) * n / 2
 
 
 def _validate_query(graph: Graph, query_set: frozenset[Node]) -> None:
@@ -319,17 +326,31 @@ def _reweighted_graph(
     return reweighted
 
 
-def _score(engine, nodes: frozenset[Node], root: Node, selection: str) -> float:
+def _score(
+    engine,
+    nodes: frozenset[Node],
+    root: Node,
+    selection: str,
+    exact_threshold: int = EXACT_SCORING_THRESHOLD,
+    sample_sources: int = 64,
+    sample_seed: int = 0,
+) -> float:
     """Score a candidate per the selection policy (line 15 / Remark 1).
 
-    Exact Wiener sums are integers, so both engines return bit-equal
-    scores for the same candidate set.
+    ``"a"`` always uses the proxy ``A(H, r)``; ``"wiener"`` always scores
+    exactly; ``"auto"`` scores exactly up to ``exact_threshold`` vertices
+    and by the proxy beyond; ``"sampled"`` replaces that proxy tail with
+    the Remark-1 sampled Wiener estimator (``sample_sources`` BFS sources,
+    deterministically seeded).  Exact and sampled sums are integers, so
+    both engines return bit-equal scores for the same candidate set.
     """
-    if selection not in ("a", "wiener", "auto"):
+    if selection not in ("a", "wiener", "auto", "sampled"):
         raise ValueError(f"unknown selection policy {selection!r}")
     use_exact = selection == "wiener" or (
-        selection == "auto" and len(nodes) <= EXACT_SCORING_THRESHOLD
+        selection in ("auto", "sampled") and len(nodes) <= exact_threshold
     )
     if use_exact:
         return engine.score_exact(nodes)
+    if selection == "sampled":
+        return engine.score_sampled(nodes, sample_sources, sample_seed)
     return engine.score_proxy(nodes, root)

@@ -17,6 +17,7 @@ from collections.abc import Iterable, Mapping
 from dataclasses import dataclass
 
 from repro.baselines import METHODS, ConnectorMethod
+from repro.core.options import SolveOptions
 from repro.core.result import ConnectorResult
 from repro.graphs.centrality import betweenness_centrality
 from repro.graphs.graph import Graph, Node
@@ -84,14 +85,24 @@ def run_methods(
     query: Iterable[Node],
     centrality: Mapping[Node, float],
     methods: Mapping[str, ConnectorMethod] | None = None,
+    options: SolveOptions | None = None,
 ) -> dict[str, SolutionStats]:
-    """Run every method on one query and characterize the solutions."""
+    """Run every method on one query and characterize the solutions.
+
+    Methods satisfying the :class:`~repro.core.options.Method` protocol
+    are dispatched uniformly through ``solve(graph, query, options)``;
+    plain legacy callables are invoked as ``method(graph, query)``.
+    """
     methods = methods if methods is not None else METHODS
     query_list = list(query)
     stats: dict[str, SolutionStats] = {}
     for tag, method in methods.items():
+        solve = getattr(method, "solve", None)
         started = time.perf_counter()
-        result = method(graph, query_list)
+        if solve is not None:
+            result = solve(graph, query_list, options)
+        else:
+            result = method(graph, query_list)
         elapsed = time.perf_counter() - started
         stats[tag] = characterize(result, centrality, runtime_seconds=elapsed)
     return stats

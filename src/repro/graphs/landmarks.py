@@ -15,6 +15,11 @@ because hubs lie on many shortest paths.
 The oracle also powers a fast Wiener-index estimator for very large
 subgraphs, complementing the sampling estimator of
 :mod:`repro.graphs.wiener`.
+
+The tables are built with the CSR array BFS on large graphs (or on a
+prebuilt :class:`~repro.graphs.csr.CSRGraph` passed in by the caller —
+:class:`repro.core.service.ConnectorService` shares its serving arrays
+this way), holding exactly the distances the dict BFS would produce.
 """
 
 from __future__ import annotations
@@ -43,6 +48,12 @@ class LandmarkIndex:
         uniformly.
     rng:
         Randomness for the ``"random"`` strategy.
+    csr:
+        An optional prebuilt :class:`~repro.graphs.csr.CSRGraph` of
+        ``graph`` to run the landmark BFS passes on (the serving layer
+        hands its shared arrays here).  When omitted, a CSR view is built
+        on the fly for large graphs and numpy; either way the tables hold
+        the same distances the dict BFS would produce.
 
     Examples
     --------
@@ -52,12 +63,16 @@ class LandmarkIndex:
     True
     """
 
+    #: Graphs at least this large run their landmark BFS on CSR arrays.
+    CSR_THRESHOLD = 128
+
     def __init__(
         self,
         graph: Graph,
         num_landmarks: int = 16,
         strategy: str = "degree",
         rng: random.Random | None = None,
+        csr=None,
     ) -> None:
         if num_landmarks < 1:
             raise GraphError("need at least one landmark")
@@ -72,8 +87,23 @@ class LandmarkIndex:
         else:
             rng = rng or random.Random(0)
             self.landmarks = rng.sample(nodes, num_landmarks)
+        if csr is None and graph.num_nodes >= self.CSR_THRESHOLD:
+            from repro.graphs.csr import HAS_NUMPY, CSRGraph
+
+            if HAS_NUMPY:
+                csr = CSRGraph.from_graph(graph)
         self._tables: dict[Node, dict[Node, int]] = {
-            landmark: bfs_distances(graph, landmark) for landmark in self.landmarks
+            landmark: self._table(landmark, csr) for landmark in self.landmarks
+        }
+
+    def _table(self, landmark: Node, csr) -> dict[Node, int]:
+        """One landmark's distance table, on arrays when available."""
+        if csr is None:
+            return bfs_distances(self._graph, landmark)
+        dist = csr.bfs_distances(csr.index_of[landmark])
+        node_of = csr.node_of
+        return {
+            node_of[i]: int(d) for i, d in enumerate(dist.tolist()) if d >= 0
         }
 
     def estimate(self, u: Node, v: Node) -> float:

@@ -11,10 +11,11 @@ baseline methods we also provide a pair-sampling estimator, matching the
 paper's Remark 1 ("approximate the Wiener index" for large candidates).
 
 Above :data:`CSR_DISPATCH_THRESHOLD` nodes (and when numpy is available),
-:func:`wiener_index` converts to the CSR array backend once and runs the
-all-sources BFS there — the ``O(|E|)`` relabeling is amortized over the
-``|V|`` traversals.  Distance sums are integers, so the array path returns
-bit-identical values to the dict path.
+:func:`wiener_index` and :func:`wiener_index_sampled` convert to the CSR
+array backend once and run their BFS passes there — the ``O(|E|)``
+relabeling is amortized over the traversals.  Distance sums are integers
+(and the sampled estimator draws the same sources either way), so the
+array paths return bit-identical values to the dict paths.
 """
 
 from __future__ import annotations
@@ -115,9 +116,23 @@ def wiener_index_sampled(
     if n < 2:
         return 0.0
     rng = rng or random.Random()
-    all_nodes = list(graph.nodes())
     if num_sources >= n:
         return wiener_index(graph)
+    csr = _csr_or_none(graph)
+    if csr is not None:
+        # ``rng.sample`` draws the same positions for equal population
+        # sizes, and index order is nodes() insertion order, so the CSR
+        # path samples the very sources the dict path would — the integer
+        # distance sums (and hence the estimate) are bit-identical.
+        sources = rng.sample(range(n), num_sources)
+        total = 0
+        for source in sources:
+            dist = csr.bfs_distances(source)
+            if bool((dist < 0).any()):
+                return math.inf
+            total += int(dist.sum())
+        return (total / num_sources) * n / 2
+    all_nodes = list(graph.nodes())
     sources = rng.sample(all_nodes, num_sources)
     total = 0.0
     for source in sources:

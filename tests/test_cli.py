@@ -52,7 +52,70 @@ class TestMain:
 
     def test_query_bad_vertex(self, capsys):
         assert main(["query", "football", "999999"]) == 2
-        assert "not in graph" in capsys.readouterr().err
+        err = capsys.readouterr().err
+        assert "not in graph" in err
+        assert "115 vertices" in err  # the actual labels, not an assumed range
+
+    def test_query_bad_vertices_sorted_numerically(self, capsys):
+        # repr-sorting would rank 1000 before 200; the canonical sort must not.
+        assert main(["query", "football", "1000", "200"]) == 2
+        assert "[200, 1000]" in capsys.readouterr().err
+
+    def test_query_no_vertices(self, capsys):
+        assert main(["query", "football"]) == 2
+        assert "no queries" in capsys.readouterr().err
+
+    def test_query_batch_file(self, tmp_path, capsys):
+        batch = tmp_path / "queries.txt"
+        batch.write_text("0 1 2\n# a comment\n3 4\n")
+        assert main(["query", "football", "--batch", str(batch)]) == 0
+        out = capsys.readouterr().out
+        assert out.count("ws-q:") == 2
+        assert "query [0, 1, 2]" in out
+
+    def test_query_batch_json_file(self, tmp_path, capsys):
+        batch = tmp_path / "queries.json"
+        batch.write_text('[[0, 1], [2, 3]]')
+        assert main(["query", "football", "--batch", str(batch)]) == 0
+        assert capsys.readouterr().out.count("ws-q:") == 2
+
+    def test_query_batch_missing_file(self, tmp_path, capsys):
+        assert main(
+            ["query", "football", "--batch", str(tmp_path / "nope.txt")]
+        ) == 2
+        assert "cannot read batch file" in capsys.readouterr().err
+
+    def test_query_json_output(self, capsys):
+        import json
+
+        assert main(["query", "football", "0", "1", "2", "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["dataset"] == "football"
+        assert document["method"] == "ws-q"
+        [entry] = document["results"]
+        assert entry["query"] == [0, 1, 2]
+        assert set(entry["query"]) <= set(entry["nodes"])
+        assert entry["wiener_index"] == pytest.approx(entry["wiener_index"])
+        assert entry["metadata"]["backend"] in ("csr", "dict")
+
+    def test_query_batch_matches_one_shot(self, tmp_path, capsys):
+        """The served batch must return exactly the one-shot connectors."""
+        import json
+
+        from repro.core.wiener_steiner import wiener_steiner
+        from repro.datasets import load_dataset
+
+        batch = tmp_path / "queries.json"
+        queries = [[0, 5, 9], [1, 2], [0, 5, 9]]
+        batch.write_text(json.dumps(queries))
+        assert main(
+            ["query", "football", "--batch", str(batch), "--json"]
+        ) == 0
+        document = json.loads(capsys.readouterr().out)
+        graph = load_dataset("football")
+        for query, entry in zip(queries, document["results"]):
+            expected = wiener_steiner(graph, query)
+            assert entry["nodes"] == sorted(expected.nodes)
 
     def test_unknown_command_exits(self):
         with pytest.raises(SystemExit):

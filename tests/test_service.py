@@ -1,0 +1,378 @@
+"""Property tests for the ConnectorService serving layer.
+
+The contract under test is the identity contract of
+:mod:`repro.core.service`: ``ConnectorService.solve`` / ``solve_many`` —
+sequential or parallel, cold or warm caches, before and after LRU
+eviction — must return connectors *identical* to the one-shot
+``wiener_steiner`` on random corpora, while the :class:`SolveOptions` /
+:class:`Method` layer must dispatch every method uniformly.
+"""
+
+import random
+
+import pytest
+
+from helpers import random_connected_graph
+from repro.baselines import METHODS, steiner_connector
+from repro.core.options import FunctionMethod, Method, SolveOptions
+from repro.core.service import ConnectorService
+from repro.core.wiener_steiner import wiener_steiner
+from repro.errors import GraphError, InvalidQueryError
+from repro.graphs.csr import HAS_NUMPY
+from repro.graphs.landmarks import LandmarkIndex
+from repro.graphs.traversal import bfs_distances
+
+BACKENDS = ["dict"] + (["csr"] if HAS_NUMPY else [])
+
+
+def _queries(graph, rng, count, lo=2, hi=5):
+    nodes = sorted(graph.nodes())
+    return [rng.sample(nodes, rng.randint(lo, hi)) for _ in range(count)]
+
+
+def _assert_same(result, reference):
+    assert result.nodes == reference.nodes
+    assert result.metadata["root"] == reference.metadata["root"]
+    assert result.metadata["lambda"] == reference.metadata["lambda"]
+    assert result.metadata["candidates"] == reference.metadata["candidates"]
+
+
+class TestSolveOptions:
+    def test_defaults(self):
+        options = SolveOptions()
+        assert options.method == "ws-q"
+        assert options.selection == "auto"
+        assert options.backend == "auto"
+
+    def test_normalizes_iterables_and_stays_hashable(self):
+        options = SolveOptions(roots=[1, 2], lambda_values=[0.5, 2.0])
+        assert options.roots == (1, 2)
+        assert options.lambda_values == (0.5, 2.0)
+        assert hash(options) == hash(SolveOptions(roots=(1, 2),
+                                                  lambda_values=(0.5, 2.0)))
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"beta": 0.0},
+            {"beta": -1.0},
+            {"selection": "nope"},
+            {"backend": "gpu"},
+            {"method": ""},
+            {"exact_threshold": -1},
+            {"sample_sources": 0},
+        ],
+    )
+    def test_validates_eagerly(self, kwargs):
+        with pytest.raises(ValueError):
+            SolveOptions(**kwargs)
+
+    def test_replace_revalidates(self):
+        options = SolveOptions()
+        assert options.replace(beta=0.5).beta == 0.5
+        with pytest.raises(ValueError):
+            options.replace(selection="bogus")
+
+
+class TestServiceIdentity:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_matches_one_shot_on_random_corpus(self, backend):
+        rng = random.Random(101)
+        for seed in range(4):
+            g = random_connected_graph(rng.randint(28, 64), 0.09, seed)
+            service = ConnectorService(g, SolveOptions(backend=backend))
+            for query in _queries(g, rng, 3):
+                _assert_same(
+                    service.solve(query),
+                    wiener_steiner(g, query, backend=backend),
+                )
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_warm_cache_is_identical_and_hits(self, backend):
+        g = random_connected_graph(40, 0.09, 7)
+        rng = random.Random(7)
+        service = ConnectorService(g, SolveOptions(backend=backend))
+        query = rng.sample(sorted(g.nodes()), 4)
+        cold = service.solve(query)
+        warm = service.solve(query)
+        assert warm is cold  # served straight from the result cache
+        assert service.stats().result_hits == 1
+        _assert_same(warm, wiener_steiner(g, query, backend=backend))
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_identical_after_lru_eviction(self, backend):
+        """Tiny LRU bounds force constant eviction; answers must not change."""
+        g = random_connected_graph(36, 0.1, 13)
+        rng = random.Random(13)
+        service = ConnectorService(
+            g,
+            SolveOptions(backend=backend),
+            max_cached_roots=1,
+            max_cached_candidates=2,
+            max_cached_scores=2,
+            max_cached_results=1,
+        )
+        queries = _queries(g, rng, 3)
+        for _ in range(2):  # interleave so every cache layer churns
+            for query in queries:
+                _assert_same(
+                    service.solve(query),
+                    wiener_steiner(g, query, backend=backend),
+                )
+
+    def test_overlapping_queries_reuse_roots(self):
+        g = random_connected_graph(48, 0.09, 5)
+        hot = sorted(g.nodes())[:6]
+        service = ConnectorService(g)
+        service.solve(hot[:4])
+        before = service.stats()
+        service.solve(hot[1:5])  # three shared roots
+        after = service.stats()
+        assert after.cached_roots <= 6
+        assert after.candidate_misses > before.candidate_misses
+
+    def test_solve_many_preserves_order_and_dedups(self):
+        g = random_connected_graph(40, 0.09, 3)
+        rng = random.Random(3)
+        q1, q2 = _queries(g, rng, 2)
+        results = ConnectorService(g).solve_many([q1, q2, q1, q1])
+        assert [sorted(r.query) for r in results] == [
+            sorted(set(q1)), sorted(set(q2)), sorted(set(q1)), sorted(set(q1))
+        ]
+        assert results[2] is results[0]
+        _assert_same(results[0], wiener_steiner(g, q1))
+        _assert_same(results[1], wiener_steiner(g, q2))
+
+    def test_single_vertex_query(self, triangle):
+        result = ConnectorService(triangle).solve([1])
+        assert result.nodes == frozenset([1])
+
+    def test_empty_query_raises(self, triangle):
+        with pytest.raises(InvalidQueryError):
+            ConnectorService(triangle).solve([])
+
+    def test_unknown_vertex_raises(self, triangle):
+        with pytest.raises(InvalidQueryError):
+            ConnectorService(triangle).solve([0, 99])
+
+    def test_empty_roots_raises(self, triangle):
+        with pytest.raises(InvalidQueryError):
+            ConnectorService(triangle).solve([0, 1], SolveOptions(roots=()))
+
+    def test_needs_graph_or_csr(self):
+        with pytest.raises(GraphError):
+            ConnectorService()
+
+    @pytest.mark.skipif(not HAS_NUMPY, reason="needs both backends")
+    def test_backends_identical_through_service(self):
+        g = random_connected_graph(52, 0.08, 17)
+        rng = random.Random(17)
+        csr_service = ConnectorService(g, SolveOptions(backend="csr"))
+        dict_service = ConnectorService(g, SolveOptions(backend="dict"))
+        for query in _queries(g, rng, 3):
+            a = csr_service.solve(query)
+            b = dict_service.solve(query)
+            assert a.nodes == b.nodes
+            assert a.metadata["root"] == b.metadata["root"]
+
+
+class TestParallelServing:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_solve_many_parallel_matches_one_shot(self, backend):
+        g = random_connected_graph(40, 0.1, 23)
+        rng = random.Random(23)
+        queries = _queries(g, rng, 3, lo=2, hi=4)
+        queries.append(queries[0])  # a duplicate the batch must dedupe
+        service = ConnectorService(g, SolveOptions(backend=backend))
+        results = service.solve_many(queries, parallel=True, max_workers=2)
+        assert len(results) == len(queries)
+        for query, result in zip(queries, results):
+            _assert_same(result, wiener_steiner(g, query, backend=backend))
+        assert results[-1] is results[0]
+        assert results[0].metadata["parallel"] is True
+        assert results[0].metadata["workers"] == 2
+
+    def test_parallel_batch_larger_than_result_cache(self):
+        """A result cache smaller than the batch must not lose results
+        mid-call (they are held locally until the batch is assembled)."""
+        g = random_connected_graph(36, 0.1, 67)
+        rng = random.Random(67)
+        queries = _queries(g, rng, 4, lo=2, hi=3)
+        service = ConnectorService(g, max_cached_results=1)
+        results = service.solve_many(queries, parallel=True, max_workers=2)
+        for query, result in zip(queries, results):
+            assert result.nodes == wiener_steiner(g, query).nodes
+
+    def test_parallel_cold_batch_reports_no_phantom_hits(self):
+        g = random_connected_graph(36, 0.1, 73)
+        rng = random.Random(73)
+        queries = _queries(g, rng, 3, lo=2, hi=3)
+        service = ConnectorService(g)
+        service.solve_many(queries, parallel=True, max_workers=2)
+        stats = service.stats()
+        assert stats.result_hits == 0
+        assert stats.result_misses == len(queries)
+        assert stats.queries_served == len(queries)
+
+    def test_parallel_skips_already_cached(self):
+        g = random_connected_graph(36, 0.1, 29)
+        rng = random.Random(29)
+        query = rng.sample(sorted(g.nodes()), 4)
+        service = ConnectorService(g)
+        sequential = service.solve(query)
+        [parallel] = service.solve_many([query], parallel=True, max_workers=2)
+        assert parallel is sequential  # no worker pool touched for it
+
+
+class TestSampledSelection:
+    @pytest.mark.skipif(not HAS_NUMPY, reason="parity needs both backends")
+    def test_backend_parity_when_sampling(self):
+        """``exact_threshold=0`` forces the sampled estimator for every
+        candidate; the backends must still agree bit for bit."""
+        options = SolveOptions(
+            selection="sampled", exact_threshold=0, sample_sources=3
+        )
+        rng = random.Random(31)
+        for seed in range(3):
+            g = random_connected_graph(rng.randint(28, 56), 0.1, seed)
+            query = rng.sample(sorted(g.nodes()), 4)
+            a = wiener_steiner(
+                g, query, selection="sampled", backend="csr"
+            )
+            b = wiener_steiner(
+                g, query, selection="sampled", backend="dict"
+            )
+            assert a.nodes == b.nodes
+            a2 = ConnectorService(g, options.replace(backend="csr")).solve(query)
+            b2 = ConnectorService(g, options.replace(backend="dict")).solve(query)
+            assert a2.nodes == b2.nodes
+
+    def test_sampled_covering_sources_equals_exact(self):
+        g = random_connected_graph(30, 0.12, 37)
+        rng = random.Random(37)
+        query = rng.sample(sorted(g.nodes()), 4)
+        sampled = ConnectorService(
+            g,
+            SolveOptions(selection="sampled", exact_threshold=0,
+                         sample_sources=10_000),
+        ).solve(query)
+        exact = wiener_steiner(g, query, selection="wiener")
+        assert sampled.nodes == exact.nodes
+
+    @pytest.mark.skipif(not HAS_NUMPY, reason="CSR dispatch needs numpy")
+    def test_wiener_index_sampled_csr_matches_dict(self, monkeypatch):
+        import repro.graphs.wiener as wiener_mod
+
+        g = random_connected_graph(150, 0.05, 41)
+        csr_value = wiener_mod.wiener_index_sampled(
+            g, num_sources=12, rng=random.Random(5)
+        )
+        monkeypatch.setattr(wiener_mod, "CSR_DISPATCH_THRESHOLD", 10**9)
+        dict_value = wiener_mod.wiener_index_sampled(
+            g, num_sources=12, rng=random.Random(5)
+        )
+        assert csr_value == dict_value
+
+
+class TestMethodProtocol:
+    def test_registry_satisfies_protocol(self):
+        for tag, method in METHODS.items():
+            assert isinstance(method, Method)
+            assert method.name == tag
+
+    def test_solve_equals_legacy_call(self):
+        g = random_connected_graph(30, 0.12, 43)
+        rng = random.Random(43)
+        query = rng.sample(sorted(g.nodes()), 3)
+        for tag, method in METHODS.items():
+            assert method.solve(g, query).nodes == method(g, query).nodes
+
+    def test_function_method_adapter(self):
+        method = FunctionMethod("st", steiner_connector)
+        g = random_connected_graph(24, 0.15, 47)
+        query = sorted(g.nodes())[:3]
+        assert method.solve(g, query, SolveOptions()).nodes == \
+            steiner_connector(g, query).nodes
+
+    def test_service_dispatches_baselines_uniformly(self):
+        g = random_connected_graph(30, 0.12, 53)
+        rng = random.Random(53)
+        query = rng.sample(sorted(g.nodes()), 3)
+        service = ConnectorService(g)
+        for tag in METHODS:
+            result = service.solve(query, SolveOptions(method=tag))
+            assert result.nodes == METHODS[tag].solve(g, query).nodes
+        # and the per-(query, options) result cache applies to baselines too
+        again = service.solve(query, SolveOptions(method="st"))
+        assert again is service.solve(query, SolveOptions(method="st"))
+
+    def test_unknown_method_raises(self, triangle):
+        with pytest.raises(ValueError):
+            ConnectorService(triangle).solve(
+                [0, 1], SolveOptions(method="frobnicate")
+            )
+
+
+class TestBatchedServingBeatsOneShot:
+    def test_solve_many_faster_and_bit_identical(self):
+        """The acceptance contract at test scale: a skewed request batch is
+        served faster than independent ``wiener_steiner`` calls and returns
+        bit-identical connectors.  (The full 10k/50k reference measurement
+        lives in ``benchmarks/bench_serving.py`` / ``BENCH_serving.json``.)
+
+        The margin asserted here is deliberately loose (just *faster*): the
+        service does a deterministic fraction of the one-shot work — 4
+        distinct sweeps instead of 12 — so only pathological scheduler
+        noise could flip the comparison.
+        """
+        import time
+
+        g = random_connected_graph(400, 0.008, 71)
+        rng = random.Random(71)
+        pool = [rng.sample(sorted(g.nodes()), 5) for _ in range(4)]
+        requests = pool + [pool[rng.randrange(4)] for _ in range(8)]
+        rng.shuffle(requests)
+
+        started = time.perf_counter()
+        one_shot = [wiener_steiner(g, query) for query in requests]
+        one_shot_seconds = time.perf_counter() - started
+
+        service = ConnectorService(g)
+        started = time.perf_counter()
+        served = service.solve_many(requests)
+        serving_seconds = time.perf_counter() - started
+
+        for a, b in zip(one_shot, served):
+            assert a.nodes == b.nodes
+        assert service.stats().result_hits == 8
+        assert serving_seconds < one_shot_seconds
+
+
+class TestServiceLandmarks:
+    def test_landmark_index_built_once_and_sound(self):
+        g = random_connected_graph(40, 0.1, 59)
+        service = ConnectorService(g, landmarks=4)
+        index = service.landmark_index
+        assert index is service.landmark_index  # built lazily, then reused
+        nodes = sorted(g.nodes())
+        truth = bfs_distances(g, nodes[0])
+        for v in nodes[1:6]:
+            assert service.estimate_distance(nodes[0], v) >= truth[v]
+
+    def test_no_landmarks_by_default(self, triangle):
+        service = ConnectorService(triangle)
+        assert service.landmark_index is None
+        with pytest.raises(GraphError):
+            service.estimate_distance(0, 1)
+
+    @pytest.mark.skipif(not HAS_NUMPY, reason="CSR tables need numpy")
+    def test_csr_tables_match_dict_tables(self):
+        g = random_connected_graph(150, 0.05, 61)
+        fast = LandmarkIndex(g, num_landmarks=3)
+
+        class _NoCSR(LandmarkIndex):
+            CSR_THRESHOLD = 10**9
+
+        slow = _NoCSR(g, num_landmarks=3)
+        assert fast.landmarks == slow.landmarks
+        assert fast._tables == slow._tables
