@@ -9,6 +9,9 @@ pairwise shortest-path distances).  The package ships:
 * :class:`repro.ConnectorService` — the persistent serving API: build one
   index per graph, then ``solve`` / ``solve_many`` many queries against it
   (cached roots, candidates, and results; optional process parallelism);
+* :class:`repro.ShardedConnectorService` — the scale-out layer: the same
+  contract served by N persistent shard processes behind a
+  consistent-hash router, bit-identical to the one-shot solver;
 * exact algorithms and certified lower bounds (``repro.core.exact``,
   ``repro.solvers``);
 * the evaluation baselines ``ppr``, ``cps``, ``ctp``, ``st``
@@ -41,6 +44,7 @@ from repro.graphs import Graph, WeightedGraph, wiener_index
 from repro.core import (
     ConnectorResult,
     ConnectorService,
+    ShardedConnectorService,
     SolveOptions,
     minimum_wiener_connector,
     steiner_tree_unweighted,
@@ -55,6 +59,7 @@ __all__ = [
     "wiener_index",
     "ConnectorResult",
     "ConnectorService",
+    "ShardedConnectorService",
     "SolveOptions",
     "minimum_wiener_connector",
     "wiener_steiner",

@@ -9,13 +9,17 @@ Examples
     repro table2                        # approximation quality vs certified bounds
     repro query email 3 17 42           # run ws-q on a dataset with an ad-hoc query
     repro query email --batch q.txt     # serve a whole batch from one index
+    repro query email --batch q.txt --shards 4   # ...sharded over 4 processes
     repro query email 3 17 42 --json    # machine-readable output
 
 Ad-hoc queries are served through
 :class:`repro.core.service.ConnectorService`: the dataset is indexed once
 and every query of the invocation (one positional query, a ``--batch``
-file, or both) reuses the same CSR arrays and caches.  Batch files hold
-one whitespace-separated query per line, or a JSON list of vertex lists.
+file, or both) reuses the same CSR arrays and caches.  With ``--shards N``
+the batch is routed across N persistent shard processes
+(:class:`repro.core.sharded.ShardedConnectorService`) instead —
+bit-identical answers, parallel solving.  Batch files hold one
+whitespace-separated query per line, or a JSON list of vertex lists.
 """
 
 from __future__ import annotations
@@ -65,6 +69,10 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--backend", default="auto",
                        choices=("auto", "csr", "dict"),
                        help="solver backend (default auto)")
+    query.add_argument("--shards", type=int, default=0, metavar="N",
+                       help="serve the batch through N persistent shard "
+                            "processes (default 0: one in-process service); "
+                            "answers are bit-identical either way")
     return parser
 
 
@@ -109,6 +117,8 @@ def _read_batch(path: str) -> list[list[int]]:
         payload = json.loads(text)
         if isinstance(payload, dict):
             payload = payload.get("queries", [])
+        if payload and all(isinstance(entry, (int, str)) for entry in payload):
+            payload = [payload]  # a flat list is one query, not a list of them
         queries = [[int(v) for v in entry] for entry in payload]
     else:
         queries = [
@@ -136,7 +146,7 @@ def _run_query(args: argparse.Namespace) -> int:
     if args.batch:
         try:
             queries.extend(_read_batch(args.batch))
-        except (OSError, ValueError) as exc:
+        except (OSError, TypeError, ValueError) as exc:
             print(f"cannot read batch file {args.batch!r}: {exc}",
                   file=sys.stderr)
             return 2
@@ -158,14 +168,27 @@ def _run_query(args: argparse.Namespace) -> int:
         )
         return 2
 
+    if args.shards < 0:
+        print(f"--shards must be non-negative, got {args.shards}",
+              file=sys.stderr)
+        return 2
+
     options = SolveOptions(
         method=args.method,
         beta=args.beta,
         selection=args.selection,
         backend=args.backend,
     )
-    service = ConnectorService(graph, options)
-    results = service.solve_many(queries)
+    if args.shards:
+        from repro.core.sharded import ShardedConnectorService
+
+        with ShardedConnectorService(
+            graph, options, n_shards=args.shards
+        ) as service:
+            results = service.solve_many(queries)
+    else:
+        service = ConnectorService(graph, options)
+        results = service.solve_many(queries)
 
     if args.as_json:
         document = {

@@ -1,12 +1,15 @@
 """The paper's core contribution: the WienerSteiner approximation algorithm,
 its objective-function chain, exact algorithms, and Steiner-tree machinery —
-plus the serving layer (:class:`ConnectorService` / :class:`SolveOptions`)
-that amortizes one graph index across many queries.
+plus the serving layers: :class:`ConnectorService` / :class:`SolveOptions`
+amortize one graph index across many queries, and
+:class:`ShardedConnectorService` partitions that cache state across
+persistent shard processes behind a consistent-hash router.
 """
 
 from repro.core.adjust import ALPHA, adjust_distances, verify_lemma2
 from repro.core.options import FunctionMethod, Method, SolveOptions
-from repro.core.service import ConnectorService, ServiceStats
+from repro.core.service import ConnectorService, ServiceStats, SweepOutcome
+from repro.core.sharded import ShardedConnectorService, ShardedStats
 from repro.core.exact import (
     brute_force,
     exact_pair,
@@ -33,7 +36,7 @@ from repro.core.steiner import (
     tree_total_weight,
     voronoi_dijkstra_canonical,
 )
-from repro.core.parallel import parallel_wiener_steiner
+from repro.core.parallel import parallel_wiener_steiner, sharded_batch
 from repro.core.weighted import (
     WeightedConnectorResult,
     weighted_wiener_index,
@@ -49,6 +52,9 @@ from repro.core.wiener_steiner import (
 __all__ = [
     "ALPHA",
     "ConnectorService",
+    "ShardedConnectorService",
+    "ShardedStats",
+    "SweepOutcome",
     "FunctionMethod",
     "Method",
     "ServiceStats",
@@ -80,6 +86,7 @@ __all__ = [
     "EXACT_SCORING_THRESHOLD",
     "minimum_wiener_connector",
     "parallel_wiener_steiner",
+    "sharded_batch",
     "wiener_steiner",
     "WeightedConnectorResult",
     "weighted_wiener_index",

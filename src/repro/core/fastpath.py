@@ -31,10 +31,10 @@ from __future__ import annotations
 import heapq
 import math
 import random
-from collections import OrderedDict
 from collections.abc import Iterable
 
 from repro.core.adjust import adjust_distances
+from repro.core.lru import LRUCache
 from repro.core.steiner import steiner_tree_from_voronoi
 from repro.graphs.csr import (
     HAS_NUMPY,
@@ -422,8 +422,7 @@ class CSRWienerSteinerEngine:
         # never touches them, so build them lazily.
         self._indptr_list: list[int] | None = None
         self._indices_list: list[int] | None = None
-        self._root_cache: OrderedDict[Node, tuple] = OrderedDict()
-        self._max_cached_roots = max_cached_roots
+        self._root_cache = LRUCache(max_cached_roots)
         self._matrix = None
 
     def _flat_lists(self) -> tuple[list[int], list[int]]:
@@ -457,14 +456,7 @@ class CSRWienerSteinerEngine:
             dist, parent = self.csr.bfs_tree(root_idx)
             arc_max = np.maximum(dist[self.csr.arc_src], dist[self.csr.indices])
             cached = (dist, parent, arc_max)
-            self._root_cache[root] = cached
-            if (
-                self._max_cached_roots is not None
-                and len(self._root_cache) > self._max_cached_roots
-            ):
-                self._root_cache.popitem(last=False)
-        else:
-            self._root_cache.move_to_end(root)
+            self._root_cache.put(root, cached)
         return cached
 
     @property

@@ -24,11 +24,30 @@ all of that into two small contracts:
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 from collections.abc import Iterable
 from typing import Protocol, runtime_checkable
 
 from repro.core.result import ConnectorResult
 from repro.graphs.graph import Graph, Node
+
+def stable_repr(value) -> str:
+    """A repr whose equality tracks *value* equality for digest purposes.
+
+    Plain ``repr`` distinguishes ``1`` from ``1.0`` even though Python
+    (and every cache in this package) treats them as one key; numbers are
+    therefore canonicalized through ``float`` and tuples recurse.  Used by
+    :meth:`SolveOptions.stable_digest` and the sharded router's query
+    hashing so equal keys never land on different shards.
+    """
+    if isinstance(value, bool) or value is None or isinstance(value, str):
+        return repr(value)
+    if isinstance(value, (int, float)):
+        return repr(float(value))
+    if isinstance(value, tuple):
+        return "(" + ",".join(stable_repr(v) for v in value) + ")"
+    return repr(value)
+
 
 #: Valid candidate-scoring policies (see :data:`SolveOptions.selection`).
 SELECTIONS = ("a", "wiener", "auto", "sampled")
@@ -114,6 +133,11 @@ class SolveOptions:
             raise ValueError(
                 f"unknown backend {self.backend!r}; choose from {BACKENDS}"
             )
+        if self.lambda_values is not None and not self.lambda_values:
+            raise ValueError(
+                "lambda_values must be non-empty when given (omit it or "
+                "pass None for the geometric grid)"
+            )
         if self.exact_threshold < 0:
             raise ValueError(
                 f"exact_threshold must be non-negative, got {self.exact_threshold}"
@@ -126,6 +150,23 @@ class SolveOptions:
     def replace(self, **changes) -> "SolveOptions":
         """A copy with the given fields changed (re-validated)."""
         return dataclasses.replace(self, **changes)
+
+    def stable_digest(self) -> bytes:
+        """A process-stable 20-byte digest of this options value.
+
+        ``hash()`` is salted per interpreter (``PYTHONHASHSEED``), so it
+        cannot place keys on a consistent-hash ring that must agree across
+        router restarts and shard processes.  This digest is derived from
+        the :func:`stable_repr` of every field instead: equal options
+        (``beta=1`` and ``beta=1.0`` included) have equal digests in every
+        process, forever — the property the
+        :class:`repro.core.sharded.ShardedConnectorService` router keys on.
+        """
+        fields = tuple(
+            (f.name, stable_repr(getattr(self, f.name)))
+            for f in dataclasses.fields(self)
+        )
+        return hashlib.sha1(repr(fields).encode("utf-8")).digest()
 
 
 @runtime_checkable
@@ -178,4 +219,4 @@ class FunctionMethod:
         return f"{type(self).__name__}({self.name!r})"
 
 
-__all__ = ["BACKENDS", "SELECTIONS", "FunctionMethod", "Method", "SolveOptions"]
+__all__ = ["BACKENDS", "SELECTIONS", "FunctionMethod", "Method", "SolveOptions", "stable_repr"]

@@ -13,6 +13,16 @@ which ships each worker the two CSR int arrays (plus the label list)
 instead — the pickled payload shrinks from the full adjacency dict to a
 few flat arrays, and the workers rebuild their engines from the arrays
 once per process.
+
+Two grains of parallelism live here now:
+
+* :func:`parallel_wiener_steiner` — *within* one query, one worker per
+  candidate root (the paper's Map-Reduce);
+* :func:`sharded_batch` — *across* queries, one persistent
+  :class:`~repro.core.sharded.ShardedConnectorService` shard per worker,
+  torn down when the batch is done.  Callers serving continuous traffic
+  should hold a ``ShardedConnectorService`` open instead of paying the
+  spawn cost per batch.
 """
 
 from __future__ import annotations
@@ -57,3 +67,26 @@ def parallel_wiener_steiner(
                      selection="wiener"),
     )
     return service.solve_parallel_roots(query, max_workers=max_workers)
+
+
+def sharded_batch(
+    graph: Graph,
+    queries: Iterable[Iterable[Node]],
+    options: SolveOptions | None = None,
+    *,
+    n_shards: int | None = None,
+) -> list[ConnectorResult]:
+    """Serve one batch through a throwaway sharded service.
+
+    Spawns a :class:`~repro.core.sharded.ShardedConnectorService`, routes
+    the batch across its shards, and tears the shards down — the
+    batch-scoped convenience for scripts and the CLI.  Results are in
+    input order and bit-identical to one-shot
+    :func:`~repro.core.wiener_steiner.wiener_steiner` calls; long-lived
+    servers should keep the sharded service open across batches so shard
+    caches stay warm.
+    """
+    from repro.core.sharded import ShardedConnectorService
+
+    with ShardedConnectorService(graph, options, n_shards=n_shards) as service:
+        return service.solve_many(queries)

@@ -55,12 +55,12 @@ from __future__ import annotations
 import math
 import os
 import time
-from collections import OrderedDict
 from collections.abc import Iterable, Sequence
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 
 from repro.errors import DisconnectedGraphError, GraphError, InvalidQueryError
+from repro.core.lru import LRUCache
 from repro.core.options import SolveOptions
 from repro.core.result import ConnectorResult
 from repro.core.wiener_steiner import (
@@ -73,45 +73,22 @@ from repro.core.wiener_steiner import (
 from repro.graphs.csr import HAS_NUMPY, CSRGraph
 from repro.graphs.graph import Graph, Node
 
-__all__ = ["ConnectorService", "ServiceStats"]
-
-
-class _LRUCache:
-    """A tiny LRU map with hit/miss counters; ``maxsize=None`` = unbounded."""
-
-    __slots__ = ("_data", "_maxsize", "hits", "misses")
-
-    def __init__(self, maxsize: int | None) -> None:
-        if maxsize is not None and maxsize < 1:
-            raise ValueError(f"cache size must be positive or None, got {maxsize}")
-        self._data: OrderedDict = OrderedDict()
-        self._maxsize = maxsize
-        self.hits = 0
-        self.misses = 0
-
-    def get(self, key):
-        try:
-            value = self._data[key]
-        except KeyError:
-            self.misses += 1
-            return None
-        self._data.move_to_end(key)
-        self.hits += 1
-        return value
-
-    def put(self, key, value) -> None:
-        self._data[key] = value
-        self._data.move_to_end(key)
-        if self._maxsize is not None and len(self._data) > self._maxsize:
-            self._data.popitem(last=False)
-
-    def __len__(self) -> int:
-        return len(self._data)
+__all__ = [
+    "ConnectorService",
+    "ServiceStats",
+    "SweepOutcome",
+    "service_from_payload",
+]
 
 
 @dataclass(frozen=True)
 class ServiceStats:
-    """Cache observability snapshot (see :meth:`ConnectorService.stats`)."""
+    """Cache observability snapshot (see :meth:`ConnectorService.stats`).
+
+    Hit/miss counters cover the whole service lifetime; the ``*_cache_size``
+    fields report *current* occupancy, which is what LRU-bound tests and
+    shard introspection need.
+    """
 
     queries_served: int
     result_hits: int
@@ -121,11 +98,20 @@ class ServiceStats:
     score_hits: int
     score_misses: int
     cached_roots: int
+    result_cache_size: int = 0
+    candidate_cache_size: int = 0
+    score_cache_size: int = 0
 
 
 @dataclass(frozen=True)
-class _Solved:
-    """The picklable outcome of one λ×root sweep (label space)."""
+class SweepOutcome:
+    """The picklable outcome of one λ×root sweep (label space).
+
+    This is the unit the parallel and sharded serving layers ship between
+    processes: everything a graph-holding router needs to build a
+    :class:`~repro.core.result.ConnectorResult`, and nothing it does not
+    (no host graph, no subgraph).
+    """
 
     nodes: frozenset
     root: object
@@ -134,6 +120,10 @@ class _Solved:
     key: float
     backend: str
     runtime_seconds: float
+
+
+#: Backwards-compatible private alias (pre-sharding name).
+_Solved = SweepOutcome
 
 
 class ConnectorService:
@@ -182,9 +172,9 @@ class ConnectorService:
         self._csr = csr
         self._engines: dict[str, object] = {}
         self._max_cached_roots = max_cached_roots
-        self._candidates = _LRUCache(max_cached_candidates)
-        self._scores = _LRUCache(max_cached_scores)
-        self._results = _LRUCache(max_cached_results)
+        self._candidates = LRUCache(max_cached_candidates)
+        self._scores = LRUCache(max_cached_scores)
+        self._results = LRUCache(max_cached_results)
         self._landmark_count = landmarks
         self._landmark_index = None
         self._queries_served = 0
@@ -257,7 +247,7 @@ class ConnectorService:
     # ------------------------------------------------------------------
     # The λ×root sweep (Algorithm 1) with service-level caches
     # ------------------------------------------------------------------
-    def _solve_ws(self, query_set: frozenset, options: SolveOptions) -> _Solved:
+    def _solve_ws(self, query_set: frozenset, options: SolveOptions) -> SweepOutcome:
         """Run one WienerSteiner sweep; returns a label-space outcome.
 
         This is the exact canonical loop of the historical one-shot
@@ -272,19 +262,13 @@ class ConnectorService:
 
         if len(query_set) == 1:
             only = next(iter(query_set))
-            return _Solved(
+            return SweepOutcome(
                 nodes=frozenset([only]), root=only, lam=None, candidates=1,
                 key=0.0, backend=backend_name,
                 runtime_seconds=time.perf_counter() - started,
             )
 
-        root_list = (
-            list(dict.fromkeys(options.roots))
-            if options.roots is not None
-            else sorted(query_set, key=repr)
-        )
-        if not root_list:
-            raise InvalidQueryError("root candidate list must be non-empty")
+        root_list = _root_list(options, query_set)
 
         engine = self._engine(backend_name)
 
@@ -326,7 +310,7 @@ class ConnectorService:
                     best_lambda = lam
 
         assert best_nodes is not None  # the grid and root list are non-empty
-        return _Solved(
+        return SweepOutcome(
             nodes=best_nodes,
             root=best_root,
             lam=best_lambda,
@@ -439,6 +423,31 @@ class ConnectorService:
         self._queries_served += 1
         return result
 
+    def sweep(
+        self, query: Iterable[Node], options: SolveOptions | None = None
+    ) -> SweepOutcome:
+        """Run one λ×root sweep and return its picklable outcome.
+
+        This is the *shard-side worker API*: unlike :meth:`solve` it works
+        on a graph-less (bare-CSR) service, so a shard worker process can
+        serve it, and the graph-holding router turns the outcome into a
+        :class:`ConnectorResult`.  Outcomes are cached in the result LRU
+        under a ``("sweep", query, options)`` key — disjoint from
+        :meth:`solve` keys — so warm re-asks of a shard are answered
+        without recomputation, bit-identically.
+        """
+        opts = self._merge(options)
+        query_set = frozenset(query)
+        cache_key = ("sweep", query_set, opts)
+        cached = self._results.get(cache_key)
+        if cached is not None:
+            self._queries_served += 1
+            return cached
+        outcome = self._solve_ws(query_set, opts)
+        self._results.put(cache_key, outcome)
+        self._queries_served += 1
+        return outcome
+
     def solve_many(
         self,
         queries: Iterable[Iterable[Node]],
@@ -485,21 +494,29 @@ class ConnectorService:
         if len(query_set) == 1:
             return self.solve(query_set, opts)
 
-        roots = sorted(query_set, key=repr)
+        roots = _root_list(opts, query_set)
         workers = max_workers or min(len(roots), os.cpu_count() or 1)
         jobs = [(tuple(sorted(query_set, key=repr)), (root,)) for root in roots]
-        payload = self._worker_payload(opts)
-        best: _Solved | None = None
+        payload = self.worker_payload(opts)
+        best: SweepOutcome | None = None
         total_candidates = 0
-        with ProcessPoolExecutor(
+        pool = ProcessPoolExecutor(
             max_workers=workers,
             initializer=_worker_init,
             initargs=(payload,),
-        ) as pool:
+        )
+        try:
             for solved in pool.map(_worker_solve_roots, jobs):
                 total_candidates += solved.candidates
                 if best is None or solved.key < best.key:
                     best = solved
+        finally:
+            # A worker fault surfaces mid-iteration; without cancelling the
+            # queued jobs the join can only happen after every remaining job
+            # runs, and an interrupted parent leaks pool semaphores.  The
+            # explicit finally-joined shutdown reaps the workers on every
+            # exit path (tests/test_service.py asserts clean teardown).
+            pool.shutdown(wait=True, cancel_futures=True)
 
         assert best is not None and best.key < math.inf
         self._queries_served += 1
@@ -520,20 +537,40 @@ class ConnectorService:
     # ------------------------------------------------------------------
     # Parallel plumbing (array shipping)
     # ------------------------------------------------------------------
-    def _worker_payload(self, options: SolveOptions):
-        """What a worker process needs to rebuild its engine.
+    def worker_payload(
+        self,
+        options: SolveOptions | None = None,
+        *,
+        cache_limits: dict | None = None,
+    ) -> dict:
+        """The picklable seed of a worker-side replica of this service.
 
         For the CSR backend that is the two int arrays plus the label
         list — orders of magnitude less pickling than the dict-of-sets
         ``Graph`` the old ``core.parallel`` shipped.  The dict backend
-        (no numpy, or forced) still ships the graph.
+        (no numpy, or forced) still ships the graph.  ``cache_limits``
+        forwards ``max_cached_*`` constructor bounds to the replica, so a
+        sharded deployment can pin every shard's memory footprint.
+
+        Feed the payload to :func:`service_from_payload` in the worker.
         """
-        backend_name = self._backend_name(options)
-        if backend_name == "csr":
+        opts = self._merge(options)
+        payload: dict = {
+            "options": opts,
+            "limits": dict(cache_limits) if cache_limits else {},
+        }
+        if self._backend_name(opts) == "csr":
             self._engine("csr")  # ensures self._csr exists
             csr = self._csr
-            return ("csr", csr.indptr, csr.indices, csr.node_of, options)
-        return ("graph", self.graph, options)
+            payload.update(
+                kind="csr",
+                indptr=csr.indptr,
+                indices=csr.indices,
+                node_of=csr.node_of,
+            )
+        else:
+            payload.update(kind="graph", graph=self.graph)
+        return payload
 
     def _solve_many_parallel(
         self,
@@ -559,14 +596,15 @@ class ConnectorService:
                 pending.append(query_set)
                 pending_set.add(query_set)
         if pending:
-            payload = self._worker_payload(opts)
+            payload = self.worker_payload(opts)
             jobs = [tuple(sorted(q, key=repr)) for q in pending]
             workers = max_workers or min(len(pending), os.cpu_count() or 1)
-            with ProcessPoolExecutor(
+            pool = ProcessPoolExecutor(
                 max_workers=workers,
                 initializer=_worker_init,
                 initargs=(payload,),
-            ) as pool:
+            )
+            try:
                 for query_set, solved in zip(pending, pool.map(_worker_solve, jobs)):
                     result = self._to_result(
                         query_set,
@@ -575,11 +613,16 @@ class ConnectorService:
                     )
                     batch[query_set] = result
                     self._results.put((query_set, opts), result)
+            finally:
+                # Join the pool on *every* exit path and cancel what never
+                # started: a fault in one worker job must not strand queued
+                # jobs or leak the pool's semaphores past the call.
+                pool.shutdown(wait=True, cancel_futures=True)
         self._queries_served += len(query_sets)
         return [batch[query_set] for query_set in query_sets]
 
     def _to_result(
-        self, query_set: frozenset, solved: _Solved, extra: dict | None = None
+        self, query_set: frozenset, solved: SweepOutcome, extra: dict | None = None
     ) -> ConnectorResult:
         metadata = {
             "root": solved.root,
@@ -615,6 +658,9 @@ class ConnectorService:
             score_hits=self._scores.hits,
             score_misses=self._scores.misses,
             cached_roots=cached_roots,
+            result_cache_size=len(self._results),
+            candidate_cache_size=len(self._candidates),
+            score_cache_size=len(self._scores),
         )
 
     @property
@@ -667,6 +713,41 @@ class ConnectorService:
         )
 
 
+def _root_list(options: SolveOptions, query_set: frozenset) -> list:
+    """The canonical root-candidate list of one sweep.
+
+    Shared by the sequential sweep and the parallel-roots map so the two
+    paths can never diverge on root handling (order, dedup, the Lemma-5
+    default of the query set itself) — divergence here silently breaks the
+    bit-identity contract between them.
+    """
+    roots = (
+        list(dict.fromkeys(options.roots))
+        if options.roots is not None
+        else sorted(query_set, key=repr)
+    )
+    if not roots:
+        raise InvalidQueryError("root candidate list must be non-empty")
+    return roots
+
+
+def service_from_payload(payload: dict) -> ConnectorService:
+    """Rebuild a worker-side :class:`ConnectorService` from a payload.
+
+    The inverse of :meth:`ConnectorService.worker_payload` — this is the
+    whole picklable worker API: a ``"csr"`` payload yields a graph-less
+    service sharing the router's int arrays (it can :meth:`~ConnectorService.sweep`
+    but not build results), a ``"graph"`` payload yields a full replica.
+    Used by both the per-batch pools above and the persistent shard
+    processes of :mod:`repro.core.sharded`.
+    """
+    limits = payload.get("limits") or {}
+    if payload["kind"] == "csr":
+        csr = CSRGraph(payload["indptr"], payload["indices"], payload["node_of"])
+        return ConnectorService(csr=csr, options=payload["options"], **limits)
+    return ConnectorService(payload["graph"], options=payload["options"], **limits)
+
+
 # ----------------------------------------------------------------------
 # Worker-process globals (installed once per process by the initializer).
 # ----------------------------------------------------------------------
@@ -675,17 +756,10 @@ _WORKER_SERVICE: ConnectorService | None = None
 
 def _worker_init(payload) -> None:
     global _WORKER_SERVICE
-    kind = payload[0]
-    if kind == "csr":
-        _, indptr, indices, node_of, options = payload
-        csr = CSRGraph(indptr, indices, node_of)
-        _WORKER_SERVICE = ConnectorService(csr=csr, options=options)
-    else:
-        _, graph, options = payload
-        _WORKER_SERVICE = ConnectorService(graph, options=options)
+    _WORKER_SERVICE = service_from_payload(payload)
 
 
-def _worker_solve(query_tuple) -> _Solved:
+def _worker_solve(query_tuple) -> SweepOutcome:
     """solve_many job: one full sweep for one query."""
     assert _WORKER_SERVICE is not None
     return _WORKER_SERVICE._solve_ws(
@@ -693,7 +767,7 @@ def _worker_solve(query_tuple) -> _Solved:
     )
 
 
-def _worker_solve_roots(args) -> _Solved:
+def _worker_solve_roots(args) -> SweepOutcome:
     """parallel-roots job: sweep the λ grid for one pinned root."""
     assert _WORKER_SERVICE is not None
     query_tuple, roots = args

@@ -1,0 +1,522 @@
+"""ShardedConnectorService — persistent multi-process sharded serving.
+
+The ROADMAP's scaling ladder after the serving layer: partition the
+result/candidate caches and the root-BFS state of a
+:class:`~repro.core.service.ConnectorService` across several *persistent*
+worker processes, with a thin router in front.  A shard is just a service
+holding a subset of the key space — exactly what ``ConnectorService`` was
+designed for — so the router stays small:
+
+* **consistent-hash routing** — each ``(query, options)`` request key is
+  placed on a hash ring (:class:`SolveOptions.stable_digest` plus the
+  canonical query repr, never the per-process-salted ``hash()``) with many
+  virtual points per shard, so equal keys always land on the same shard
+  (cache affinity) and :meth:`ShardedConnectorService.resize` moves only
+  ``~1/n`` of the key space;
+* **persistent shard processes** — unlike ``solve_many(parallel=True)``,
+  whose pool lives for one call, every shard is a long-lived process
+  hosting one ``ConnectorService`` replica seeded with the router's bare
+  CSR int arrays (a pickled ``Graph`` is shipped only on the no-numpy
+  dict fallback).  Each shard keeps its *own* root-BFS / candidate /
+  score / sweep LRU layers, so warm traffic is served from shard-local
+  cache across batches, restarts of nothing;
+* **a thin router** — :meth:`~ShardedConnectorService.solve_many`
+  validates locally, dedupes identical in-flight keys (duplicates within
+  a batch are sent once and fan back out to every position), preserves
+  request order, and turns the shards' picklable
+  :class:`~repro.core.service.SweepOutcome` replies into
+  :class:`~repro.core.result.ConnectorResult` objects on the
+  graph-holding side.
+
+Identity contract
+-----------------
+
+Sharding never changes answers.  For any shard count, cold or warm, before
+and after LRU eviction and :meth:`resize`, every connector returned is
+**bit-identical** to the one-shot
+:func:`~repro.core.wiener_steiner.wiener_steiner` under equal options —
+each shard runs the same canonical λ×root sweep
+(:meth:`ConnectorService.sweep`) on the same arrays, and the router only
+moves bytes.  ``tests/test_sharded.py`` fuzzes this against both the
+one-shot solver and a single ``ConnectorService`` on random corpora.
+
+Rebalancing semantics
+---------------------
+
+:meth:`resize` is legal between batches (the router is synchronous, so
+there are never in-flight requests at call time).  Growing spawns fresh
+shards; shrinking stops the highest-numbered shards and their caches die
+with them.  Retained shards keep their caches.  Keys whose ring ownership
+moved are simply re-solved cold on their new shard — a cache-locality
+event, not a correctness event.
+
+Quickstart
+----------
+>>> from repro.core.sharded import ShardedConnectorService
+>>> from repro.datasets import karate_club
+>>> with ShardedConnectorService(karate_club(), n_shards=2) as service:
+...     results = service.solve_many([[12, 25], [12, 26, 30], [12, 25]])
+>>> [sorted(r.query) for r in results]
+[[12, 25], [12, 26, 30], [12, 25]]
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import os
+from bisect import bisect_right
+from multiprocessing import connection as mp_connection
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from repro.core.options import SolveOptions, stable_repr
+from repro.core.result import ConnectorResult
+from repro.core.service import (
+    ConnectorService,
+    ServiceStats,
+    service_from_payload,
+)
+from repro.graphs.graph import Graph, Node
+
+__all__ = ["ShardedConnectorService", "ShardedStats", "request_digest"]
+
+
+def request_digest(query_set: frozenset, options: SolveOptions) -> bytes:
+    """The stable routing key of one ``(query, options)`` request.
+
+    Built from the canonical repr of the query labels plus
+    :meth:`SolveOptions.stable_digest`, so every router process — today's
+    and a restarted one — places the key identically.
+    """
+    query_part = ",".join(sorted(stable_repr(q) for q in query_set))
+    return hashlib.sha1(
+        query_part.encode("utf-8") + options.stable_digest()
+    ).digest()
+
+
+class _HashRing:
+    """A consistent-hash ring with virtual points per shard.
+
+    ``POINTS_PER_SHARD`` virtual points smooth the load split; lookups
+    walk clockwise to the first point at or after the key's hash.  Adding
+    or removing one shard of ``n`` reassigns ``~1/n`` of the key space —
+    the property that makes :meth:`ShardedConnectorService.resize` cheap
+    for warm caches.
+    """
+
+    POINTS_PER_SHARD = 64
+
+    def __init__(self, shard_ids: Iterable[int]) -> None:
+        points = []
+        for shard_id in shard_ids:
+            for replica in range(self.POINTS_PER_SHARD):
+                token = hashlib.sha1(
+                    f"shard-{shard_id}-point-{replica}".encode("ascii")
+                ).digest()
+                points.append((int.from_bytes(token[:8], "big"), shard_id))
+        points.sort()
+        if not points:
+            raise ValueError("a hash ring needs at least one shard")
+        self._hashes = [point for point, _ in points]
+        self._shard_ids = [shard_id for _, shard_id in points]
+
+    def lookup(self, digest: bytes) -> int:
+        position = bisect_right(
+            self._hashes, int.from_bytes(digest[:8], "big")
+        )
+        if position == len(self._hashes):
+            position = 0  # wrap past the top of the ring
+        return self._shard_ids[position]
+
+
+def _shard_main(connection, payload: dict) -> None:
+    """The shard process body: one service replica, a small message loop.
+
+    Messages are ``("solve", request_id, query_tuple, options)``,
+    ``("stats", request_id)`` and ``("stop",)``.  Every request gets
+    exactly one ``(request_id, status, value)`` reply in receipt order, so
+    the router can account for replies per shard.  Worker faults are
+    caught and shipped back as values — a poisoned query must fail that
+    request, not the shard.
+    """
+    service = service_from_payload(payload)
+    try:
+        while True:
+            message = connection.recv()
+            kind = message[0]
+            if kind == "solve":
+                _, request_id, query_tuple, options = message
+                try:
+                    reply = (request_id, "ok", service.sweep(query_tuple, options))
+                except Exception as exc:
+                    reply = (request_id, "error", exc)
+                connection.send(reply)
+            elif kind == "stats":
+                connection.send((message[1], "ok", service.stats()))
+            elif kind == "stop":
+                break
+    except (EOFError, OSError, KeyboardInterrupt):
+        pass  # router went away; nothing left to serve
+    finally:
+        connection.close()
+
+
+class _Shard:
+    """Router-side handle of one shard process (pipe + process)."""
+
+    def __init__(self, shard_id: int, payload: dict, ctx) -> None:
+        self.shard_id = shard_id
+        self.connection, child_end = ctx.Pipe(duplex=True)
+        self.process = ctx.Process(
+            target=_shard_main,
+            args=(child_end, payload),
+            name=f"connector-shard-{shard_id}",
+            daemon=True,
+        )
+        self.process.start()
+        child_end.close()  # the child owns its end now
+
+    def stop(self, timeout: float = 5.0) -> None:
+        try:
+            self.connection.send(("stop",))
+        except (BrokenPipeError, OSError):
+            pass  # already dead; join below still reaps it
+        self.connection.close()
+        self.process.join(timeout)
+        if self.process.is_alive():  # pragma: no cover - defensive reaping
+            self.process.terminate()
+            self.process.join()
+
+
+@dataclass(frozen=True)
+class ShardedStats:
+    """Router counters plus one :class:`ServiceStats` snapshot per shard."""
+
+    n_shards: int
+    requests_routed: int
+    inflight_deduped: int
+    shards: tuple[ServiceStats, ...]
+
+    @property
+    def queries_served(self) -> int:
+        """Total sweeps served across every live shard."""
+        return sum(stats.queries_served for stats in self.shards)
+
+    @property
+    def result_hits(self) -> int:
+        """Warm sweep-cache hits across every live shard."""
+        return sum(stats.result_hits for stats in self.shards)
+
+
+class ShardedConnectorService:
+    """Route Min-Wiener-Connector queries across persistent shard processes.
+
+    Parameters
+    ----------
+    graph:
+        The host graph; the router keeps it for validation and result
+        construction while shards receive only the payload arrays.
+    options:
+        Default :class:`SolveOptions`, overridable per call (the pair is
+        the routing key, so the same query under different options may
+        live on different shards — by design, results are keyed the same
+        way).
+    n_shards:
+        Shard-process count; defaults to ``min(4, cpu_count)``.
+    max_cached_roots / max_cached_candidates / max_cached_scores /
+    max_cached_results:
+        Forwarded to *every* shard replica, bounding per-shard memory.
+    mp_context:
+        An explicit :mod:`multiprocessing` context (tests pin ``"fork"``
+        where available; the default context works everywhere).
+    """
+
+    #: Most requests a shard may have in flight before the router drains
+    #: its replies.  Bounds both directions of every pipe far below the OS
+    #: buffer size, so arbitrarily large batches scatter without deadlock.
+    MAX_INFLIGHT_PER_SHARD = 16
+
+    def __init__(
+        self,
+        graph: Graph,
+        options: SolveOptions | None = None,
+        *,
+        n_shards: int | None = None,
+        max_cached_roots: int | None = 512,
+        max_cached_candidates: int | None = 4096,
+        max_cached_scores: int | None = 4096,
+        max_cached_results: int | None = 1024,
+        mp_context=None,
+    ) -> None:
+        if n_shards is None:
+            n_shards = min(4, os.cpu_count() or 1)
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be at least 1, got {n_shards}")
+        # The router-side service: validation, payload construction, result
+        # building, and the local fallback for non-"ws-q" methods.  Its own
+        # solve caches see no sharded traffic.
+        self._local = ConnectorService(
+            graph,
+            options,
+            max_cached_roots=max_cached_roots,
+            max_cached_candidates=max_cached_candidates,
+            max_cached_scores=max_cached_scores,
+            max_cached_results=max_cached_results,
+        )
+        self._payload = self._local.worker_payload(
+            cache_limits={
+                "max_cached_roots": max_cached_roots,
+                "max_cached_candidates": max_cached_candidates,
+                "max_cached_scores": max_cached_scores,
+                "max_cached_results": max_cached_results,
+            }
+        )
+        self._ctx = mp_context if mp_context is not None else multiprocessing.get_context()
+        self._shards: dict[int, _Shard] = {}
+        self._ring: _HashRing | None = None
+        self._next_request_id = 0
+        self._requests_routed = 0
+        self._inflight_deduped = 0
+        self._closed = False
+        self.resize(n_shards)
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> Graph:
+        return self._local.graph
+
+    @property
+    def options(self) -> SolveOptions:
+        return self._local.options
+
+    @property
+    def n_shards(self) -> int:
+        return len(self._shards)
+
+    @property
+    def payload_kind(self) -> str:
+        """``"csr"`` (bare int arrays) or ``"graph"`` (no-numpy fallback)."""
+        return self._payload["kind"]
+
+    def resize(self, n_shards: int) -> None:
+        """Grow or shrink the shard set and rebuild the ring.
+
+        Legal between batches only (the synchronous router never holds
+        in-flight requests across calls).  Growing spawns fresh, cold
+        shards; shrinking stops the highest-numbered shards.  Retained
+        shards keep their warm caches, and consistent hashing keeps
+        ``~(n-1)/n`` of the key space pinned to them.
+        """
+        if self._closed:
+            raise RuntimeError("service is closed")
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be at least 1, got {n_shards}")
+        for shard_id in range(len(self._shards), n_shards):
+            self._shards[shard_id] = _Shard(shard_id, self._payload, self._ctx)
+        for shard_id in range(n_shards, len(self._shards)):
+            self._shards.pop(shard_id).stop()
+        self._ring = _HashRing(sorted(self._shards))
+
+    def shard_of(
+        self, query: Iterable[Node], options: SolveOptions | None = None
+    ) -> int:
+        """Which shard serves this ``(query, options)`` key (introspection)."""
+        opts = self._local._merge(options)
+        return self._ring.lookup(request_digest(frozenset(query), opts))
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+    def solve(
+        self, query: Iterable[Node], options: SolveOptions | None = None
+    ) -> ConnectorResult:
+        """Solve one query on its home shard."""
+        return self.solve_many([query], options)[0]
+
+    def solve_many(
+        self,
+        queries: Iterable[Iterable[Node]],
+        options: SolveOptions | None = None,
+    ) -> list[ConnectorResult]:
+        """Solve a batch across the shards; results come back in input order.
+
+        Distinct keys are scattered to their home shards and solved
+        concurrently; identical in-flight keys are sent once and every
+        duplicate position receives the same result object.  Requests the
+        shard replicas cannot serve — non-``ws-q`` methods and, on
+        CSR-seeded shards, a per-call ``backend="dict"`` override, both of
+        which need the host graph — fall back to the router's local
+        service with the same answers.
+        """
+        if self._closed:
+            raise RuntimeError("service is closed")
+        opts = self._local._merge(options)
+        query_sets = [frozenset(query) for query in queries]
+        if opts.method != "ws-q" or (
+            opts.backend == "dict" and self._payload["kind"] == "csr"
+        ):
+            return [self._local.solve(query_set, opts) for query_set in query_sets]
+        for query_set in query_sets:
+            self._local._validate(query_set)
+
+        # Dedupe identical in-flight keys and scatter one request each.
+        # Draining is interleaved with scattering: a pipe buffers only a few
+        # dozen KB per direction, so a router that sent a whole large batch
+        # before reading any reply would deadlock against a shard blocked on
+        # sending its replies.  The per-shard in-flight cap keeps both
+        # directions of every pipe comfortably under the buffer size.
+        routed: dict[frozenset, tuple[int, int]] = {}  # key -> (request_id, shard)
+        pending: dict[int, int] = {}  # shard id -> in-flight request count
+        outcomes: dict[int, object] = {}
+        failures: dict[int, Exception] = {}
+        for query_set in query_sets:
+            if query_set in routed:
+                self._inflight_deduped += 1
+                continue
+            shard_id = self._ring.lookup(request_digest(query_set, opts))
+            if pending.get(shard_id, 0) >= self.MAX_INFLIGHT_PER_SHARD:
+                self._drain(pending, outcomes, failures, below_cap=shard_id)
+            request_id = self._next_request_id
+            self._next_request_id += 1
+            self._send(
+                shard_id,
+                ("solve", request_id, tuple(sorted(query_set, key=repr)), opts),
+            )
+            routed[query_set] = (request_id, shard_id)
+            pending[shard_id] = pending.get(shard_id, 0) + 1
+            self._requests_routed += 1
+        self._drain(pending, outcomes, failures)
+
+        if failures:
+            # Fail the batch with the error of the *earliest* failed request
+            # (deterministic regardless of which shard replied first).
+            raise failures[min(failures)]
+        results: dict[frozenset, ConnectorResult] = {}
+        for query_set, (request_id, shard_id) in routed.items():
+            results[query_set] = self._local._to_result(
+                query_set,
+                outcomes[request_id],
+                extra={"sharded": True, "shard": shard_id, "shards": self.n_shards},
+            )
+        return [results[query_set] for query_set in query_sets]
+
+    def _send(self, shard_id: int, message) -> None:
+        """Send one message to a shard; a dead shard closes the service.
+
+        A half-served batch cannot be completed and leaves replies queued
+        in the surviving pipes, so the only safe reaction to a dead shard
+        process (OOM kill, crash) is to tear the whole service down — the
+        caller gets one clear error now instead of corrupt state later.
+        """
+        try:
+            self._shards[shard_id].connection.send(message)
+        except (BrokenPipeError, OSError):
+            self.close()
+            raise RuntimeError(
+                f"shard {shard_id} died; the sharded service was closed "
+                "and must be rebuilt"
+            ) from None
+
+    def _drain(
+        self,
+        pending: dict[int, int],
+        outcomes: dict[int, object],
+        failures: dict[int, Exception],
+        *,
+        below_cap: int | None = None,
+    ) -> None:
+        """Receive shard replies into ``outcomes`` / ``failures``.
+
+        With ``below_cap=shard_id``, stops as soon as that shard is back
+        under :data:`MAX_INFLIGHT_PER_SHARD` (the mid-scatter drain);
+        otherwise runs until every pipe is empty, even when some replies
+        carry errors — the next batch must find the connections drained.
+        Uses :func:`multiprocessing.connection.wait` so a slow shard never
+        blocks draining the others.
+        """
+        while pending:
+            if (
+                below_cap is not None
+                and pending.get(below_cap, 0) < self.MAX_INFLIGHT_PER_SHARD
+            ):
+                return
+            by_connection = {
+                self._shards[shard_id].connection: shard_id for shard_id in pending
+            }
+            ready = mp_connection.wait(list(by_connection))
+            for connection in ready:
+                shard_id = by_connection[connection]
+                try:
+                    request_id, status, value = connection.recv()
+                except (EOFError, OSError):
+                    self.close()  # see _send: a dead shard poisons the batch
+                    raise RuntimeError(
+                        f"shard {shard_id} died mid-batch; the sharded "
+                        "service was closed and must be rebuilt"
+                    ) from None
+                if status == "ok":
+                    outcomes[request_id] = value
+                else:
+                    failures[request_id] = value
+                pending[shard_id] -= 1
+                if not pending[shard_id]:
+                    del pending[shard_id]
+
+    # ------------------------------------------------------------------
+    # Observability / lifecycle
+    # ------------------------------------------------------------------
+    def stats(self) -> ShardedStats:
+        """Router counters plus a live snapshot from every shard."""
+        if self._closed:
+            raise RuntimeError("service is closed")
+        pending: dict[int, int] = {}
+        snapshots: dict[int, object] = {}
+        failures: dict[int, Exception] = {}
+        for shard_id in list(self._shards):
+            request_id = self._next_request_id
+            self._next_request_id += 1
+            self._send(shard_id, ("stats", request_id))
+            pending[shard_id] = 1
+        self._drain(pending, snapshots, failures)
+        assert not failures  # stats requests cannot fail
+        ordered = tuple(
+            snapshots[request_id]
+            for request_id in sorted(snapshots)
+        )
+        return ShardedStats(
+            n_shards=self.n_shards,
+            requests_routed=self._requests_routed,
+            inflight_deduped=self._inflight_deduped,
+            shards=ordered,
+        )
+
+    def close(self) -> None:
+        """Stop every shard process; idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        while self._shards:
+            _, shard = self._shards.popitem()
+            shard.stop()
+
+    def __enter__(self) -> "ShardedConnectorService":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter shutdown order
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        state = "closed" if self._closed else f"shards={self.n_shards}"
+        return (
+            f"{type(self).__name__}(|V|={self._local.num_nodes}, {state}, "
+            f"routed={self._requests_routed})"
+        )

@@ -54,11 +54,11 @@ from __future__ import annotations
 
 import math
 import random
-from collections import OrderedDict
 from collections.abc import Iterable, Mapping
 
 from repro.errors import GraphError, InvalidQueryError
 from repro.core.adjust import adjust_distances
+from repro.core.lru import LRUCache
 from repro.core.steiner import mehlhorn_steiner_tree
 from repro.graphs.csr import HAS_NUMPY, order_map
 from repro.graphs.graph import Graph, Node, WeightedGraph
@@ -197,21 +197,13 @@ class _DictEngine:
     ) -> None:
         self.graph = graph
         self._order = order_map(graph)
-        self._root_cache: OrderedDict[Node, tuple[dict, dict]] = OrderedDict()
-        self._max_cached_roots = max_cached_roots
+        self._root_cache = LRUCache(max_cached_roots)
 
     def _root_data(self, root: Node) -> tuple[dict, dict]:
         cached = self._root_cache.get(root)
         if cached is None:
             cached = bfs_tree_canonical(self.graph, root, self._order)
-            self._root_cache[root] = cached
-            if (
-                self._max_cached_roots is not None
-                and len(self._root_cache) > self._max_cached_roots
-            ):
-                self._root_cache.popitem(last=False)
-        else:
-            self._root_cache.move_to_end(root)
+            self._root_cache.put(root, cached)
         return cached
 
     @property

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import random
 
-from repro.graphs.graph import Graph
+from repro.graphs.graph import Graph, WeightedGraph
 from repro.graphs.generators import connectify, erdos_renyi
 
 
@@ -20,6 +20,38 @@ def random_connected_graph(n: int, p: float, seed: int) -> Graph:
     """A connected ER graph — helper shared by several test modules."""
     local = random.Random(seed)
     return connectify(erdos_renyi(n, p, rng=local), rng=local)
+
+
+def random_weighted_graph(n: int, num_edges: int, seed: int) -> WeightedGraph:
+    """A random multigraph-free weighted graph with small integer-ish weights."""
+    rng = random.Random(seed)
+    graph = WeightedGraph()
+    for _ in range(num_edges):
+        u, v = rng.sample(range(n), 2)
+        graph.add_edge(u, v, rng.choice([1.0, 2.0, 2.5, 3.0, 4.0]))
+    return graph
+
+
+def random_query_batch(graph: Graph, rng: random.Random, count: int,
+                       lo: int = 2, hi: int = 5) -> list[list]:
+    """``count`` random query sets of size ``lo..hi`` over ``graph``."""
+    nodes = sorted(graph.nodes())
+    return [rng.sample(nodes, rng.randint(lo, hi)) for _ in range(count)]
+
+
+def assert_connector_identical(result, reference) -> None:
+    """Assert two solves are *bit-identical*, not merely equal-quality.
+
+    The shared yardstick of every serving-layer identity test: the vertex
+    sets must match, and so must the sweep trace the solver reports
+    (chosen root, chosen λ, number of distinct candidates scored) — a
+    cache or routing bug that changes *how* the answer was found fails
+    here even when the answer happens to coincide.
+    """
+    assert result.nodes == reference.nodes
+    assert result.query == reference.query
+    for key in ("root", "lambda", "candidates"):
+        assert result.metadata.get(key) == reference.metadata.get(key), key
 
 
 def to_networkx(graph: Graph):

@@ -79,6 +79,20 @@ class TestMain:
         assert main(["query", "football", "--batch", str(batch)]) == 0
         assert capsys.readouterr().out.count("ws-q:") == 2
 
+    def test_query_batch_flat_json_list_is_one_query(self, tmp_path, capsys):
+        """`[1, 2]` is the obvious way to write one query; it must parse as
+        one query, not crash with a TypeError."""
+        batch = tmp_path / "flat.json"
+        batch.write_text("[0, 1, 2]")
+        assert main(["query", "football", "--batch", str(batch)]) == 0
+        assert capsys.readouterr().out.count("ws-q:") == 1
+
+    def test_query_batch_malformed_json_reports_cleanly(self, tmp_path, capsys):
+        batch = tmp_path / "bad.json"
+        batch.write_text('{"queries": 7}')
+        assert main(["query", "football", "--batch", str(batch)]) == 2
+        assert "cannot read batch file" in capsys.readouterr().err
+
     def test_query_batch_missing_file(self, tmp_path, capsys):
         assert main(
             ["query", "football", "--batch", str(tmp_path / "nope.txt")]
@@ -116,6 +130,30 @@ class TestMain:
         for query, entry in zip(queries, document["results"]):
             expected = wiener_steiner(graph, query)
             assert entry["nodes"] == sorted(expected.nodes)
+
+    def test_query_sharded_batch_matches_unsharded(self, tmp_path, capsys):
+        """--shards N must be an invisible deployment knob: same JSON
+        connectors, shard-routing metadata aside."""
+        import json
+
+        batch = tmp_path / "queries.json"
+        batch.write_text(json.dumps([[0, 5, 9], [1, 2], [0, 5, 9]]))
+        assert main(["query", "football", "--batch", str(batch), "--json"]) == 0
+        plain = json.loads(capsys.readouterr().out)
+        assert main(
+            ["query", "football", "--batch", str(batch), "--json",
+             "--shards", "2"]
+        ) == 0
+        sharded = json.loads(capsys.readouterr().out)
+        for a, b in zip(plain["results"], sharded["results"]):
+            assert a["nodes"] == b["nodes"]
+            assert a["metadata"]["root"] == b["metadata"]["root"]
+        assert all(e["metadata"]["sharded"] for e in sharded["results"])
+        assert all(e["metadata"]["shards"] == 2 for e in sharded["results"])
+
+    def test_query_negative_shards_rejected(self, capsys):
+        assert main(["query", "football", "0", "1", "--shards", "-2"]) == 2
+        assert "--shards" in capsys.readouterr().err
 
     def test_unknown_command_exits(self):
         with pytest.raises(SystemExit):

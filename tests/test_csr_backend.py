@@ -12,7 +12,7 @@ import random
 
 import pytest
 
-from helpers import random_connected_graph
+from helpers import random_connected_graph, random_weighted_graph
 from repro.core.fastpath import (
     mehlhorn_steiner_csr,
     voronoi_dijkstra_csr,
@@ -27,7 +27,7 @@ from repro.core.steiner import (
 from repro.core.wiener_steiner import wiener_steiner
 from repro.graphs.csr import HAS_NUMPY, CSRGraph, order_map
 from repro.graphs.generators import connectify, erdos_renyi
-from repro.graphs.graph import Graph, WeightedGraph
+from repro.graphs.graph import Graph
 from repro.graphs.traversal import (
     bfs_distances,
     bfs_tree_canonical,
@@ -37,15 +37,6 @@ from repro.graphs.traversal import (
 from repro.graphs.wiener import rooted_distance_sum, wiener_index
 
 pytestmark = pytest.mark.skipif(not HAS_NUMPY, reason="CSR backend needs numpy")
-
-
-def random_weighted_graph(n: int, num_edges: int, seed: int) -> WeightedGraph:
-    rng = random.Random(seed)
-    graph = WeightedGraph()
-    for _ in range(num_edges):
-        u, v = rng.sample(range(n), 2)
-        graph.add_edge(u, v, rng.choice([1.0, 2.0, 2.5, 3.0, 4.0]))
-    return graph
 
 
 class TestCSRStructure:

@@ -4,9 +4,13 @@ import random
 
 import pytest
 
-from helpers import random_connected_graph
+from helpers import (
+    assert_connector_identical,
+    random_connected_graph,
+    random_query_batch,
+)
 from repro.errors import InvalidQueryError
-from repro.core.parallel import parallel_wiener_steiner
+from repro.core.parallel import parallel_wiener_steiner, sharded_batch
 from repro.core.wiener_steiner import wiener_steiner
 from repro.graphs.components import nodes_connect
 
@@ -30,6 +34,25 @@ class TestParallelWienerSteiner:
         assert result.metadata["parallel"] is True
         assert result.metadata["root"] in set(query)
 
+    def test_honors_caller_root_restriction(self):
+        """Regression: solve_parallel_roots used to discard options.roots
+        and sweep every query vertex."""
+        from repro.core import ConnectorService, SolveOptions
+
+        g = random_connected_graph(60, 0.1, 21)
+        rng = random.Random(21)
+        query = rng.sample(sorted(g.nodes()), 4)
+        pinned = (query[1],)
+        service = ConnectorService(g)
+        result = service.solve_parallel_roots(
+            query, SolveOptions(roots=pinned), max_workers=2
+        )
+        assert result.metadata["root"] == query[1]
+        reference = service.solve(
+            query, SolveOptions(roots=pinned, selection="wiener")
+        )
+        assert result.nodes == reference.nodes
+
     def test_single_vertex_query(self):
         g = random_connected_graph(20, 0.2, 9)
         only = next(iter(g.nodes()))
@@ -43,3 +66,16 @@ class TestParallelWienerSteiner:
     def test_unknown_vertex_raises(self, triangle):
         with pytest.raises(InvalidQueryError):
             parallel_wiener_steiner(triangle, [0, 99])
+
+
+class TestShardedBatch:
+    def test_matches_one_shot_bit_for_bit(self):
+        import multiprocessing
+
+        g = random_connected_graph(48, 0.09, 10)
+        rng = random.Random(10)
+        batch = random_query_batch(g, rng, 3)
+        results = sharded_batch(g, batch, n_shards=2)
+        for query, result in zip(batch, results):
+            assert_connector_identical(result, wiener_steiner(g, query))
+        assert not multiprocessing.active_children()  # torn down with the batch

@@ -49,3 +49,51 @@ class TestConnectorResult:
         b = self.make([0, 1, 2])
         b.metadata["x"] = 1
         assert a == b
+
+
+class TestPickleRoundTrip:
+    """Results cross process boundaries in the parallel/sharded serving
+    layers; the round trip must preserve equality and every derived value
+    while shipping none of the cached derivations."""
+
+    def make(self):
+        g = star_graph(5)
+        return ConnectorResult(
+            host=g,
+            nodes=frozenset([0, 1, 2]),
+            query=frozenset([1, 2]),
+            method="ws-q",
+            metadata={"root": 1, "lambda": 0.7},
+        )
+
+    def test_round_trip_equality(self):
+        import pickle
+
+        original = self.make()
+        clone = pickle.loads(pickle.dumps(original))
+        assert clone == original
+        assert clone.nodes == original.nodes
+        assert clone.query == original.query
+        assert clone.method == original.method
+        assert clone.metadata == original.metadata
+        assert clone.host == original.host
+
+    def test_derived_values_recompute_identically(self):
+        import pickle
+
+        original = self.make()
+        # populate every cached derivation before pickling
+        expected = (original.wiener_index, original.density,
+                    original.subgraph.num_edges)
+        clone = pickle.loads(pickle.dumps(original))
+        assert (clone.wiener_index, clone.density,
+                clone.subgraph.num_edges) == expected
+
+    def test_cached_derivations_stripped_from_pickle(self):
+        import pickle
+
+        warm = self.make()
+        _ = warm.subgraph, warm.wiener_index, warm.density
+        cold_bytes = pickle.dumps(self.make())
+        assert len(pickle.dumps(warm)) == len(cold_bytes)
+        assert "subgraph" not in vars(pickle.loads(pickle.dumps(warm)))

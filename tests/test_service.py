@@ -12,29 +12,22 @@ import random
 
 import pytest
 
-from helpers import random_connected_graph
+from helpers import (
+    assert_connector_identical,
+    random_connected_graph,
+    random_query_batch,
+)
 from repro.baselines import METHODS, steiner_connector
 from repro.core.options import FunctionMethod, Method, SolveOptions
-from repro.core.service import ConnectorService
+from repro.core.service import ConnectorService, service_from_payload
 from repro.core.wiener_steiner import wiener_steiner
-from repro.errors import GraphError, InvalidQueryError
+from repro.errors import DisconnectedGraphError, GraphError, InvalidQueryError
 from repro.graphs.csr import HAS_NUMPY
+from repro.graphs.graph import Graph
 from repro.graphs.landmarks import LandmarkIndex
 from repro.graphs.traversal import bfs_distances
 
 BACKENDS = ["dict"] + (["csr"] if HAS_NUMPY else [])
-
-
-def _queries(graph, rng, count, lo=2, hi=5):
-    nodes = sorted(graph.nodes())
-    return [rng.sample(nodes, rng.randint(lo, hi)) for _ in range(count)]
-
-
-def _assert_same(result, reference):
-    assert result.nodes == reference.nodes
-    assert result.metadata["root"] == reference.metadata["root"]
-    assert result.metadata["lambda"] == reference.metadata["lambda"]
-    assert result.metadata["candidates"] == reference.metadata["candidates"]
 
 
 class TestSolveOptions:
@@ -59,6 +52,7 @@ class TestSolveOptions:
             {"selection": "nope"},
             {"backend": "gpu"},
             {"method": ""},
+            {"lambda_values": ()},
             {"exact_threshold": -1},
             {"sample_sources": 0},
         ],
@@ -81,8 +75,8 @@ class TestServiceIdentity:
         for seed in range(4):
             g = random_connected_graph(rng.randint(28, 64), 0.09, seed)
             service = ConnectorService(g, SolveOptions(backend=backend))
-            for query in _queries(g, rng, 3):
-                _assert_same(
+            for query in random_query_batch(g, rng, 3):
+                assert_connector_identical(
                     service.solve(query),
                     wiener_steiner(g, query, backend=backend),
                 )
@@ -97,7 +91,7 @@ class TestServiceIdentity:
         warm = service.solve(query)
         assert warm is cold  # served straight from the result cache
         assert service.stats().result_hits == 1
-        _assert_same(warm, wiener_steiner(g, query, backend=backend))
+        assert_connector_identical(warm, wiener_steiner(g, query, backend=backend))
 
     @pytest.mark.parametrize("backend", BACKENDS)
     def test_identical_after_lru_eviction(self, backend):
@@ -112,10 +106,10 @@ class TestServiceIdentity:
             max_cached_scores=2,
             max_cached_results=1,
         )
-        queries = _queries(g, rng, 3)
+        queries = random_query_batch(g, rng, 3)
         for _ in range(2):  # interleave so every cache layer churns
             for query in queries:
-                _assert_same(
+                assert_connector_identical(
                     service.solve(query),
                     wiener_steiner(g, query, backend=backend),
                 )
@@ -134,14 +128,14 @@ class TestServiceIdentity:
     def test_solve_many_preserves_order_and_dedups(self):
         g = random_connected_graph(40, 0.09, 3)
         rng = random.Random(3)
-        q1, q2 = _queries(g, rng, 2)
+        q1, q2 = random_query_batch(g, rng, 2)
         results = ConnectorService(g).solve_many([q1, q2, q1, q1])
         assert [sorted(r.query) for r in results] == [
             sorted(set(q1)), sorted(set(q2)), sorted(set(q1)), sorted(set(q1))
         ]
         assert results[2] is results[0]
-        _assert_same(results[0], wiener_steiner(g, q1))
-        _assert_same(results[1], wiener_steiner(g, q2))
+        assert_connector_identical(results[0], wiener_steiner(g, q1))
+        assert_connector_identical(results[1], wiener_steiner(g, q2))
 
     def test_single_vertex_query(self, triangle):
         result = ConnectorService(triangle).solve([1])
@@ -169,11 +163,63 @@ class TestServiceIdentity:
         rng = random.Random(17)
         csr_service = ConnectorService(g, SolveOptions(backend="csr"))
         dict_service = ConnectorService(g, SolveOptions(backend="dict"))
-        for query in _queries(g, rng, 3):
+        for query in random_query_batch(g, rng, 3):
             a = csr_service.solve(query)
             b = dict_service.solve(query)
             assert a.nodes == b.nodes
             assert a.metadata["root"] == b.metadata["root"]
+
+
+class TestShardWorkerAPI:
+    """The picklable shard-side surface: worker_payload -> service_from_payload
+    -> sweep, the exact loop a persistent shard process runs."""
+
+    def test_payload_round_trip_sweep_identical(self):
+        g = random_connected_graph(40, 0.1, 83)
+        rng = random.Random(83)
+        query = rng.sample(sorted(g.nodes()), 4)
+        parent = ConnectorService(g)
+        replica = service_from_payload(parent.worker_payload())
+        outcome = replica.sweep(query)
+        reference = wiener_steiner(g, query)
+        assert outcome.nodes == reference.nodes
+        assert outcome.root == reference.metadata["root"]
+        assert outcome.lam == reference.metadata["lambda"]
+        assert outcome.candidates == reference.metadata["candidates"]
+
+    def test_sweep_warm_reask_hits_result_cache(self):
+        g = random_connected_graph(36, 0.1, 89)
+        service = ConnectorService(g)
+        query = sorted(g.nodes())[:4]
+        cold = service.sweep(query)
+        warm = service.sweep(query)
+        assert warm is cold
+        stats = service.stats()
+        assert stats.result_hits == 1
+        assert stats.queries_served == 2
+
+    def test_sweep_and_solve_keys_do_not_collide(self):
+        g = random_connected_graph(36, 0.1, 97)
+        service = ConnectorService(g)
+        query = sorted(g.nodes())[:3]
+        outcome = service.sweep(query)
+        result = service.solve(query)
+        assert result.nodes == outcome.nodes
+        # both cached, under distinct keys
+        assert service.stats().result_cache_size == 2
+
+    def test_payload_forwards_cache_limits(self):
+        g = random_connected_graph(36, 0.1, 101)
+        payload = ConnectorService(g).worker_payload(
+            cache_limits={"max_cached_results": 1, "max_cached_roots": 1}
+        )
+        replica = service_from_payload(payload)
+        for query in ([0, 1], [2, 3], [4, 5]):
+            nodes = [sorted(g.nodes())[i] for i in query]
+            replica.sweep(nodes)
+        stats = replica.stats()
+        assert stats.result_cache_size == 1
+        assert stats.cached_roots <= 1
 
 
 class TestParallelServing:
@@ -181,13 +227,13 @@ class TestParallelServing:
     def test_solve_many_parallel_matches_one_shot(self, backend):
         g = random_connected_graph(40, 0.1, 23)
         rng = random.Random(23)
-        queries = _queries(g, rng, 3, lo=2, hi=4)
+        queries = random_query_batch(g, rng, 3, lo=2, hi=4)
         queries.append(queries[0])  # a duplicate the batch must dedupe
         service = ConnectorService(g, SolveOptions(backend=backend))
         results = service.solve_many(queries, parallel=True, max_workers=2)
         assert len(results) == len(queries)
         for query, result in zip(queries, results):
-            _assert_same(result, wiener_steiner(g, query, backend=backend))
+            assert_connector_identical(result, wiener_steiner(g, query, backend=backend))
         assert results[-1] is results[0]
         assert results[0].metadata["parallel"] is True
         assert results[0].metadata["workers"] == 2
@@ -197,7 +243,7 @@ class TestParallelServing:
         mid-call (they are held locally until the batch is assembled)."""
         g = random_connected_graph(36, 0.1, 67)
         rng = random.Random(67)
-        queries = _queries(g, rng, 4, lo=2, hi=3)
+        queries = random_query_batch(g, rng, 4, lo=2, hi=3)
         service = ConnectorService(g, max_cached_results=1)
         results = service.solve_many(queries, parallel=True, max_workers=2)
         for query, result in zip(queries, results):
@@ -206,13 +252,38 @@ class TestParallelServing:
     def test_parallel_cold_batch_reports_no_phantom_hits(self):
         g = random_connected_graph(36, 0.1, 73)
         rng = random.Random(73)
-        queries = _queries(g, rng, 3, lo=2, hi=3)
+        queries = random_query_batch(g, rng, 3, lo=2, hi=3)
         service = ConnectorService(g)
         service.solve_many(queries, parallel=True, max_workers=2)
         stats = service.stats()
         assert stats.result_hits == 0
         assert stats.result_misses == len(queries)
         assert stats.queries_served == len(queries)
+
+    def test_worker_fault_tears_pool_down_cleanly(self):
+        """Regression: a fault inside a pool worker must fail the call AND
+        leave no pool processes (or their semaphores) behind — the shutdown
+        is finally-joined with queued jobs cancelled.  The fault is injected
+        naturally: a query spanning components passes the router-side
+        membership check and explodes only inside the worker sweep."""
+        import multiprocessing
+        import time
+
+        g = Graph([(0, 1), (1, 2), (2, 3), (10, 11), (11, 12)])
+        service = ConnectorService(g)
+        with pytest.raises(DisconnectedGraphError):
+            service.solve_many(
+                [[0, 11], [0, 3], [1, 3]], parallel=True, max_workers=2
+            )
+        deadline = time.monotonic() + 5.0
+        while multiprocessing.active_children():
+            assert time.monotonic() < deadline, (
+                f"leaked pool processes: {multiprocessing.active_children()}"
+            )
+            time.sleep(0.01)
+        # the service itself must survive the failed batch
+        [result] = service.solve_many([[0, 3]], parallel=True, max_workers=2)
+        assert result.nodes == wiener_steiner(g, [0, 3]).nodes
 
     def test_parallel_skips_already_cached(self):
         g = random_connected_graph(36, 0.1, 29)
