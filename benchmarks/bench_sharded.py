@@ -161,9 +161,9 @@ def main(argv: list[str] | None = None) -> int:
         flush=True,
     )
 
-    single = ConnectorService(graph, **limits)
-    baseline, single_seconds = serve_windows(single, requests, args.window)
-    single_sweeps = single.stats().result_misses
+    with ConnectorService(graph, **limits) as single:
+        baseline, single_seconds = serve_windows(single, requests, args.window)
+        single_sweeps = single.stats().result_misses
     print(f"single service : {single_seconds:8.3f}s "
           f"({single_seconds / len(requests) * 1e3:7.1f} ms/query, "
           f"{single_sweeps} cold sweeps)", flush=True)

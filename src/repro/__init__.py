@@ -12,6 +12,11 @@ pairwise shortest-path distances).  The package ships:
 * :class:`repro.ShardedConnectorService` — the scale-out layer: the same
   contract served by N persistent shard processes behind a
   consistent-hash router, bit-identical to the one-shot solver;
+* :class:`repro.AsyncGateway` — the asyncio front-end: micro-batches
+  concurrently-arriving ``await gateway.asolve(q)`` requests into
+  ``solve_many`` windows over either service, coalescing identical
+  in-flight queries and backpressuring on queue depth (``repro serve``
+  exposes it as a JSON-lines TCP daemon, see :mod:`repro.serving`);
 * exact algorithms and certified lower bounds (``repro.core.exact``,
   ``repro.solvers``);
 * the evaluation baselines ``ppr``, ``cps``, ``ctp``, ``st``
@@ -42,6 +47,7 @@ from repro.errors import (
 )
 from repro.graphs import Graph, WeightedGraph, wiener_index
 from repro.core import (
+    AsyncGateway,
     ConnectorResult,
     ConnectorService,
     ShardedConnectorService,
@@ -57,6 +63,7 @@ __all__ = [
     "Graph",
     "WeightedGraph",
     "wiener_index",
+    "AsyncGateway",
     "ConnectorResult",
     "ConnectorService",
     "ShardedConnectorService",

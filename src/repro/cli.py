@@ -11,6 +11,8 @@ Examples
     repro query email --batch q.txt     # serve a whole batch from one index
     repro query email --batch q.txt --shards 4   # ...sharded over 4 processes
     repro query email 3 17 42 --json    # machine-readable output
+    repro serve email --port 8765       # persistent JSON-lines TCP server
+    repro serve email --port 8765 --shards 4     # ...over 4 shard processes
 
 Ad-hoc queries are served through
 :class:`repro.core.service.ConnectorService`: the dataset is indexed once
@@ -20,6 +22,12 @@ the batch is routed across N persistent shard processes
 (:class:`repro.core.sharded.ShardedConnectorService`) instead —
 bit-identical answers, parallel solving.  Batch files hold one
 whitespace-separated query per line, or a JSON list of vertex lists.
+
+``repro serve`` turns the same stack into a persistent daemon: an
+:class:`~repro.core.gateway.AsyncGateway` micro-batches
+concurrently-arriving requests into ``solve_many`` windows (coalescing
+identical in-flight queries) behind the JSON-lines TCP protocol of
+:mod:`repro.serving` — one request per line, one connector per line.
 """
 
 from __future__ import annotations
@@ -27,6 +35,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 
 from repro.experiments import EXPERIMENTS
 
@@ -73,6 +82,28 @@ def build_parser() -> argparse.ArgumentParser:
                        help="serve the batch through N persistent shard "
                             "processes (default 0: one in-process service); "
                             "answers are bit-identical either way")
+
+    serve = sub.add_parser(
+        "serve",
+        help="run a persistent JSON-lines TCP connector server on a dataset",
+    )
+    serve.add_argument("dataset", help="stand-in dataset name (see `repro list`)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8765,
+                       help="TCP port; 0 asks the OS for a free one "
+                            "(default 8765)")
+    serve.add_argument("--shards", type=int, default=0, metavar="N",
+                       help="back the gateway with N persistent shard "
+                            "processes (default 0: one in-process service)")
+    serve.add_argument("--max-batch", type=int, default=32,
+                       help="most requests per gateway window (default 32)")
+    serve.add_argument("--max-wait-ms", type=float, default=2.0,
+                       help="longest a window waits for more arrivals "
+                            "(default 2.0 ms)")
+    serve.add_argument("--max-queue", type=int, default=1024,
+                       help="admission-queue bound; arrivals beyond it "
+                            "backpressure (default 1024)")
     return parser
 
 
@@ -94,18 +125,17 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if args.command == "query":
         return _run_query(args)
+    if args.command == "serve":
+        return _run_serve(args)
     EXPERIMENTS[args.command].main()
     return 0
 
 
 def _canonical_sort(values):
-    """Sort labels canonically: numerically when comparable, else by type
-    name and repr — never the lexicographic-repr order that ranks 10
-    before 2."""
-    try:
-        return sorted(values)
-    except TypeError:
-        return sorted(values, key=lambda v: (type(v).__name__, repr(v)))
+    """Canonical label order (shared with the serving wire format)."""
+    from repro.serving.protocol import canonical_sort
+
+    return canonical_sort(values)
 
 
 def _read_batch(path: str) -> list[list[int]]:
@@ -182,34 +212,27 @@ def _run_query(args: argparse.Namespace) -> int:
     if args.shards:
         from repro.core.sharded import ShardedConnectorService
 
-        with ShardedConnectorService(
-            graph, options, n_shards=args.shards
-        ) as service:
-            results = service.solve_many(queries)
+        service = ShardedConnectorService(graph, options, n_shards=args.shards)
     else:
         service = ConnectorService(graph, options)
+    wants_footer = bool(args.batch) and not args.as_json
+    with service:
+        started = time.perf_counter()
         results = service.solve_many(queries)
+        elapsed = time.perf_counter() - started
+        # Only the footer reads the stats, and a sharded stats() is a
+        # scatter/gather over every shard pipe — skip the dead IPC.
+        stats = service.stats() if wants_footer else None
 
     if args.as_json:
+        from repro.serving.protocol import result_to_payload
+
+        # One connector-document shape for both surfaces: this is the
+        # same payload the TCP server sends per request.
         document = {
             "dataset": args.dataset,
             "method": args.method,
-            "results": [
-                {
-                    "query": _canonical_sort(result.query),
-                    "nodes": _canonical_sort(result.nodes),
-                    "added": _canonical_sort(result.added_nodes),
-                    "size": result.size,
-                    "wiener_index": result.wiener_index,
-                    "density": result.density,
-                    "metadata": {
-                        key: value
-                        for key, value in result.metadata.items()
-                        if isinstance(value, (int, float, str, bool, type(None)))
-                    },
-                }
-                for result in results
-            ],
+            "results": [result_to_payload(result) for result in results],
         }
         print(json.dumps(document, indent=2))
         return 0
@@ -219,7 +242,122 @@ def _run_query(args: argparse.Namespace) -> int:
             print(f"query {_canonical_sort(set(query))}:")
         print(result.summary())
         print(f"added vertices: {_canonical_sort(result.added_nodes)}")
+    if wants_footer:
+        # Batch mode used to drop its timing on the floor; surface the
+        # serving picture the JSON path always had.  "Served warm" folds
+        # the sharded router's in-flight dedup into the cache hits so the
+        # number is comparable across --shards 0 and --shards N (the
+        # router answers intra-batch duplicates before any shard cache
+        # sees them).
+        warm = stats.result_hits + getattr(stats, "inflight_deduped", 0)
+        print(
+            f"batch: {len(queries)} queries in {elapsed:.2f}s "
+            f"({elapsed / len(queries) * 1e3:.1f} ms/query, "
+            f"{warm} served warm, {warm / len(queries):.0%} of batch)"
+        )
     return 0
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.core.gateway import AsyncGateway
+    from repro.core.service import ConnectorService
+    from repro.datasets import load_dataset
+    from repro.serving.server import GatewayServer
+
+    if args.shards < 0:
+        print(f"--shards must be non-negative, got {args.shards}",
+              file=sys.stderr)
+        return 2
+    if not 0 <= args.port <= 65535:
+        print(f"--port must be in 0..65535, got {args.port}",
+              file=sys.stderr)
+        return 2
+    gateway_tunables = dict(
+        max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+        max_queue=args.max_queue,
+    )
+    try:
+        # Probe-construct to validate the tunables: the constructor never
+        # touches the service, and letting it own the rules keeps the CLI
+        # from duplicating (and drifting from) the gateway's validation —
+        # while still failing before a dataset loads or shards spawn.
+        AsyncGateway(None, **gateway_tunables)
+    except ValueError as exc:
+        print(f"invalid serving option: {exc}", file=sys.stderr)
+        return 2
+
+    graph = load_dataset(args.dataset)
+    if args.shards:
+        from repro.core.sharded import ShardedConnectorService
+
+        service = ShardedConnectorService(graph, n_shards=args.shards)
+    else:
+        service = ConnectorService(graph)
+
+    async def run() -> int:
+        with service:
+            gateway = AsyncGateway(service, **gateway_tunables)
+            try:
+                try:
+                    server = await GatewayServer(
+                        gateway, args.host, args.port
+                    ).start()
+                except OSError as exc:
+                    # Bind failures (port in use, unresolvable --host) are
+                    # user errors, not tracebacks.  Scoped to the bind: an
+                    # OSError later in the serving lifetime (say a broken
+                    # stdout pipe) must not masquerade as one.
+                    print(f"cannot bind {args.host}:{args.port}: {exc}",
+                          file=sys.stderr)
+                    return 2
+                try:
+                    backing = (
+                        f"{args.shards} shard processes" if args.shards
+                        else "one in-process service"
+                    )
+                    print(
+                        f"serving {args.dataset!r} ({graph.num_nodes} vertices, "
+                        f"{graph.num_edges} edges) over {backing}",
+                        flush=True,
+                    )
+                    # The tests (and any supervisor) parse this line for
+                    # the bound port, so its shape is part of the CLI API.
+                    print(f"listening on {server.host}:{server.port}", flush=True)
+                    bound_ports = {address[1] for address in server.addresses}
+                    if len(bound_ports) > 1:
+                        # A dual-stack host name with --port 0 gets a
+                        # different ephemeral port per address family; the
+                        # parseable line above can only announce one.
+                        print(
+                            f"warning: {args.host!r} bound multiple address "
+                            f"families on different ports {sorted(bound_ports)}; "
+                            "bind a single-family address (e.g. 127.0.0.1) "
+                            "when using --port 0",
+                            file=sys.stderr,
+                            flush=True,
+                        )
+                    await server.wait_shutdown()
+                    print("shutdown requested; draining", flush=True)
+                finally:
+                    await server.aclose()
+            finally:
+                await gateway.aclose()
+        stats = gateway.stats()
+        print(
+            f"served {stats.results_served} results in "
+            f"{stats.windows_dispatched} windows "
+            f"({stats.coalesced} coalesced, {stats.shed} shed)",
+            flush=True,
+        )
+        return 0
+
+    try:
+        return asyncio.run(run())
+    except KeyboardInterrupt:  # pragma: no cover - interactive stop
+        return 0
 
 
 if __name__ == "__main__":

@@ -1,12 +1,20 @@
 """The paper's core contribution: the WienerSteiner approximation algorithm,
 its objective-function chain, exact algorithms, and Steiner-tree machinery —
 plus the serving layers: :class:`ConnectorService` / :class:`SolveOptions`
-amortize one graph index across many queries, and
+amortize one graph index across many queries,
 :class:`ShardedConnectorService` partitions that cache state across
-persistent shard processes behind a consistent-hash router.
+persistent shard processes behind a consistent-hash router, and
+:class:`AsyncGateway` micro-batches concurrently-arriving asyncio
+requests into ``solve_many`` windows over either of them.
 """
 
 from repro.core.adjust import ALPHA, adjust_distances, verify_lemma2
+from repro.core.gateway import (
+    AsyncGateway,
+    GatewayClosedError,
+    GatewayOverloadedError,
+    GatewayStats,
+)
 from repro.core.options import FunctionMethod, Method, SolveOptions
 from repro.core.service import ConnectorService, ServiceStats, SweepOutcome
 from repro.core.sharded import ShardedConnectorService, ShardedStats
@@ -51,6 +59,10 @@ from repro.core.wiener_steiner import (
 
 __all__ = [
     "ALPHA",
+    "AsyncGateway",
+    "GatewayClosedError",
+    "GatewayOverloadedError",
+    "GatewayStats",
     "ConnectorService",
     "ShardedConnectorService",
     "ShardedStats",

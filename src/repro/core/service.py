@@ -77,8 +77,33 @@ __all__ = [
     "ConnectorService",
     "ServiceStats",
     "SweepOutcome",
+    "cache_hit_rate",
     "service_from_payload",
 ]
+
+#: The cache layers whose hit/miss counters back ``hit_rate()`` helpers.
+HIT_RATE_LAYERS = ("result", "candidate", "score")
+
+
+def cache_hit_rate(snapshots, layer: str) -> float:
+    """Aggregate hit rate of one cache layer, ``0.0`` before any lookup.
+
+    ``snapshots`` is any iterable of :class:`ServiceStats`-shaped
+    objects (one for a single service, the per-shard tuple for a sharded
+    one).  Shared by :meth:`ServiceStats.hit_rate` and
+    :meth:`~repro.core.sharded.ShardedStats.hit_rate` so the layer names,
+    the error message, and the zero-lookup guard cannot drift apart.
+    """
+    if layer not in HIT_RATE_LAYERS:
+        raise ValueError(
+            f"unknown cache layer {layer!r}; choose from {HIT_RATE_LAYERS}"
+        )
+    hits = misses = 0
+    for snapshot in snapshots:
+        hits += getattr(snapshot, f"{layer}_hits")
+        misses += getattr(snapshot, f"{layer}_misses")
+    lookups = hits + misses
+    return hits / lookups if lookups else 0.0
 
 
 @dataclass(frozen=True)
@@ -101,6 +126,17 @@ class ServiceStats:
     result_cache_size: int = 0
     candidate_cache_size: int = 0
     score_cache_size: int = 0
+
+    def hit_rate(self, layer: str = "result") -> float:
+        """Cache hit rate of one layer, ``0.0`` before any lookup.
+
+        ``layer`` is ``"result"`` (default), ``"candidate"`` or
+        ``"score"`` — the three LRU layers with hit/miss counters.  The
+        zero-lookup guard means a cold service reports ``0.0`` instead of
+        dividing by zero, so benchmarks and dashboards can print the
+        ratio unconditionally.
+        """
+        return cache_hit_rate((self,), layer)
 
 
 @dataclass(frozen=True)
@@ -701,6 +737,26 @@ class ConnectorService:
                 "construct the service with landmarks=k to enable estimates"
             )
         return index.estimate(u, v)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release nothing — an in-process service holds no processes.
+
+        Exists so every serving layer shares one lifecycle surface:
+        callers (the CLI, benchmarks, the gateway server) can write
+        ``with service:`` / ``service.close()`` without caring whether the
+        service is this in-process one or the sharded one whose
+        :meth:`~repro.core.sharded.ShardedConnectorService.close` reaps
+        real shard processes.
+        """
+
+    def __enter__(self) -> "ConnectorService":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging nicety
         shape = (

@@ -75,6 +75,7 @@ from repro.core.result import ConnectorResult
 from repro.core.service import (
     ConnectorService,
     ServiceStats,
+    cache_hit_rate,
     service_from_payload,
 )
 from repro.graphs.graph import Graph, Node
@@ -191,22 +192,45 @@ class _Shard:
 
 @dataclass(frozen=True)
 class ShardedStats:
-    """Router counters plus one :class:`ServiceStats` snapshot per shard."""
+    """Router counters plus one :class:`ServiceStats` snapshot per shard.
+
+    ``router_local`` is the router-side fallback service that answers
+    what shard replicas cannot (non-``ws-q`` methods, per-call
+    ``backend="dict"`` overrides on CSR-seeded shards); its cache traffic
+    counts toward the aggregate hit numbers below so a baseline-method
+    workload does not read as "never warm" just because it is sharded.
+    """
 
     n_shards: int
     requests_routed: int
     inflight_deduped: int
     shards: tuple[ServiceStats, ...]
+    router_local: ServiceStats | None = None
+
+    @property
+    def _snapshots(self) -> tuple[ServiceStats, ...]:
+        if self.router_local is None:
+            return self.shards
+        return self.shards + (self.router_local,)
 
     @property
     def queries_served(self) -> int:
-        """Total sweeps served across every live shard."""
-        return sum(stats.queries_served for stats in self.shards)
+        """Total requests served: shard sweeps plus router-local solves."""
+        return sum(stats.queries_served for stats in self._snapshots)
 
     @property
     def result_hits(self) -> int:
-        """Warm sweep-cache hits across every live shard."""
-        return sum(stats.result_hits for stats in self.shards)
+        """Warm result-cache hits: every shard plus the router fallback."""
+        return sum(stats.result_hits for stats in self._snapshots)
+
+    def hit_rate(self, layer: str = "result") -> float:
+        """Aggregate cache hit rate of one layer across the deployment.
+
+        Same contract as :meth:`ServiceStats.hit_rate` (``"result"``,
+        ``"candidate"`` or ``"score"``; ``0.0`` before any lookup), summed
+        over the shard snapshots and the router-local fallback service.
+        """
+        return cache_hit_rate(self._snapshots, layer)
 
 
 class ShardedConnectorService:
@@ -491,6 +515,7 @@ class ShardedConnectorService:
             requests_routed=self._requests_routed,
             inflight_deduped=self._inflight_deduped,
             shards=ordered,
+            router_local=self._local.stats(),
         )
 
     def close(self) -> None:

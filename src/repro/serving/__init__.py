@@ -1,0 +1,23 @@
+"""Network serving: the JSON-lines TCP front-end over :class:`AsyncGateway`.
+
+:mod:`repro.serving.protocol` defines the wire format (one JSON request
+per line in, one JSON response per line out), :mod:`repro.serving.server`
+the :func:`asyncio.start_server` daemon plus the async client helper the
+tests and benchmark drive it with.  ``repro serve DATASET`` is the CLI
+entry point.
+"""
+
+from repro.serving.protocol import (
+    canonical_sort,
+    options_from_payload,
+    result_to_payload,
+)
+from repro.serving.server import AsyncConnectorClient, GatewayServer
+
+__all__ = [
+    "AsyncConnectorClient",
+    "GatewayServer",
+    "canonical_sort",
+    "options_from_payload",
+    "result_to_payload",
+]

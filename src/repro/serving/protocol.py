@@ -1,0 +1,114 @@
+"""The JSON-lines wire format of the connector server.
+
+One request per line, one response per line, every line a single JSON
+object — the simplest protocol that still supports pipelining (a client
+may send many requests before reading a response; the ``id`` field pairs
+them back up, since responses come back in *completion* order).
+
+Requests
+--------
+* ``{"query": [v, ...], "options": {...}?, "id": ...?}`` — solve one
+  query.  ``options`` holds :class:`~repro.core.options.SolveOptions`
+  fields by name (``method``, ``beta``, ``selection``, ...); omitted
+  fields keep the server's defaults.
+* ``{"op": "stats", "id": ...?}`` — gateway + backing-service counters.
+* ``{"op": "ping", "id": ...?}`` — liveness probe.
+* ``{"op": "shutdown", "id": ...?}`` — acknowledge, then gracefully stop
+  the whole server (the operation the tests' clean-teardown assertions
+  drive).
+
+Responses
+---------
+``{"id": ..., "ok": true, ...}`` on success — solve responses carry the
+connector under ``"result"`` (vertex sets canonically sorted, metadata
+filtered to JSON scalars, exactly the ``repro query --json`` shape) —
+and ``{"id": ..., "ok": false, "error": ..., "error_type": ...}`` on
+failure.  A request-level failure (unknown vertex, bad options) fails
+only that request, never the connection.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import math
+
+from repro.core.options import SolveOptions
+from repro.core.result import ConnectorResult
+
+__all__ = [
+    "canonical_sort",
+    "decode_line",
+    "encode_line",
+    "options_from_payload",
+    "result_to_payload",
+]
+
+#: The SolveOptions field names a request's ``options`` object may set.
+OPTION_FIELDS = frozenset(
+    field.name for field in dataclasses.fields(SolveOptions)
+)
+
+
+def canonical_sort(values) -> list:
+    """Sort labels canonically: numerically when comparable, else by type
+    name and repr — never the lexicographic-repr order that ranks 10
+    before 2."""
+    try:
+        return sorted(values)
+    except TypeError:
+        return sorted(values, key=lambda v: (type(v).__name__, repr(v)))
+
+
+def options_from_payload(payload: dict) -> SolveOptions:
+    """Build :class:`SolveOptions` from a request's ``options`` object.
+
+    Unknown field names are rejected (a typo'd tunable must not be
+    silently ignored); value validation is ``SolveOptions.__post_init__``'s
+    job and surfaces as the same ``ValueError``.
+    """
+    if not isinstance(payload, dict):
+        raise ValueError(
+            f"options must be a JSON object, got {type(payload).__name__}"
+        )
+    unknown = sorted(set(payload) - OPTION_FIELDS)
+    if unknown:
+        raise ValueError(
+            f"unknown option fields {unknown}; "
+            f"choose from {sorted(OPTION_FIELDS)}"
+        )
+    return SolveOptions(**payload)
+
+
+def result_to_payload(result: ConnectorResult) -> dict:
+    """The JSON-safe document of one connector (the ``--json`` shape)."""
+    wiener = result.wiener_index
+    return {
+        "query": canonical_sort(result.query),
+        "nodes": canonical_sort(result.nodes),
+        "added": canonical_sort(result.added_nodes),
+        "size": result.size,
+        "wiener_index": wiener if math.isfinite(wiener) else None,
+        "density": result.density,
+        "method": result.method,
+        "metadata": {
+            key: value
+            for key, value in result.metadata.items()
+            if isinstance(value, (int, float, str, bool, type(None)))
+        },
+    }
+
+
+def encode_line(message: dict) -> bytes:
+    """One response/request as a newline-terminated JSON line."""
+    return (json.dumps(message, separators=(",", ":")) + "\n").encode("utf-8")
+
+
+def decode_line(line: bytes) -> dict:
+    """Parse one line into a message object (must be a JSON object)."""
+    message = json.loads(line.decode("utf-8"))
+    if not isinstance(message, dict):
+        raise ValueError(
+            f"a request line must be a JSON object, got {type(message).__name__}"
+        )
+    return message

@@ -10,10 +10,28 @@ unique name has no such ambiguity — ``pyproject.toml`` puts ``tests/`` on
 
 from __future__ import annotations
 
+import multiprocessing
 import random
+import time
 
 from repro.graphs.graph import Graph, WeightedGraph
 from repro.graphs.generators import connectify, erdos_renyi
+
+
+def assert_no_orphan_processes(timeout: float = 5.0) -> None:
+    """Every worker/shard process must be reaped within ``timeout`` seconds.
+
+    The shared teardown yardstick of the multi-process serving layers: a
+    test that closed a sharded service (directly, through a gateway, or
+    through the TCP server) asserts nothing survived it.
+    """
+    deadline = time.monotonic() + timeout
+    while multiprocessing.active_children():
+        if time.monotonic() > deadline:  # pragma: no cover - failure path
+            raise AssertionError(
+                f"orphaned worker processes: {multiprocessing.active_children()}"
+            )
+        time.sleep(0.01)
 
 
 def random_connected_graph(n: int, p: float, seed: int) -> Graph:

@@ -21,6 +21,19 @@ class TestParser:
         assert args.vertices == [1, 2, 3]
         assert args.method == "ws-q"
 
+    def test_serve_subcommand(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["serve", "football", "--port", "0", "--shards", "2"]
+        )
+        assert args.command == "serve"
+        assert args.dataset == "football"
+        assert args.port == 0
+        assert args.shards == 2
+        assert args.max_batch == 32
+        assert args.max_wait_ms == 2.0
+        assert args.max_queue == 1024
+
 
 class TestMain:
     def test_no_command_shows_help(self, capsys):
@@ -72,6 +85,57 @@ class TestMain:
         out = capsys.readouterr().out
         assert out.count("ws-q:") == 2
         assert "query [0, 1, 2]" in out
+
+    def test_query_batch_prints_serving_footer(self, tmp_path, capsys):
+        """Human-readable batch output must surface timing + warm hits."""
+        import re
+
+        batch = tmp_path / "queries.txt"
+        batch.write_text("0 1 2\n3 4\n0 1 2\n")
+        assert main(["query", "football", "--batch", str(batch)]) == 0
+        out = capsys.readouterr().out
+        footer = re.search(
+            r"batch: 3 queries in \d+\.\d+s \(\d+\.\d+ ms/query, "
+            r"(\d+) served warm, (\d+)% of batch\)",
+            out,
+        )
+        assert footer, out
+        assert int(footer.group(1)) >= 1  # the repeated query hit cache
+
+    def test_query_batch_footer_with_shards(self, tmp_path, capsys):
+        """The warm count folds in router dedup, so the same batch reports
+        the same number sharded and unsharded."""
+        import re
+
+        batch = tmp_path / "queries.txt"
+        batch.write_text("0 1 2\n3 4\n0 1 2\n")
+        assert main(
+            ["query", "football", "--batch", str(batch), "--shards", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        footer = re.search(r"(\d+) served warm", out)
+        assert footer, out
+        assert int(footer.group(1)) >= 1  # the duplicate, deduped in-flight
+
+    def test_query_batch_footer_sharded_baseline_method(self, tmp_path, capsys):
+        """Baseline methods route through the router's local fallback; its
+        cache hits must still show up in the sharded footer."""
+        import re
+
+        batch = tmp_path / "queries.txt"
+        batch.write_text("0 1\n3 4\n0 1\n")
+        assert main(
+            ["query", "football", "--batch", str(batch), "--method", "st",
+             "--shards", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        footer = re.search(r"(\d+) served warm", out)
+        assert footer, out
+        assert int(footer.group(1)) >= 1  # local result-cache hit counted
+
+    def test_query_single_has_no_footer(self, capsys):
+        assert main(["query", "football", "0", "1", "2"]) == 0
+        assert "batch:" not in capsys.readouterr().out
 
     def test_query_batch_json_file(self, tmp_path, capsys):
         batch = tmp_path / "queries.json"
@@ -154,6 +218,51 @@ class TestMain:
     def test_query_negative_shards_rejected(self, capsys):
         assert main(["query", "football", "0", "1", "--shards", "-2"]) == 2
         assert "--shards" in capsys.readouterr().err
+
+    def test_serve_rejects_bad_tunables(self, capsys):
+        assert main(["serve", "football", "--shards", "-1"]) == 2
+        assert "--shards" in capsys.readouterr().err
+        assert main(["serve", "football", "--port", "-5"]) == 2
+        assert "--port" in capsys.readouterr().err
+        assert main(["serve", "football", "--port", "70000"]) == 2
+        assert "--port" in capsys.readouterr().err
+
+    def test_serve_reports_bind_failure_cleanly(self, capsys):
+        import socket
+
+        blocker = socket.socket()
+        try:
+            blocker.bind(("127.0.0.1", 0))
+            port = blocker.getsockname()[1]
+            assert main(["serve", "football", "--port", str(port)]) == 2
+            assert "cannot bind" in capsys.readouterr().err
+        finally:
+            blocker.close()
+        # Tunable rules live in the AsyncGateway constructor (one source
+        # of truth); the CLI relays its message with exit 2.
+        assert main(["serve", "football", "--max-batch", "0"]) == 2
+        assert "max_batch" in capsys.readouterr().err
+        assert main(["serve", "football", "--max-wait-ms", "-1"]) == 2
+        assert "max_wait_ms" in capsys.readouterr().err
+        assert main(["serve", "football", "--max-queue", "0"]) == 2
+        assert "max_queue" in capsys.readouterr().err
+
+    def test_query_json_matches_server_document_shape(self, capsys):
+        """The CLI --json per-result documents are the server's payloads."""
+        import json
+
+        from repro.core.wiener_steiner import wiener_steiner
+        from repro.datasets import load_dataset
+        from repro.serving.protocol import result_to_payload
+
+        assert main(["query", "football", "0", "1", "2", "--json"]) == 0
+        [entry] = json.loads(capsys.readouterr().out)["results"]
+        reference = result_to_payload(
+            wiener_steiner(load_dataset("football"), [0, 1, 2])
+        )
+        reference["metadata"].pop("runtime_seconds", None)
+        entry["metadata"].pop("runtime_seconds", None)
+        assert entry == reference
 
     def test_unknown_command_exits(self):
         with pytest.raises(SystemExit):

@@ -447,3 +447,39 @@ class TestServiceLandmarks:
         slow = _NoCSR(g, num_landmarks=3)
         assert fast.landmarks == slow.landmarks
         assert fast._tables == slow._tables
+
+
+class TestServiceLifecycleAndStats:
+    """The shared lifecycle surface and the hit_rate() observability helper."""
+
+    def test_context_manager_is_a_noop_close(self):
+        g = random_connected_graph(20, 0.2, 71)
+        with ConnectorService(g) as service:
+            result = service.solve([0, 1])
+        # close() holds no processes: the service stays fully usable, so
+        # `with` is safe sugar for scoped construction at every call site.
+        assert_connector_identical(service.solve([0, 1]), result)
+
+    def test_hit_rate_zero_lookup_guard(self):
+        g = random_connected_graph(16, 0.25, 73)
+        stats = ConnectorService(g).stats()
+        for layer in ("result", "candidate", "score"):
+            assert stats.hit_rate(layer) == 0.0
+
+    def test_hit_rate_counts_warm_reasks(self):
+        g = random_connected_graph(24, 0.18, 77)
+        service = ConnectorService(g)
+        queries = random_query_batch(g, random.Random(7), 4)
+        service.solve_many(queries + queries)
+        stats = service.stats()
+        assert stats.hit_rate() == stats.result_hits / (
+            stats.result_hits + stats.result_misses
+        )
+        assert stats.hit_rate() >= 0.5  # every re-ask is a warm hit
+        assert 0.0 <= stats.hit_rate("candidate") <= 1.0
+        assert 0.0 <= stats.hit_rate("score") <= 1.0
+
+    def test_hit_rate_rejects_unknown_layer(self):
+        g = random_connected_graph(12, 0.3, 79)
+        with pytest.raises(ValueError, match="unknown cache layer"):
+            ConnectorService(g).stats().hit_rate("bfs")

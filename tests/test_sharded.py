@@ -12,15 +12,14 @@ consistent-hash ring's stability/movement properties and the
 """
 
 import dataclasses
-import multiprocessing
 import pickle
 import random
-import time
 
 import pytest
 
 from helpers import (
     assert_connector_identical,
+    assert_no_orphan_processes,
     random_connected_graph,
     random_query_batch,
 )
@@ -38,17 +37,6 @@ from repro.graphs.csr import HAS_NUMPY
 from repro.graphs.graph import Graph
 
 SHARD_COUNTS = (1, 2, 5)
-
-
-def _assert_no_orphan_processes(timeout: float = 5.0) -> None:
-    """Every shard process must be reaped within ``timeout`` seconds."""
-    deadline = time.monotonic() + timeout
-    while multiprocessing.active_children():
-        if time.monotonic() > deadline:  # pragma: no cover - failure path
-            raise AssertionError(
-                f"orphaned worker processes: {multiprocessing.active_children()}"
-            )
-        time.sleep(0.01)
 
 
 class TestHashRing:
@@ -114,7 +102,7 @@ class TestShardedIdentity:
                     assert result.metadata["sharded"] is True
                     assert result.metadata["shards"] == n_shards
                     assert 0 <= result.metadata["shard"] < n_shards
-        _assert_no_orphan_processes()
+        assert_no_orphan_processes()
 
     @pytest.mark.parametrize("n_shards", SHARD_COUNTS)
     def test_warm_reask_is_identical_and_hits_shard_caches(self, n_shards):
@@ -175,7 +163,7 @@ class TestShardedIdentity:
                 assert_connector_identical(result, reference)
             for query, result in zip(new_batch, after[len(old_batch):]):
                 assert_connector_identical(result, wiener_steiner(g, query))
-        _assert_no_orphan_processes()
+        assert_no_orphan_processes()
 
     def test_resize_noop_and_validation(self):
         g = random_connected_graph(24, 0.15, 19)
@@ -301,7 +289,7 @@ class TestRouter:
                 sharded.solve([sorted(g.nodes())[0], sorted(g.nodes())[1]])
         finally:
             sharded.close()
-        _assert_no_orphan_processes()
+        assert_no_orphan_processes()
 
     def test_validation_errors_raised_locally(self):
         g = random_connected_graph(20, 0.2, 37)
@@ -336,7 +324,7 @@ class TestLifecycle:
         sharded.solve_many(random_query_batch(g, random.Random(47), 2))
         sharded.close()
         sharded.close()
-        _assert_no_orphan_processes()
+        assert_no_orphan_processes()
         with pytest.raises(RuntimeError):
             sharded.solve([0, 1])
         with pytest.raises(RuntimeError):
@@ -349,7 +337,7 @@ class TestLifecycle:
         with pytest.raises(RuntimeError, match="sentinel"):
             with ShardedConnectorService(g, n_shards=2):
                 raise RuntimeError("sentinel")
-        _assert_no_orphan_processes()
+        assert_no_orphan_processes()
 
     def test_rejects_bad_shard_counts(self):
         g = random_connected_graph(12, 0.3, 59)
@@ -434,3 +422,42 @@ class TestSolveOptionsKeys:
         clone = pickle.loads(pickle.dumps(options))
         assert clone == options
         assert clone.stable_digest() == options.stable_digest()
+
+
+class TestShardedStatsHitRate:
+    def test_zero_lookup_guard_and_aggregation(self):
+        graph = random_connected_graph(24, 0.18, seed=83)
+        with ShardedConnectorService(graph, n_shards=2) as service:
+            cold = service.stats()
+            for layer in ("result", "candidate", "score"):
+                assert cold.hit_rate(layer) == 0.0
+            queries = random_query_batch(graph, random.Random(3), 4)
+            # Two batches: within one batch duplicates are deduped by the
+            # router and never reach a shard cache; re-asks across batches
+            # are the shard-warm path hit_rate() measures.
+            service.solve_many(queries)
+            service.solve_many(queries)
+            warm = service.stats()
+        expected = warm.result_hits / (
+            warm.result_hits
+            + sum(shard.result_misses for shard in warm.shards)
+        )
+        assert warm.hit_rate() == expected
+        assert warm.hit_rate() >= 0.5  # every re-ask is a shard-warm hit
+        with pytest.raises(ValueError, match="unknown cache layer"):
+            warm.hit_rate("bfs")
+
+    def test_router_local_fallback_traffic_counts_as_warm(self):
+        """Baseline methods are served by the router's local service; their
+        cache hits belong in the aggregate stats."""
+        graph = random_connected_graph(20, 0.2, seed=89)
+        query = sorted(graph.nodes())[:3]
+        with ShardedConnectorService(graph, n_shards=2) as service:
+            options = SolveOptions(method="st")
+            service.solve_many([query], options)
+            service.solve_many([query], options)  # local result-cache hit
+            stats = service.stats()
+        assert stats.router_local is not None
+        assert stats.result_hits >= 1
+        assert stats.hit_rate() > 0.0
+        assert stats.queries_served >= 2
