@@ -13,6 +13,8 @@ Examples
     repro query email 3 17 42 --json    # machine-readable output
     repro serve email --port 8765       # persistent JSON-lines TCP server
     repro serve email --port 8765 --shards 4     # ...over 4 shard processes
+    repro shard-host email --port 8766  # one shard replica, served over TCP
+    repro serve email --shards 10.0.0.5:8766,10.0.0.6:8766   # remote shards
 
 Ad-hoc queries are served through
 :class:`repro.core.service.ConnectorService`: the dataset is indexed once
@@ -20,14 +22,21 @@ and every query of the invocation (one positional query, a ``--batch``
 file, or both) reuses the same CSR arrays and caches.  With ``--shards N``
 the batch is routed across N persistent shard processes
 (:class:`repro.core.sharded.ShardedConnectorService`) instead —
-bit-identical answers, parallel solving.  Batch files hold one
-whitespace-separated query per line, or a JSON list of vertex lists.
+bit-identical answers, parallel solving.  ``--shards`` also accepts a
+comma-separated list of shard specs (``host:port`` for a ``repro
+shard-host`` daemon — possibly on another machine — or ``local`` for an
+in-process worker), so one router can front a mixed ring.  Batch files
+hold one whitespace-separated query per line, or a JSON list of vertex
+lists.
 
 ``repro serve`` turns the same stack into a persistent daemon: an
 :class:`~repro.core.gateway.AsyncGateway` micro-batches
 concurrently-arriving requests into ``solve_many`` windows (coalescing
 identical in-flight queries) behind the JSON-lines TCP protocol of
 :mod:`repro.serving` — one request per line, one connector per line.
+``repro shard-host`` runs the other side of the shard transport: one
+service replica answering ``sweep`` requests for any router that passes
+the graph-digest handshake (see :mod:`repro.serving.remote`).
 """
 
 from __future__ import annotations
@@ -78,10 +87,13 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--backend", default="auto",
                        choices=("auto", "csr", "dict"),
                        help="solver backend (default auto)")
-    query.add_argument("--shards", type=int, default=0, metavar="N",
-                       help="serve the batch through N persistent shard "
-                            "processes (default 0: one in-process service); "
-                            "answers are bit-identical either way")
+    query.add_argument("--shards", default="0", metavar="N|SPECS",
+                       help="serve the batch through persistent shards: a "
+                            "count N of local shard processes (default 0: "
+                            "one in-process service), or a comma-separated "
+                            "list of specs — host:port of a `repro "
+                            "shard-host` daemon, or `local` (answers are "
+                            "bit-identical either way)")
 
     serve = sub.add_parser(
         "serve",
@@ -93,9 +105,12 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--port", type=int, default=8765,
                        help="TCP port; 0 asks the OS for a free one "
                             "(default 8765)")
-    serve.add_argument("--shards", type=int, default=0, metavar="N",
-                       help="back the gateway with N persistent shard "
-                            "processes (default 0: one in-process service)")
+    serve.add_argument("--shards", default="0", metavar="N|SPECS",
+                       help="back the gateway with persistent shards: a "
+                            "count N of local shard processes (default 0: "
+                            "one in-process service), or a comma-separated "
+                            "list of specs — host:port of a `repro "
+                            "shard-host` daemon, or `local`")
     serve.add_argument("--max-batch", type=int, default=32,
                        help="most requests per gateway window (default 32)")
     serve.add_argument("--max-wait-ms", type=float, default=2.0,
@@ -104,6 +119,18 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--max-queue", type=int, default=1024,
                        help="admission-queue bound; arrivals beyond it "
                             "backpressure (default 1024)")
+
+    shard_host = sub.add_parser(
+        "shard-host",
+        help="run one shard replica as a TCP daemon for remote routers",
+    )
+    shard_host.add_argument("dataset",
+                            help="stand-in dataset name (see `repro list`)")
+    shard_host.add_argument("--host", default="127.0.0.1",
+                            help="bind address (default 127.0.0.1)")
+    shard_host.add_argument("--port", type=int, default=8766,
+                            help="TCP port; 0 asks the OS for a free one "
+                                 "(default 8766)")
     return parser
 
 
@@ -127,8 +154,55 @@ def main(argv: list[str] | None = None) -> int:
         return _run_query(args)
     if args.command == "serve":
         return _run_serve(args)
+    if args.command == "shard-host":
+        return _run_shard_host(args)
     EXPERIMENTS[args.command].main()
     return 0
+
+
+def _parse_shards(value: str):
+    """Parse ``--shards``: a local count or a comma-separated spec list.
+
+    Returns ``("count", n)`` for a plain integer or ``("specs", [...])``
+    for a list of ``host:port`` / ``local`` entries (validated through
+    :func:`repro.core.sharded.normalize_shard_spec`, the same rules the
+    service itself enforces).  Raises ``ValueError`` with a message fit
+    for direct stderr printing.
+    """
+    text = value.strip()
+    try:
+        count = int(text)
+    except ValueError:
+        pass
+    else:
+        if count < 0:
+            raise ValueError(f"--shards must be non-negative, got {count}")
+        return "count", count
+    from repro.core.sharded import normalize_shard_spec
+
+    specs = [part.strip() for part in text.split(",") if part.strip()]
+    if not specs:
+        raise ValueError(
+            f"--shards must be a count or a comma-separated spec list, "
+            f"got {value!r}"
+        )
+    for spec in specs:
+        normalize_shard_spec(spec)  # raises on a malformed entry
+    return "specs", specs
+
+
+def _make_batch_service(graph, options, shards):
+    """The serving backend of one CLI invocation (shared query/serve path)."""
+    kind, value = shards
+    if kind == "count" and value == 0:
+        from repro.core.service import ConnectorService
+
+        return ConnectorService(graph, options)
+    from repro.core.sharded import ShardedConnectorService
+
+    if kind == "count":
+        return ShardedConnectorService(graph, options, n_shards=value)
+    return ShardedConnectorService(graph, options, shards=value)
 
 
 def _canonical_sort(values):
@@ -162,7 +236,6 @@ def _read_batch(path: str) -> list[list[int]]:
 def _run_query(args: argparse.Namespace) -> int:
     from repro.baselines import METHODS
     from repro.core.options import SolveOptions
-    from repro.core.service import ConnectorService
     from repro.datasets import load_dataset
 
     if args.method not in METHODS:
@@ -180,9 +253,20 @@ def _run_query(args: argparse.Namespace) -> int:
             print(f"cannot read batch file {args.batch!r}: {exc}",
                   file=sys.stderr)
             return 2
-    if not queries:
+    if not queries and not args.batch:
         print("no queries: pass vertex ids and/or --batch FILE",
               file=sys.stderr)
+        return 2
+    # An explicitly provided --batch file with nothing in it is an empty
+    # workload, not a usage error: the invocation proceeds (validating the
+    # dataset and shard topology as usual) and reports zero queries.
+
+    try:
+        shards = _parse_shards(args.shards)
+    except ValueError as exc:
+        # Pure-string validation, so a malformed --shards fails before the
+        # dataset is loaded and indexed (same order as `repro serve`).
+        print(exc, file=sys.stderr)
         return 2
 
     graph = load_dataset(args.dataset)
@@ -198,31 +282,27 @@ def _run_query(args: argparse.Namespace) -> int:
         )
         return 2
 
-    if args.shards < 0:
-        print(f"--shards must be non-negative, got {args.shards}",
-              file=sys.stderr)
-        return 2
-
     options = SolveOptions(
         method=args.method,
         beta=args.beta,
         selection=args.selection,
         backend=args.backend,
     )
-    if args.shards:
-        from repro.core.sharded import ShardedConnectorService
-
-        service = ShardedConnectorService(graph, options, n_shards=args.shards)
-    else:
-        service = ConnectorService(graph, options)
     wants_footer = bool(args.batch) and not args.as_json
+    try:
+        service = _make_batch_service(graph, options, shards)
+    except (RuntimeError, OSError) as exc:
+        # A refused handshake or an unreachable shard host is a topology
+        # problem the operator must fix, not a traceback.
+        print(f"cannot build the shard topology: {exc}", file=sys.stderr)
+        return 2
     with service:
         started = time.perf_counter()
         results = service.solve_many(queries)
         elapsed = time.perf_counter() - started
         # Only the footer reads the stats, and a sharded stats() is a
-        # scatter/gather over every shard pipe — skip the dead IPC.
-        stats = service.stats() if wants_footer else None
+        # scatter/gather over every shard link — skip the dead IPC.
+        stats = service.stats() if wants_footer and queries else None
 
     if args.as_json:
         from repro.serving.protocol import result_to_payload
@@ -243,6 +323,10 @@ def _run_query(args: argparse.Namespace) -> int:
         print(result.summary())
         print(f"added vertices: {_canonical_sort(result.added_nodes)}")
     if wants_footer:
+        if not queries:
+            # The empty-workload footer: no timing averages over nothing.
+            print("batch: 0 queries")
+            return 0
         # Batch mode used to drop its timing on the floor; surface the
         # serving picture the JSON path always had.  "Served warm" folds
         # the sharded router's in-flight dedup into the cache hits so the
@@ -262,13 +346,13 @@ def _run_serve(args: argparse.Namespace) -> int:
     import asyncio
 
     from repro.core.gateway import AsyncGateway
-    from repro.core.service import ConnectorService
     from repro.datasets import load_dataset
     from repro.serving.server import GatewayServer
 
-    if args.shards < 0:
-        print(f"--shards must be non-negative, got {args.shards}",
-              file=sys.stderr)
+    try:
+        shards = _parse_shards(args.shards)
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
         return 2
     if not 0 <= args.port <= 65535:
         print(f"--port must be in 0..65535, got {args.port}",
@@ -290,12 +374,11 @@ def _run_serve(args: argparse.Namespace) -> int:
         return 2
 
     graph = load_dataset(args.dataset)
-    if args.shards:
-        from repro.core.sharded import ShardedConnectorService
-
-        service = ShardedConnectorService(graph, n_shards=args.shards)
-    else:
-        service = ConnectorService(graph)
+    try:
+        service = _make_batch_service(graph, None, shards)
+    except (RuntimeError, OSError) as exc:
+        print(f"cannot build the shard topology: {exc}", file=sys.stderr)
+        return 2
 
     async def run() -> int:
         with service:
@@ -314,10 +397,13 @@ def _run_serve(args: argparse.Namespace) -> int:
                           file=sys.stderr)
                     return 2
                 try:
-                    backing = (
-                        f"{args.shards} shard processes" if args.shards
-                        else "one in-process service"
-                    )
+                    kind, value = shards
+                    if kind == "specs":
+                        backing = f"shards [{', '.join(value)}]"
+                    elif value:
+                        backing = f"{value} shard processes"
+                    else:
+                        backing = "one in-process service"
                     print(
                         f"serving {args.dataset!r} ({graph.num_nodes} vertices, "
                         f"{graph.num_edges} edges) over {backing}",
@@ -358,6 +444,43 @@ def _run_serve(args: argparse.Namespace) -> int:
         return asyncio.run(run())
     except KeyboardInterrupt:  # pragma: no cover - interactive stop
         return 0
+
+
+def _run_shard_host(args: argparse.Namespace) -> int:
+    from repro.core.service import ConnectorService
+    from repro.datasets import load_dataset
+    from repro.serving.remote import ShardHostServer
+
+    if not 0 <= args.port <= 65535:
+        print(f"--port must be in 0..65535, got {args.port}",
+              file=sys.stderr)
+        return 2
+
+    graph = load_dataset(args.dataset)
+    service = ConnectorService(graph)
+    server = ShardHostServer(service, args.host, args.port)
+    try:
+        server.start()
+    except OSError as exc:
+        print(f"cannot bind {args.host}:{args.port}: {exc}", file=sys.stderr)
+        return 2
+    try:
+        print(
+            f"shard host for {args.dataset!r} ({graph.num_nodes} vertices, "
+            f"{graph.num_edges} edges, digest {service.index_digest()[:12]})",
+            flush=True,
+        )
+        # Same parseable shape as `repro serve`: supervisors and tests
+        # read the bound port from this line.
+        print(f"listening on {server.host}:{server.port}", flush=True)
+        server.wait_shutdown()
+        print("shutdown requested; stopping", flush=True)
+    except KeyboardInterrupt:  # pragma: no cover - interactive stop
+        pass
+    finally:
+        server.close()
+    print(f"served {server.sweeps_served} sweeps", flush=True)
+    return 0
 
 
 if __name__ == "__main__":

@@ -52,6 +52,7 @@ Quickstart
 
 from __future__ import annotations
 
+import hashlib
 import math
 import os
 import time
@@ -61,7 +62,7 @@ from dataclasses import dataclass
 
 from repro.errors import DisconnectedGraphError, GraphError, InvalidQueryError
 from repro.core.lru import LRUCache
-from repro.core.options import SolveOptions
+from repro.core.options import SolveOptions, stable_repr
 from repro.core.result import ConnectorResult
 from repro.core.wiener_steiner import (
     _lambda_grid,
@@ -214,6 +215,7 @@ class ConnectorService:
         self._landmark_count = landmarks
         self._landmark_index = None
         self._queries_served = 0
+        self._index_digest: str | None = None
 
     # ------------------------------------------------------------------
     # Shape / validation helpers
@@ -240,6 +242,58 @@ class ConnectorService:
             raise InvalidQueryError(
                 f"query vertices not in graph: {sorted(map(repr, missing))}"
             )
+
+    def index_digest(self) -> str:
+        """A process- and host-stable hex digest of the graph index content.
+
+        The handshake token of the remote shard transport: a
+        :class:`~repro.core.sharded.ShardedConnectorService` router sends
+        this digest to every shard-host daemon at connect time and the
+        daemon refuses mismatches — two processes that do not serve the
+        *same* graph must never share a key ring, or the bit-identity
+        contract breaks silently (a shard would sweep a different
+        vertex/edge set than the router validates against).
+
+        Built from the :func:`~repro.core.options.stable_repr` of the
+        node and canonical edge sets, so it agrees wherever the same
+        graph is loaded: router or shard host, dict or CSR index, any
+        ``PYTHONHASHSEED``, today's process or a restarted one.
+        """
+        if self._index_digest is None:
+            if self.graph is not None:
+                node_reprs = sorted(
+                    stable_repr(node) for node in self.graph.nodes()
+                )
+                edge_reprs = sorted(
+                    "|".join(sorted((stable_repr(u), stable_repr(v))))
+                    for u, v in self.graph.edges()
+                )
+            else:
+                # Graph-less (bare-CSR) services digest the same logical
+                # content reconstructed from the arrays.
+                node_of = self._csr.node_of
+                node_reprs = sorted(stable_repr(node) for node in node_of)
+                indptr, indices = self._csr.indptr, self._csr.indices
+                edge_reprs = sorted(
+                    "|".join(
+                        sorted(
+                            (stable_repr(node_of[i]), stable_repr(node_of[j]))
+                        )
+                    )
+                    for i in range(len(node_of))
+                    for j in indices[indptr[i]:indptr[i + 1]]
+                    if i <= j
+                )
+            digest = hashlib.sha1()
+            digest.update(repr(len(node_reprs)).encode("utf-8"))
+            for text in node_reprs:
+                digest.update(b"n")
+                digest.update(text.encode("utf-8"))
+            for text in edge_reprs:
+                digest.update(b"e")
+                digest.update(text.encode("utf-8"))
+            self._index_digest = digest.hexdigest()
+        return self._index_digest
 
     def _backend_name(self, options: SolveOptions) -> str:
         if self.graph is not None:

@@ -1,9 +1,9 @@
-"""ShardedConnectorService — persistent multi-process sharded serving.
+"""ShardedConnectorService — persistent sharded serving over pluggable transports.
 
 The ROADMAP's scaling ladder after the serving layer: partition the
 result/candidate caches and the root-BFS state of a
 :class:`~repro.core.service.ConnectorService` across several *persistent*
-worker processes, with a thin router in front.  A shard is just a service
+shard replicas, with a thin router in front.  A shard is just a service
 holding a subset of the key space — exactly what ``ConnectorService`` was
 designed for — so the router stays small:
 
@@ -13,13 +13,16 @@ designed for — so the router stays small:
   virtual points per shard, so equal keys always land on the same shard
   (cache affinity) and :meth:`ShardedConnectorService.resize` moves only
   ``~1/n`` of the key space;
-* **persistent shard processes** — unlike ``solve_many(parallel=True)``,
-  whose pool lives for one call, every shard is a long-lived process
-  hosting one ``ConnectorService`` replica seeded with the router's bare
-  CSR int arrays (a pickled ``Graph`` is shipped only on the no-numpy
-  dict fallback).  Each shard keeps its *own* root-BFS / candidate /
-  score / sweep LRU layers, so warm traffic is served from shard-local
-  cache across batches, restarts of nothing;
+* **persistent shard replicas behind a transport protocol** — every shard
+  is a long-lived ``ConnectorService`` replica reached through a
+  :class:`ShardTransport`.  The built-in :class:`_PipeShardTransport`
+  owns a local worker process seeded with the router's bare CSR int
+  arrays (a pickled ``Graph`` is shipped only on the no-numpy dict
+  fallback); :class:`repro.serving.remote.RemoteShardTransport` instead
+  speaks the JSON-lines wire format to a ``repro shard-host`` daemon that
+  may live on *another machine*.  Either way each replica keeps its *own*
+  root-BFS / candidate / score / sweep LRU layers, so warm traffic is
+  served shard-locally across batches;
 * **a thin router** — :meth:`~ShardedConnectorService.solve_many`
   validates locally, dedupes identical in-flight keys (duplicates within
   a batch are sent once and fan back out to every position), preserves
@@ -28,27 +31,52 @@ designed for — so the router stays small:
   :class:`~repro.core.result.ConnectorResult` objects on the
   graph-holding side.
 
+Transport and failure semantics
+-------------------------------
+
+The router speaks :class:`ShardTransport` only: ``submit`` /
+``submit_stats`` scatter requests (at most :data:`MAX_INFLIGHT_PER_SHARD`
+outstanding per shard, so neither pipe nor socket buffers can deadlock),
+``drain`` gathers whatever replies have arrived without blocking, and
+``waitable`` exposes the underlying pipe/socket for a multiplexed
+:func:`multiprocessing.connection.wait` — a slow shard never blocks
+draining the others.  Remote transports additionally perform a
+connect-time **handshake**: the router sends
+:meth:`ConnectorService.index_digest` and the shard host refuses a
+mismatch, so a ring is never built over two different graphs.
+
+A dead shard — local process OOM-killed, remote daemon gone, socket reset
+— poisons any half-served batch, so the router fails the batch with one
+clean ``RuntimeError`` and closes the whole service; stale replies can
+never leak into a later batch.  Shard-side *request* faults (a poisoned
+query) ship back as exception values and fail only that request.
+Stopping a shard stops what the router owns: a pipe transport terminates
+its worker process, a remote transport merely disconnects (the daemon,
+started and owned elsewhere, keeps serving its other routers).
+
 Identity contract
 -----------------
 
-Sharding never changes answers.  For any shard count, cold or warm, before
-and after LRU eviction and :meth:`resize`, every connector returned is
-**bit-identical** to the one-shot
+Sharding never changes answers.  For any shard count and any transport
+mix, cold or warm, before and after LRU eviction and :meth:`resize`,
+every connector returned is **bit-identical** to the one-shot
 :func:`~repro.core.wiener_steiner.wiener_steiner` under equal options —
 each shard runs the same canonical λ×root sweep
 (:meth:`ConnectorService.sweep`) on the same arrays, and the router only
-moves bytes.  ``tests/test_sharded.py`` fuzzes this against both the
-one-shot solver and a single ``ConnectorService`` on random corpora.
+moves bytes.  ``tests/test_sharded.py`` and ``tests/test_remote.py`` fuzz
+this against both the one-shot solver and a single ``ConnectorService``
+on random corpora, over pipes, sockets, and mixed rings.
 
 Rebalancing semantics
 ---------------------
 
 :meth:`resize` is legal between batches (the router is synchronous, so
 there are never in-flight requests at call time).  Growing spawns fresh
-shards; shrinking stops the highest-numbered shards and their caches die
-with them.  Retained shards keep their caches.  Keys whose ring ownership
-moved are simply re-solved cold on their new shard — a cache-locality
-event, not a correctness event.
+local shards; shrinking stops the highest-numbered shards and their
+caches die with them (a remote shard is merely disconnected).  Resizing
+to the current count is a true no-op.  Keys whose ring ownership moved
+are simply re-solved cold on their new shard — a cache-locality event,
+not a correctness event.
 
 Quickstart
 ----------
@@ -58,6 +86,10 @@ Quickstart
 ...     results = service.solve_many([[12, 25], [12, 26, 30], [12, 25]])
 >>> [sorted(r.query) for r in results]
 [[12, 25], [12, 26, 30], [12, 25]]
+
+Remote shard hosts (see :mod:`repro.serving.remote`) plug in by address::
+
+    ShardedConnectorService(graph, shards=["10.0.0.5:8766", "local"])
 """
 
 from __future__ import annotations
@@ -67,8 +99,9 @@ import multiprocessing
 import os
 from bisect import bisect_right
 from multiprocessing import connection as mp_connection
-from collections.abc import Iterable
+from collections.abc import Iterable, Sequence
 from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
 
 from repro.core.options import SolveOptions, stable_repr
 from repro.core.result import ConnectorResult
@@ -80,7 +113,109 @@ from repro.core.service import (
 )
 from repro.graphs.graph import Graph, Node
 
-__all__ = ["ShardedConnectorService", "ShardedStats", "request_digest"]
+__all__ = [
+    "ShardTransport",
+    "ShardTransportError",
+    "ShardedConnectorService",
+    "ShardedStats",
+    "normalize_shard_spec",
+    "request_digest",
+]
+
+
+class ShardTransportError(RuntimeError):
+    """A shard link failed at the transport layer (not a request fault).
+
+    Raised by :class:`ShardTransport` implementations when the link
+    itself is unusable — a refused/mismatched handshake, a protocol
+    violation on the wire.  The router treats it exactly like a raw
+    ``OSError``/``EOFError`` from a dead pipe: the batch cannot be
+    completed, so the service closes with one clear error.
+    """
+
+
+#: What the router catches from a transport call: the link is dead or
+#: broken, as opposed to a shard-side request fault (shipped as a value).
+_TRANSPORT_FAILURES = (EOFError, OSError, ShardTransportError)
+
+
+@runtime_checkable
+class ShardTransport(Protocol):
+    """The router-side contract of one shard replica, however reached.
+
+    Implementations: :class:`_PipeShardTransport` (a local worker process
+    over a duplex pipe) and
+    :class:`repro.serving.remote.RemoteShardTransport` (a TCP socket to a
+    ``repro shard-host`` daemon).  The router guarantees at most
+    :data:`ShardedConnectorService.MAX_INFLIGHT_PER_SHARD` submitted and
+    undrained requests per transport, so ``submit`` may block on the OS
+    buffer without deadlock risk.  All methods raise one of
+    :data:`_TRANSPORT_FAILURES` when the link is dead.
+    """
+
+    #: Short tag surfaced in result metadata and stats ("pipe"/"socket").
+    kind: str
+
+    def submit(
+        self, request_id: int, query_tuple: tuple, options: SolveOptions
+    ) -> None:
+        """Send one sweep request; the reply arrives via :meth:`drain`."""
+        ...  # pragma: no cover - protocol definition
+
+    def submit_stats(self, request_id: int) -> None:
+        """Request a :class:`ServiceStats` snapshot from the replica."""
+        ...  # pragma: no cover - protocol definition
+
+    def drain(self) -> list[tuple[int, str, object]]:
+        """Every reply currently available, without blocking.
+
+        Each reply is ``(request_id, "ok" | "error", value)`` — the value
+        is a :class:`~repro.core.service.SweepOutcome`, a
+        :class:`ServiceStats`, or the shard-side exception.
+        """
+        ...  # pragma: no cover - protocol definition
+
+    @property
+    def waitable(self):
+        """The pipe/socket for :func:`multiprocessing.connection.wait`."""
+        ...  # pragma: no cover - protocol definition
+
+    def stop(self) -> None:
+        """Release what the router owns (process/pipe or socket)."""
+        ...  # pragma: no cover - protocol definition
+
+
+def normalize_shard_spec(spec) -> str | tuple[str, int]:
+    """Validate one shard spec: ``"local"`` or ``"host:port"``.
+
+    Returns ``"local"`` for a local worker-process shard, or a
+    ``(host, port)`` pair for a remote shard-host address.  Used by both
+    :class:`ShardedConnectorService` and the CLI ``--shards`` parser, so
+    the accepted forms (and the error messages) cannot drift apart.
+    """
+    if not isinstance(spec, str) or not spec.strip():
+        raise ValueError(
+            f"a shard spec must be 'local' or 'host:port', got {spec!r}"
+        )
+    spec = spec.strip()
+    if spec == "local":
+        return "local"
+    host, separator, port_text = spec.rpartition(":")
+    if not separator or not host:
+        raise ValueError(
+            f"a shard spec must be 'local' or 'host:port', got {spec!r}"
+        )
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ValueError(
+            f"shard spec {spec!r} has a non-numeric port {port_text!r}"
+        ) from None
+    if not 1 <= port <= 65535:
+        raise ValueError(
+            f"shard spec {spec!r} has an out-of-range port {port}"
+        )
+    return host, port
 
 
 def request_digest(query_set: frozenset, options: SolveOptions) -> bytes:
@@ -163,8 +298,15 @@ def _shard_main(connection, payload: dict) -> None:
         connection.close()
 
 
-class _Shard:
-    """Router-side handle of one shard process (pipe + process)."""
+class _PipeShardTransport:
+    """Pipe-backed :class:`ShardTransport`: one local worker process.
+
+    The original (PR 3) shard shape: the router spawns a persistent
+    process running :func:`_shard_main` over a duplex pipe and owns its
+    whole lifecycle — :meth:`stop` terminates the worker.
+    """
+
+    kind = "pipe"
 
     def __init__(self, shard_id: int, payload: dict, ctx) -> None:
         self.shard_id = shard_id
@@ -178,6 +320,24 @@ class _Shard:
         self.process.start()
         child_end.close()  # the child owns its end now
 
+    def submit(
+        self, request_id: int, query_tuple: tuple, options: SolveOptions
+    ) -> None:
+        self.connection.send(("solve", request_id, query_tuple, options))
+
+    def submit_stats(self, request_id: int) -> None:
+        self.connection.send(("stats", request_id))
+
+    def drain(self) -> list[tuple[int, str, object]]:
+        replies = []
+        while self.connection.poll(0):
+            replies.append(self.connection.recv())
+        return replies
+
+    @property
+    def waitable(self):
+        return self.connection
+
     def stop(self, timeout: float = 5.0) -> None:
         try:
             self.connection.send(("stop",))
@@ -189,6 +349,13 @@ class _Shard:
             self.process.terminate()
             self.process.join()
 
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return f"{type(self).__name__}(shard={self.shard_id}, pid={self.process.pid})"
+
+
+#: Backwards-compatible private alias (pre-transport name).
+_Shard = _PipeShardTransport
+
 
 @dataclass(frozen=True)
 class ShardedStats:
@@ -199,6 +366,9 @@ class ShardedStats:
     ``backend="dict"`` overrides on CSR-seeded shards); its cache traffic
     counts toward the aggregate hit numbers below so a baseline-method
     workload does not read as "never warm" just because it is sharded.
+
+    With remote shards in the ring, a shard's snapshot covers the
+    *daemon's* lifetime — which may predate this router connecting.
     """
 
     n_shards: int
@@ -206,6 +376,7 @@ class ShardedStats:
     inflight_deduped: int
     shards: tuple[ServiceStats, ...]
     router_local: ServiceStats | None = None
+    transports: tuple[str, ...] = ()
 
     @property
     def _snapshots(self) -> tuple[ServiceStats, ...]:
@@ -234,31 +405,44 @@ class ShardedStats:
 
 
 class ShardedConnectorService:
-    """Route Min-Wiener-Connector queries across persistent shard processes.
+    """Route Min-Wiener-Connector queries across persistent shard replicas.
 
     Parameters
     ----------
     graph:
         The host graph; the router keeps it for validation and result
-        construction while shards receive only the payload arrays.
+        construction while shards receive only the payload arrays (or,
+        for remote shards, nothing — the daemon loaded its own copy,
+        checked against ours by digest at connect time).
     options:
         Default :class:`SolveOptions`, overridable per call (the pair is
         the routing key, so the same query under different options may
         live on different shards — by design, results are keyed the same
         way).
     n_shards:
-        Shard-process count; defaults to ``min(4, cpu_count)``.
+        Local shard-process count; defaults to ``min(4, cpu_count)``.
+        Mutually exclusive with ``shards``.
+    shards:
+        Explicit shard specs, one per ring slot: ``"local"`` spawns a
+        pipe-backed worker process, ``"host:port"`` connects to a
+        ``repro shard-host`` daemon (see :mod:`repro.serving.remote`).
+        Mixed rings are fine; ring placement depends only on the slot
+        count, so ``shards=["local", "local"]`` and two remote hosts
+        route identically.
     max_cached_roots / max_cached_candidates / max_cached_scores /
     max_cached_results:
-        Forwarded to *every* shard replica, bounding per-shard memory.
+        Forwarded to every *local* shard replica, bounding per-shard
+        memory (a remote daemon's bounds were fixed by whoever started
+        it).
     mp_context:
         An explicit :mod:`multiprocessing` context (tests pin ``"fork"``
         where available; the default context works everywhere).
     """
 
     #: Most requests a shard may have in flight before the router drains
-    #: its replies.  Bounds both directions of every pipe far below the OS
-    #: buffer size, so arbitrarily large batches scatter without deadlock.
+    #: its replies.  Bounds both directions of every pipe/socket far below
+    #: the OS buffer size, so arbitrarily large batches scatter without
+    #: deadlock.
     MAX_INFLIGHT_PER_SHARD = 16
 
     def __init__(
@@ -267,16 +451,25 @@ class ShardedConnectorService:
         options: SolveOptions | None = None,
         *,
         n_shards: int | None = None,
+        shards: Sequence[str] | None = None,
         max_cached_roots: int | None = 512,
         max_cached_candidates: int | None = 4096,
         max_cached_scores: int | None = 4096,
         max_cached_results: int | None = 1024,
         mp_context=None,
     ) -> None:
-        if n_shards is None:
-            n_shards = min(4, os.cpu_count() or 1)
-        if n_shards < 1:
-            raise ValueError(f"n_shards must be at least 1, got {n_shards}")
+        if shards is not None:
+            if n_shards is not None:
+                raise ValueError("pass n_shards or shards, not both")
+            specs = [normalize_shard_spec(spec) for spec in shards]
+            if not specs:
+                raise ValueError("shards must name at least one shard")
+        else:
+            if n_shards is None:
+                n_shards = min(4, os.cpu_count() or 1)
+            if n_shards < 1:
+                raise ValueError(f"n_shards must be at least 1, got {n_shards}")
+            specs = ["local"] * n_shards
         # The router-side service: validation, payload construction, result
         # building, and the local fallback for non-"ws-q" methods.  Its own
         # solve caches see no sharded traffic.
@@ -297,13 +490,33 @@ class ShardedConnectorService:
             }
         )
         self._ctx = mp_context if mp_context is not None else multiprocessing.get_context()
-        self._shards: dict[int, _Shard] = {}
+        self._shards: dict[int, ShardTransport] = {}
         self._ring: _HashRing | None = None
         self._next_request_id = 0
         self._requests_routed = 0
         self._inflight_deduped = 0
         self._closed = False
-        self.resize(n_shards)
+        try:
+            for shard_id, spec in enumerate(specs):
+                self._shards[shard_id] = self._make_transport(shard_id, spec)
+        except BaseException:
+            # A refused remote handshake (or connect failure) mid-build
+            # must not leak the shards already spawned.
+            self.close()
+            raise
+        self._ring = _HashRing(sorted(self._shards))
+
+    def _make_transport(self, shard_id: int, spec) -> ShardTransport:
+        if spec == "local":
+            return _PipeShardTransport(shard_id, self._payload, self._ctx)
+        host, port = spec
+        # Imported lazily: the serving layer depends on core, so core only
+        # reaches back when a remote shard is actually requested.
+        from repro.serving.remote import RemoteShardTransport
+
+        return RemoteShardTransport(
+            shard_id, host, port, digest=self._local.index_digest()
+        )
 
     # ------------------------------------------------------------------
     # Topology
@@ -321,6 +534,13 @@ class ShardedConnectorService:
         return len(self._shards)
 
     @property
+    def transports(self) -> tuple[str, ...]:
+        """The transport kind of each ring slot (``"pipe"``/``"socket"``)."""
+        return tuple(
+            self._shards[shard_id].kind for shard_id in sorted(self._shards)
+        )
+
+    @property
     def payload_kind(self) -> str:
         """``"csr"`` (bare int arrays) or ``"graph"`` (no-numpy fallback)."""
         return self._payload["kind"]
@@ -330,7 +550,10 @@ class ShardedConnectorService:
 
         Legal between batches only (the synchronous router never holds
         in-flight requests across calls).  Growing spawns fresh, cold
-        shards; shrinking stops the highest-numbered shards.  Retained
+        *local* shards; shrinking stops the highest-numbered shards
+        (terminating local workers, merely disconnecting remote daemons).
+        Resizing to the current count is a true no-op — the ring, the
+        transports, and every warm cache are left untouched.  Retained
         shards keep their warm caches, and consistent hashing keeps
         ``~(n-1)/n`` of the key space pinned to them.
         """
@@ -338,8 +561,17 @@ class ShardedConnectorService:
             raise RuntimeError("service is closed")
         if n_shards < 1:
             raise ValueError(f"n_shards must be at least 1, got {n_shards}")
-        for shard_id in range(len(self._shards), n_shards):
-            self._shards[shard_id] = _Shard(shard_id, self._payload, self._ctx)
+        if n_shards == len(self._shards):
+            return
+        created: list[int] = []
+        try:
+            for shard_id in range(len(self._shards), n_shards):
+                self._shards[shard_id] = self._make_transport(shard_id, "local")
+                created.append(shard_id)
+        except BaseException:
+            for shard_id in created:  # pragma: no cover - spawn failure
+                self._shards.pop(shard_id).stop()
+            raise
         for shard_id in range(n_shards, len(self._shards)):
             self._shards.pop(shard_id).stop()
         self._ring = _HashRing(sorted(self._shards))
@@ -348,6 +580,8 @@ class ShardedConnectorService:
         self, query: Iterable[Node], options: SolveOptions | None = None
     ) -> int:
         """Which shard serves this ``(query, options)`` key (introspection)."""
+        if self._closed:
+            raise RuntimeError("service is closed")
         opts = self._local._merge(options)
         return self._ring.lookup(request_digest(frozenset(query), opts))
 
@@ -387,11 +621,12 @@ class ShardedConnectorService:
             self._local._validate(query_set)
 
         # Dedupe identical in-flight keys and scatter one request each.
-        # Draining is interleaved with scattering: a pipe buffers only a few
-        # dozen KB per direction, so a router that sent a whole large batch
-        # before reading any reply would deadlock against a shard blocked on
-        # sending its replies.  The per-shard in-flight cap keeps both
-        # directions of every pipe comfortably under the buffer size.
+        # Draining is interleaved with scattering: a pipe or socket buffers
+        # only a bounded number of bytes per direction, so a router that
+        # sent a whole large batch before reading any reply would deadlock
+        # against a shard blocked on sending its replies.  The per-shard
+        # in-flight cap keeps both directions of every link comfortably
+        # under the buffer size.
         routed: dict[frozenset, tuple[int, int]] = {}  # key -> (request_id, shard)
         pending: dict[int, int] = {}  # shard id -> in-flight request count
         outcomes: dict[int, object] = {}
@@ -405,9 +640,10 @@ class ShardedConnectorService:
                 self._drain(pending, outcomes, failures, below_cap=shard_id)
             request_id = self._next_request_id
             self._next_request_id += 1
-            self._send(
+            query_tuple = tuple(sorted(query_set, key=repr))
+            self._submit_guarded(
                 shard_id,
-                ("solve", request_id, tuple(sorted(query_set, key=repr)), opts),
+                lambda transport: transport.submit(request_id, query_tuple, opts),
             )
             routed[query_set] = (request_id, shard_id)
             pending[shard_id] = pending.get(shard_id, 0) + 1
@@ -423,21 +659,29 @@ class ShardedConnectorService:
             results[query_set] = self._local._to_result(
                 query_set,
                 outcomes[request_id],
-                extra={"sharded": True, "shard": shard_id, "shards": self.n_shards},
+                extra={
+                    "sharded": True,
+                    "shard": shard_id,
+                    "shards": self.n_shards,
+                    "transport": self._shards[shard_id].kind,
+                },
             )
         return [results[query_set] for query_set in query_sets]
 
-    def _send(self, shard_id: int, message) -> None:
-        """Send one message to a shard; a dead shard closes the service.
+    def _submit_guarded(self, shard_id: int, send) -> None:
+        """Run one transport send; a dead shard closes the service.
 
-        A half-served batch cannot be completed and leaves replies queued
-        in the surviving pipes, so the only safe reaction to a dead shard
-        process (OOM kill, crash) is to tear the whole service down — the
-        caller gets one clear error now instead of corrupt state later.
+        ``send`` receives the shard's transport and issues exactly one
+        ``submit``/``submit_stats`` call.  A half-served batch cannot be
+        completed and leaves replies queued in the surviving links, so
+        the only safe reaction to a dead shard (OOM-killed worker,
+        vanished daemon, reset socket) is to tear the whole service down
+        — the caller gets one clear error now instead of corrupt state
+        later.
         """
         try:
-            self._shards[shard_id].connection.send(message)
-        except (BrokenPipeError, OSError):
+            send(self._shards[shard_id])
+        except _TRANSPORT_FAILURES:
             self.close()
             raise RuntimeError(
                 f"shard {shard_id} died; the sharded service was closed "
@@ -456,10 +700,10 @@ class ShardedConnectorService:
 
         With ``below_cap=shard_id``, stops as soon as that shard is back
         under :data:`MAX_INFLIGHT_PER_SHARD` (the mid-scatter drain);
-        otherwise runs until every pipe is empty, even when some replies
-        carry errors — the next batch must find the connections drained.
-        Uses :func:`multiprocessing.connection.wait` so a slow shard never
-        blocks draining the others.
+        otherwise runs until every link is empty, even when some replies
+        carry errors — the next batch must find the transports drained.
+        Uses :func:`multiprocessing.connection.wait` over the transports'
+        waitables so a slow shard never blocks draining the others.
         """
         while pending:
             if (
@@ -467,27 +711,32 @@ class ShardedConnectorService:
                 and pending.get(below_cap, 0) < self.MAX_INFLIGHT_PER_SHARD
             ):
                 return
-            by_connection = {
-                self._shards[shard_id].connection: shard_id for shard_id in pending
-            }
-            ready = mp_connection.wait(list(by_connection))
-            for connection in ready:
-                shard_id = by_connection[connection]
+            progressed = False
+            for shard_id in list(pending):
                 try:
-                    request_id, status, value = connection.recv()
-                except (EOFError, OSError):
-                    self.close()  # see _send: a dead shard poisons the batch
+                    replies = self._shards[shard_id].drain()
+                except _TRANSPORT_FAILURES:
+                    self.close()  # see _submit_guarded: a dead shard poisons the batch
                     raise RuntimeError(
                         f"shard {shard_id} died mid-batch; the sharded "
                         "service was closed and must be rebuilt"
                     ) from None
-                if status == "ok":
-                    outcomes[request_id] = value
-                else:
-                    failures[request_id] = value
-                pending[shard_id] -= 1
-                if not pending[shard_id]:
+                for request_id, status, value in replies:
+                    if status == "ok":
+                        outcomes[request_id] = value
+                    else:
+                        failures[request_id] = value
+                    pending[shard_id] -= 1
+                    progressed = True
+                if not pending.get(shard_id, 1):
                     del pending[shard_id]
+            if progressed or not pending:
+                continue
+            by_waitable = {
+                self._shards[shard_id].waitable: shard_id
+                for shard_id in pending
+            }
+            mp_connection.wait(list(by_waitable))
 
     # ------------------------------------------------------------------
     # Observability / lifecycle
@@ -499,16 +748,20 @@ class ShardedConnectorService:
         pending: dict[int, int] = {}
         snapshots: dict[int, object] = {}
         failures: dict[int, Exception] = {}
-        for shard_id in list(self._shards):
+        ordered_requests: list[int] = []
+        for shard_id in sorted(self._shards):
             request_id = self._next_request_id
             self._next_request_id += 1
-            self._send(shard_id, ("stats", request_id))
+            self._submit_guarded(
+                shard_id,
+                lambda transport: transport.submit_stats(request_id),
+            )
+            ordered_requests.append(request_id)
             pending[shard_id] = 1
         self._drain(pending, snapshots, failures)
         assert not failures  # stats requests cannot fail
         ordered = tuple(
-            snapshots[request_id]
-            for request_id in sorted(snapshots)
+            snapshots[request_id] for request_id in ordered_requests
         )
         return ShardedStats(
             n_shards=self.n_shards,
@@ -516,10 +769,16 @@ class ShardedConnectorService:
             inflight_deduped=self._inflight_deduped,
             shards=ordered,
             router_local=self._local.stats(),
+            transports=self.transports,
         )
 
     def close(self) -> None:
-        """Stop every shard process; idempotent."""
+        """Stop every shard transport; idempotent.
+
+        Local workers are terminated; remote daemons are only
+        disconnected (they are owned by whoever started them and may be
+        serving other routers).
+        """
         if self._closed:
             return
         self._closed = True

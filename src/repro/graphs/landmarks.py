@@ -107,8 +107,14 @@ class LandmarkIndex:
         }
 
     def estimate(self, u: Node, v: Node) -> float:
-        """Upper-bound estimate of ``d(u, v)``; infinite if separated from
-        every landmark."""
+        """Upper-bound estimate of ``d(u, v)``.
+
+        Returns ``math.inf`` — never raises — when ``u`` or ``v`` is
+        unreachable from every landmark (disconnected graphs, vertices in
+        landmark-less components): infinity *is* the correct upper bound
+        there, and consumers like :meth:`wiener_estimate` propagate it
+        arithmetically instead of special-casing missing tables.
+        """
         if u == v:
             return 0.0
         best = math.inf
@@ -116,7 +122,7 @@ class LandmarkIndex:
             du = table.get(u)
             dv = table.get(v)
             if du is not None and dv is not None:
-                best = min(best, du + dv)
+                best = min(best, float(du + dv))
         return best
 
     def lower_bound(self, u: Node, v: Node) -> float:
@@ -129,7 +135,7 @@ class LandmarkIndex:
             du = table.get(u)
             dv = table.get(v)
             if du is not None and dv is not None:
-                best = max(best, abs(du - dv))
+                best = max(best, float(abs(du - dv)))
         return best
 
     def estimate_many(self, pairs: Iterable[tuple[Node, Node]]) -> list[float]:
@@ -148,6 +154,12 @@ class LandmarkIndex:
         parts; intended for quick triage of very large candidate solutions
         (the Remark-1 situation), not for final reporting.  With
         ``sample_pairs`` set, estimates from a uniform pair sample.
+
+        Inherits :meth:`estimate`'s unreachable-pair contract: any pair
+        separated from every landmark contributes ``math.inf``, so the
+        returned estimate is ``inf`` (a true upper bound) rather than an
+        error — disconnected node sets are triaged as "unboundedly bad",
+        never crash the sweep.
         """
         node_list = list(nodes) if nodes is not None else list(self._graph.nodes())
         n = len(node_list)

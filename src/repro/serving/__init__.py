@@ -1,10 +1,15 @@
-"""Network serving: the JSON-lines TCP front-end over :class:`AsyncGateway`.
+"""Network serving: the JSON-lines TCP layers of the connector stack.
 
 :mod:`repro.serving.protocol` defines the wire format (one JSON request
 per line in, one JSON response per line out), :mod:`repro.serving.server`
-the :func:`asyncio.start_server` daemon plus the async client helper the
-tests and benchmark drive it with.  ``repro serve DATASET`` is the CLI
-entry point.
+the :func:`asyncio.start_server` gateway daemon plus the async client
+helper the tests and benchmark drive it with, and
+:mod:`repro.serving.remote` the shard transport: the ``repro shard-host``
+daemon and the socket-backed
+:class:`~repro.serving.remote.RemoteShardTransport` that lets one router
+scatter/gather sweeps across shard hosts on other machines.  ``repro
+serve DATASET`` and ``repro shard-host DATASET`` are the CLI entry
+points.
 """
 
 from repro.serving.protocol import (
@@ -12,12 +17,20 @@ from repro.serving.protocol import (
     options_from_payload,
     result_to_payload,
 )
+from repro.serving.remote import (
+    RemoteShardTransport,
+    ShardHostServer,
+    shutdown_shard_host,
+)
 from repro.serving.server import AsyncConnectorClient, GatewayServer
 
 __all__ = [
     "AsyncConnectorClient",
     "GatewayServer",
+    "RemoteShardTransport",
+    "ShardHostServer",
     "canonical_sort",
     "options_from_payload",
     "result_to_payload",
+    "shutdown_shard_host",
 ]

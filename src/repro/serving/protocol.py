@@ -1,12 +1,15 @@
-"""The JSON-lines wire format of the connector server.
+"""The JSON-lines wire format of the connector server and shard transport.
 
 One request per line, one response per line, every line a single JSON
 object — the simplest protocol that still supports pipelining (a client
 may send many requests before reading a response; the ``id`` field pairs
 them back up, since responses come back in *completion* order).
 
-Requests
---------
+Two services speak it:
+
+**The public gateway** (:mod:`repro.serving.server`), a pure-JSON surface
+for untrusted clients:
+
 * ``{"query": [v, ...], "options": {...}?, "id": ...?}`` — solve one
   query.  ``options`` holds :class:`~repro.core.options.SolveOptions`
   fields by name (``method``, ``beta``, ``selection``, ...); omitted
@@ -16,6 +19,29 @@ Requests
 * ``{"op": "shutdown", "id": ...?}`` — acknowledge, then gracefully stop
   the whole server (the operation the tests' clean-teardown assertions
   drive).
+
+**The shard transport** (:mod:`repro.serving.remote`), the
+cluster-internal scatter/gather link between a sharded router and its
+shard-host daemons.  Same framing, two extra ops:
+
+* ``{"op": "hello", "digest": hex, "id": ...?}`` — the connect-time
+  handshake: the router sends the digest of its graph index
+  (:meth:`~repro.core.service.ConnectorService.index_digest`) and the
+  shard host acknowledges with its own, refusing mismatches — routing a
+  key ring over a *different* graph would silently break the
+  bit-identity contract.
+* ``{"op": "sweep", "request": b64, "id": ...}`` — one λ×root sweep.
+  ``request`` is :func:`encode_pickled` of ``(query_tuple, options)``
+  and the success response carries ``"outcome"``, :func:`encode_pickled`
+  of the shard's :class:`~repro.core.service.SweepOutcome` — exactly the
+  object a pipe-backed shard would ship, so the router rebuilds
+  identical :class:`~repro.core.result.ConnectorResult` objects either
+  way.  Failure responses may carry the pickled original exception under
+  ``"exception"`` so shard-side faults re-raise with their real type.
+
+The pickled payloads make the sweep op a **trusted-cluster** format:
+never expose a shard host to untrusted peers (unpickling attacker bytes
+executes code).  The gateway's client-facing ops stay pure JSON.
 
 Responses
 ---------
@@ -29,9 +55,11 @@ only that request, never the connection.
 
 from __future__ import annotations
 
+import base64
 import dataclasses
 import json
 import math
+import pickle
 
 from repro.core.options import SolveOptions
 from repro.core.result import ConnectorResult
@@ -39,7 +67,9 @@ from repro.core.result import ConnectorResult
 __all__ = [
     "canonical_sort",
     "decode_line",
+    "decode_pickled",
     "encode_line",
+    "encode_pickled",
     "options_from_payload",
     "result_to_payload",
 ]
@@ -112,3 +142,25 @@ def decode_line(line: bytes) -> dict:
             f"a request line must be a JSON object, got {type(message).__name__}"
         )
     return message
+
+
+def encode_pickled(value) -> str:
+    """A Python value as a JSON-safe string (pickle + base64).
+
+    The carrier of the shard transport's non-JSON payloads:
+    ``SolveOptions`` (tuples survive), query labels (any hashable), and
+    :class:`~repro.core.service.SweepOutcome` / exception objects, all
+    bit-faithfully.  Trusted-cluster only — see the module docstring.
+    """
+    return base64.b64encode(
+        pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+    ).decode("ascii")
+
+
+def decode_pickled(text: str):
+    """Inverse of :func:`encode_pickled` (trusted peers only)."""
+    if not isinstance(text, str):
+        raise ValueError(
+            f"a pickled payload must be a base64 string, got {type(text).__name__}"
+        )
+    return pickle.loads(base64.b64decode(text.encode("ascii")))

@@ -1,0 +1,555 @@
+"""Remote shard transport: scatter/gather over sockets for multi-host sharding.
+
+The paper's §6.6 concedes single-machine memory limits and points at
+parallel computation at scale; the systems answer in this reproduction is
+to let one :class:`~repro.core.sharded.ShardedConnectorService` router
+(and therefore one :class:`~repro.core.gateway.AsyncGateway` /
+``repro serve`` daemon) front shard replicas on *other machines*.  Two
+pieces:
+
+* :class:`ShardHostServer` — the daemon behind ``repro shard-host
+  DATASET --port P``: a TCP server wrapping one
+  :class:`~repro.core.service.ConnectorService` replica exactly like the
+  pipe-backed in-process shard workers, speaking the JSON-lines wire
+  format of :mod:`repro.serving.protocol` extended with the ``sweep`` op
+  (pickled :class:`~repro.core.service.SweepOutcome` payloads).  Sweeps
+  from all connections are serialized through one lock, mirroring the
+  single message loop of a pipe shard — the replica's LRU layers are the
+  scaling unit, not intra-host parallelism (run more hosts for that).
+* :class:`RemoteShardTransport` — the router-side
+  :class:`~repro.core.sharded.ShardTransport` implementation: a blocking
+  socket whose ``drain()`` never blocks (it reads only what has already
+  arrived) and whose socket object plugs straight into the router's
+  multiplexed :func:`multiprocessing.connection.wait` gather loop.
+
+Handshake
+---------
+
+At connect time the transport sends ``{"op": "hello", "digest": ...}``
+with the router's :meth:`~repro.core.service.ConnectorService.index_digest`
+and the daemon compares it against its own graph.  A mismatch is refused
+(``ShardTransportError``) *before* any request is routed — and the
+daemon enforces it server-side too: a connection that skipped (or
+failed) ``hello`` has its ``sweep`` requests rejected.  The bit-identity
+contract — remote shards return exactly the one-shot ``wiener_steiner``
+connectors — only holds when router and shard host serve the same
+graph, and a version skew between two dataset copies must fail loudly
+at topology-build time, not corrupt answers at serve time.
+
+Failure semantics
+-----------------
+
+Request-level faults (a poisoned query) travel back as pickled exception
+values and fail only that request — identical to a pipe shard.  A dead
+daemon (killed process, reset connection, unparsable reply) surfaces as
+``EOFError``/``OSError``/:class:`~repro.core.sharded.ShardTransportError`
+out of ``submit``/``drain``; the router then fails the in-flight batch
+with one clean ``RuntimeError`` and closes the whole sharded service.
+``stop()`` only disconnects: the daemon belongs to whoever started it
+(several routers may share it), so tearing down a router never tears
+down a host.  Use :func:`shutdown_shard_host` (or the ``shutdown`` op)
+to stop a daemon remotely — ``repro shard-host`` exits 0 on it.
+
+Trust model: the ``sweep`` op carries pickles, so shard hosts must only
+be reachable from trusted routers (a private cluster network), never
+from end-user clients — those talk to the pure-JSON gateway instead.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import socket
+import socketserver
+import threading
+
+from repro.core.options import SolveOptions
+from repro.core.service import ConnectorService, ServiceStats
+from repro.core.sharded import ShardTransportError
+from repro.serving.protocol import (
+    decode_line,
+    decode_pickled,
+    encode_line,
+    encode_pickled,
+)
+
+__all__ = [
+    "RemoteShardTransport",
+    "ShardHostServer",
+    "shutdown_shard_host",
+]
+
+#: Connect/handshake timeout — topology building should fail fast.
+CONNECT_TIMEOUT_SECONDS = 10.0
+
+#: Per-read chunk size of the transport's gather loop.
+_RECV_CHUNK = 1 << 16
+
+
+class _ShardHostHandler(socketserver.StreamRequestHandler):
+    """One connection: read request lines, answer each in receipt order.
+
+    ``state`` carries the connection's handshake flag: ``sweep`` is only
+    served after this connection's ``hello`` succeeded, so the digest
+    check is enforced server-side per link, not merely trusted client-side.
+    """
+
+    def setup(self) -> None:
+        # Small pipelined request/reply lines on a real network: without
+        # TCP_NODELAY, Nagle + delayed ACK can stall each tiny segment
+        # behind the peer's ACK timer (~40ms) — loopback never shows it.
+        # (self.request is the raw socket; self.connection only exists
+        # after the parent setup has run.)
+        self.request.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        super().setup()
+
+    def handle(self) -> None:
+        host: ShardHostServer = self.server.shard_host  # type: ignore[attr-defined]
+        state = {"handshaken": False}
+        for line in self.rfile:
+            if not line.strip():
+                continue
+            response, is_shutdown = host._serve_line(line, state)
+            try:
+                self.wfile.write(encode_line(response))
+                self.wfile.flush()
+            except (BrokenPipeError, ConnectionError, OSError):
+                # Peer went away; nothing left to tell it — but an
+                # accepted shutdown must still happen (same rule as the
+                # gateway server: a supervisor that fired-and-forgot, or
+                # died right after asking, must not leave the daemon
+                # running forever).
+                if is_shutdown:
+                    host._shutdown.set()
+                return
+            # As with the gateway's shutdown op: the acknowledgement is on
+            # the wire first, then the daemon stops.
+            if is_shutdown:
+                host._shutdown.set()
+                return
+
+
+class _ShardHostTCPServer(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+
+
+class ShardHostServer:
+    """Serve one :class:`ConnectorService` replica's sweeps over TCP.
+
+    The remote counterpart of the in-process ``_shard_main`` worker loop:
+    ops ``hello`` (digest handshake), ``sweep`` (one λ×root sweep,
+    pickled outcome), ``stats`` (a :class:`ServiceStats` snapshot as
+    JSON), ``ping`` and ``shutdown``.  Each connection is served by its
+    own thread in receipt order, but sweeps and snapshots across all
+    connections serialize through one lock — the service's caches are not
+    thread-safe, and a shard replica's unit of scale is the host, not
+    the thread.
+
+    The server owns only its sockets; the service belongs to the caller.
+    """
+
+    def __init__(
+        self,
+        service: ConnectorService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self._service = service
+        self._host = host
+        self._port = port
+        self._digest = service.index_digest()
+        self._lock = threading.Lock()
+        self._shutdown = threading.Event()
+        self._server: _ShardHostTCPServer | None = None
+        self._thread: threading.Thread | None = None
+        self.sweeps_served = 0
+
+    @property
+    def port(self) -> int:
+        """The bound port (the OS-assigned one when constructed with 0)."""
+        if self._server is None:
+            raise RuntimeError("shard host is not started")
+        return self._server.server_address[1]
+
+    @property
+    def host(self) -> str:
+        return self._host
+
+    def start(self) -> "ShardHostServer":
+        """Bind and start accepting connections; returns ``self``."""
+        if self._server is not None:
+            raise RuntimeError("shard host is already started")
+        self._shutdown = threading.Event()
+        self._server = _ShardHostTCPServer(
+            (self._host, self._port), _ShardHostHandler
+        )
+        self._server.shard_host = self  # type: ignore[attr-defined]
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name=f"shard-host-{self.port}",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def wait_shutdown(self, timeout: float | None = None) -> bool:
+        """Block until a ``shutdown`` op has been acknowledged."""
+        return self._shutdown.wait(timeout)
+
+    def close(self) -> None:
+        """Stop accepting and close the listening socket; idempotent.
+
+        Established connections are not force-closed: their handler
+        threads are daemons blocked on reads and exit when the router
+        disconnects (routers own their connection lifecycle).
+        """
+        if self._server is None:
+            return
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        self._server = None
+        self._thread = None
+        self._shutdown.set()  # unblock any waiter even on a local close
+
+    def __enter__(self) -> "ShardHostServer":
+        return self.start() if self._server is None else self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Request handling (called from handler threads)
+    # ------------------------------------------------------------------
+    def _serve_line(self, line: bytes, state: dict) -> tuple[dict, bool]:
+        """Answer one request line; failures fail the request, not the link.
+
+        ``state`` is the connection's mutable handshake record: a
+        successful ``hello`` flips ``state["handshaken"]`` and unlocks
+        ``sweep`` for that connection only.
+        """
+        request_id = None
+        is_shutdown = False
+        try:
+            message = decode_line(line)
+            request_id = message.get("id")
+            op = message.get("op")
+            if op == "ping":
+                response = {"ok": True, "pong": True}
+            elif op == "hello":
+                response = self._hello(message)
+                state["handshaken"] = bool(response.get("ok"))
+            elif op == "sweep":
+                if not state["handshaken"]:
+                    # The digest check is enforced here, not just trusted
+                    # to well-behaved routers: a client that skipped (or
+                    # failed) hello must never receive answers that may
+                    # come from a different graph than it expects.
+                    raise PermissionError(
+                        "sweep before a successful hello handshake; send "
+                        '{"op": "hello", "digest": ...} first'
+                    )
+                response = self._sweep(message)
+            elif op == "stats":
+                with self._lock:
+                    snapshot = self._service.stats()
+                response = {"ok": True, "stats": dataclasses.asdict(snapshot)}
+            elif op == "shutdown":
+                response = {"ok": True, "shutting_down": True}
+                is_shutdown = True
+            else:
+                raise ValueError(
+                    f"unknown op {op!r}; choose from "
+                    "('hello', 'sweep', 'stats', 'ping', 'shutdown')"
+                )
+        except Exception as exc:  # noqa: BLE001 - reported on the wire
+            response = {
+                "ok": False,
+                "error": str(exc),
+                "error_type": type(exc).__name__,
+            }
+        response["id"] = request_id
+        return response, is_shutdown
+
+    def _hello(self, message: dict) -> dict:
+        theirs = message.get("digest")
+        if theirs != self._digest:
+            return {
+                "ok": False,
+                "error": (
+                    f"graph digest mismatch: router has {theirs!r}, this "
+                    f"shard host serves {self._digest!r} — both sides must "
+                    "load the same graph"
+                ),
+                "error_type": "GraphDigestMismatch",
+                "digest": self._digest,
+            }
+        return {
+            "ok": True,
+            "digest": self._digest,
+            "nodes": self._service.num_nodes,
+        }
+
+    def _sweep(self, message: dict) -> dict:
+        query_tuple, options = decode_pickled(message["request"])
+        if not isinstance(options, SolveOptions):
+            raise ValueError(
+                f"sweep options must be SolveOptions, got {type(options).__name__}"
+            )
+        try:
+            with self._lock:
+                outcome = self._service.sweep(query_tuple, options)
+                self.sweeps_served += 1
+        except Exception as exc:
+            # The shard-side fault travels as a value, like a pipe shard's:
+            # the router re-raises the original exception type when it can.
+            response = {
+                "ok": False,
+                "error": str(exc),
+                "error_type": type(exc).__name__,
+            }
+            try:
+                response["exception"] = encode_pickled(exc)
+            except Exception:  # pragma: no cover - unpicklable exception
+                pass
+            return response
+        return {"ok": True, "outcome": encode_pickled(outcome)}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        state = "stopped" if self._server is None else f"port={self.port}"
+        return (
+            f"{type(self).__name__}(|V|={self._service.num_nodes}, {state}, "
+            f"sweeps={self.sweeps_served})"
+        )
+
+
+class RemoteShardTransport:
+    """Socket-backed :class:`~repro.core.sharded.ShardTransport`.
+
+    Connects and handshakes eagerly in the constructor (a bad address or
+    a digest mismatch fails topology building, not the first batch).  The
+    socket then stays in blocking mode: ``submit`` may block briefly on
+    the OS send buffer — safe because the router caps in-flight requests
+    per shard — while ``drain`` uses a zero-timeout ``select`` loop to
+    read exactly what has already arrived, parse complete lines, and
+    buffer the rest.  The raw socket is exposed as :attr:`waitable` for
+    the router's multiplexed gather.
+    """
+
+    kind = "socket"
+
+    def __init__(
+        self,
+        shard_id: int,
+        host: str,
+        port: int,
+        *,
+        digest: str,
+        connect_timeout: float = CONNECT_TIMEOUT_SECONDS,
+    ) -> None:
+        self.shard_id = shard_id
+        self.address = f"{host}:{port}"
+        self._buffer = bytearray()
+        try:
+            self._sock = socket.create_connection(
+                (host, port), timeout=connect_timeout
+            )
+        except OSError as exc:
+            raise ShardTransportError(
+                f"cannot connect to shard host {self.address}: {exc}"
+            ) from exc
+        # See _ShardHostHandler.setup: tiny pipelined lines must not sit
+        # out Nagle/delayed-ACK stalls on real cross-machine links.
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        # Liveness guard for silent partitions (powered-off host, dropped
+        # route): no FIN/RST ever arrives, so without keepalive the
+        # router's gather would block forever.  With these probes the OS
+        # errors the socket after ~60s of silence and the dead link
+        # surfaces through the normal close-on-death path.  (Finer-grained
+        # liveness — application heartbeats — is recorded ROADMAP
+        # headroom.)
+        self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_KEEPALIVE, 1)
+        for option, value in (
+            ("TCP_KEEPIDLE", 30), ("TCP_KEEPINTVL", 10), ("TCP_KEEPCNT", 3),
+        ):
+            if hasattr(socket, option):  # Linux/BSD; harmless to skip
+                self._sock.setsockopt(
+                    socket.IPPROTO_TCP, getattr(socket, option), value
+                )
+        try:
+            self._sock.sendall(
+                encode_line({"op": "hello", "digest": digest, "id": None})
+            )
+            reply = self._handshake_reply(connect_timeout)
+            if not reply.get("ok"):
+                raise ShardTransportError(
+                    f"shard host {self.address} refused the handshake: "
+                    f"{reply.get('error', 'no error reported')}"
+                )
+            self._sock.settimeout(None)  # blocking from here on
+        except BaseException:
+            self._sock.close()
+            raise
+
+    def _pop_line(self) -> bytes | None:
+        """Remove and return one complete line from the buffer, if any."""
+        newline = self._buffer.find(b"\n")
+        if newline < 0:
+            return None
+        line = bytes(self._buffer[: newline + 1])
+        del self._buffer[: newline + 1]
+        return line
+
+    def _handshake_reply(self, timeout: float) -> dict:
+        """Read exactly one reply line, honoring the connect timeout."""
+        while True:
+            line = self._pop_line()
+            if line is not None:
+                try:
+                    return decode_line(line)
+                except ValueError as exc:
+                    # The peer answered with non-JSON (an HTTP server, an
+                    # SSH banner): same broken-link contract as _parse, so
+                    # the CLI reports a topology error, not a traceback.
+                    raise ShardTransportError(
+                        f"shard host {self.address} answered the handshake "
+                        f"with a non-protocol reply: {exc}"
+                    ) from exc
+            try:
+                chunk = self._sock.recv(_RECV_CHUNK)
+            except socket.timeout:
+                raise ShardTransportError(
+                    f"shard host {self.address} did not answer the "
+                    f"handshake within {timeout:.0f}s"
+                ) from None
+            if not chunk:
+                raise ShardTransportError(
+                    f"shard host {self.address} closed the connection "
+                    "during the handshake"
+                )
+            self._buffer.extend(chunk)
+
+    # ------------------------------------------------------------------
+    # ShardTransport
+    # ------------------------------------------------------------------
+    def submit(
+        self, request_id: int, query_tuple: tuple, options: SolveOptions
+    ) -> None:
+        self._sock.sendall(
+            encode_line(
+                {
+                    "op": "sweep",
+                    "id": request_id,
+                    "request": encode_pickled((query_tuple, options)),
+                }
+            )
+        )
+
+    def submit_stats(self, request_id: int) -> None:
+        self._sock.sendall(encode_line({"op": "stats", "id": request_id}))
+
+    def drain(self) -> list[tuple[int, str, object]]:
+        eof = False
+        # A non-blocking recv loop, not select(): select.select raises
+        # ValueError for any fd >= FD_SETSIZE (1024), which a busy host
+        # process can easily reach — and that ValueError would escape the
+        # router's transport-failure handling.  Blocking mode is restored
+        # for submit's sendall.
+        self._sock.setblocking(False)
+        try:
+            while True:
+                try:
+                    chunk = self._sock.recv(_RECV_CHUNK)
+                except (BlockingIOError, InterruptedError):
+                    break  # nothing more has arrived
+                if not chunk:
+                    eof = True
+                    break
+                self._buffer.extend(chunk)
+        finally:
+            self._sock.setblocking(True)
+        replies = []
+        while (line := self._pop_line()) is not None:
+            if line.strip():
+                replies.append(self._parse(line))
+        if eof and not replies:
+            # The socket stays readable at EOF, so after any already-
+            # parsed replies are consumed the next drain raises here.
+            raise EOFError(
+                f"shard host {self.address} closed the connection"
+            )
+        return replies
+
+    def _parse(self, line: bytes) -> tuple[int, str, object]:
+        try:
+            message = decode_line(line)
+            request_id = message.get("id")
+            if message.get("ok"):
+                if "outcome" in message:
+                    return request_id, "ok", decode_pickled(message["outcome"])
+                if "stats" in message:
+                    return request_id, "ok", ServiceStats(**message["stats"])
+                raise ValueError("success reply carries no payload")
+            error = message.get("error", "request failed")
+            if "exception" in message:
+                exc = decode_pickled(message["exception"])
+                if isinstance(exc, Exception):
+                    return request_id, "error", exc
+            error_type = message.get("error_type", "")
+            rebuilt = RuntimeError(
+                f"{error_type}: {error}" if error_type else error
+            )
+            return request_id, "error", rebuilt
+        except Exception as exc:
+            # An unparsable reply — bad JSON, a missing field, a pickle
+            # that will not load (version skew, corruption) — means router
+            # and host have lost protocol sync: the link is unusable,
+            # exactly like a dead shard, so the router must see a
+            # transport failure and close, never a stray exception type.
+            raise ShardTransportError(
+                f"shard host {self.address} sent an unparsable reply: {exc}"
+            ) from exc
+
+    @property
+    def waitable(self):
+        return self._sock
+
+    def stop(self) -> None:
+        """Disconnect from the daemon (which keeps running); idempotent."""
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return (
+            f"{type(self).__name__}(shard={self.shard_id}, "
+            f"address={self.address})"
+        )
+
+
+def shutdown_shard_host(
+    host: str, port: int, timeout: float = CONNECT_TIMEOUT_SECONDS
+) -> bool:
+    """Ask a shard-host daemon to stop; ``True`` only on its acknowledgement.
+
+    The remote-stop path examples, benchmarks, and supervisors use so a
+    ``repro shard-host`` daemon exits 0 with nothing orphaned.  Returns
+    ``False`` when the daemon is already gone (connection refused), never
+    answers within ``timeout``, or the peer is not actually a shard host
+    (no ``shutting_down`` ack) — a supervisor must not wait on a process
+    that was never told to stop.
+    """
+    try:
+        with socket.create_connection((host, port), timeout=timeout) as sock:
+            sock.sendall(encode_line({"op": "shutdown", "id": 0}))
+            sock.settimeout(timeout)
+            line = sock.makefile("rb").readline()
+    except OSError:
+        return False
+    try:
+        reply = decode_line(line)
+    except ValueError:
+        return False
+    return bool(reply.get("ok")) and bool(reply.get("shutting_down"))

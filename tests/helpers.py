@@ -11,7 +11,11 @@ unique name has no such ambiguity — ``pyproject.toml`` puts ``tests/`` on
 from __future__ import annotations
 
 import multiprocessing
+import os
 import random
+import re
+import subprocess
+import sys
 import time
 
 from repro.graphs.graph import Graph, WeightedGraph
@@ -32,6 +36,65 @@ def assert_no_orphan_processes(timeout: float = 5.0) -> None:
                 f"orphaned worker processes: {multiprocessing.active_children()}"
             )
         time.sleep(0.01)
+
+
+def spawn_shard_host(
+    dataset: str, timeout: float = 30.0
+) -> tuple[subprocess.Popen, int]:
+    """A real ``repro shard-host DATASET`` subprocess; returns (process, port).
+
+    The shared spawn-and-parse-the-listening-line helper of the remote
+    transport tests.  On success the caller owns the process
+    (kill/communicate it in a ``finally``); the port comes from the
+    daemon's parseable ``listening on 127.0.0.1:PORT`` line.  A daemon
+    that exits, stays silent past ``timeout``, or prints an unexpected
+    banner is killed here and reported as an AssertionError — a broken
+    spawn must fail the test, never hang the suite or leak the child.
+    """
+    import threading
+
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "shard-host", dataset, "--port", "0"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=env,
+    )
+    # A watchdog rather than select-on-stdout: the daemon's banner and
+    # listening lines may arrive in one pipe chunk, and selecting on a
+    # *buffered* text stream would then stall on the fd while the wanted
+    # line sits unread in the Python-level buffer.  Killing the child on
+    # timeout turns the blocking readline into a clean EOF instead.
+    timed_out = threading.Event()
+
+    def _expire():
+        timed_out.set()
+        process.kill()
+
+    watchdog = threading.Timer(timeout, _expire)
+    watchdog.start()
+    try:
+        for line in process.stdout:
+            match = re.search(r"listening on 127\.0\.0\.1:(\d+)", line)
+            if match:
+                return process, int(match.group(1))
+        if timed_out.is_set():
+            raise AssertionError(
+                f"shard host did not print its port within {timeout}s"
+            )
+        raise AssertionError(
+            "shard host exited before printing its port: "
+            f"{process.stderr.read()}"
+        )
+    except BaseException:
+        process.kill()
+        process.communicate()
+        raise
+    finally:
+        watchdog.cancel()
 
 
 def random_connected_graph(n: int, p: float, seed: int) -> Graph:

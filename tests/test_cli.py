@@ -29,10 +29,30 @@ class TestParser:
         assert args.command == "serve"
         assert args.dataset == "football"
         assert args.port == 0
-        assert args.shards == 2
+        assert args.shards == "2"  # parsed later: a count or a spec list
         assert args.max_batch == 32
         assert args.max_wait_ms == 2.0
         assert args.max_queue == 1024
+
+    def test_shard_host_subcommand(self):
+        parser = build_parser()
+        args = parser.parse_args(["shard-host", "football", "--port", "0"])
+        assert args.command == "shard-host"
+        assert args.dataset == "football"
+        assert args.host == "127.0.0.1"
+        assert args.port == 0
+
+    def test_parse_shards_counts_and_specs(self):
+        from repro.cli import _parse_shards
+
+        assert _parse_shards("0") == ("count", 0)
+        assert _parse_shards(" 4 ") == ("count", 4)
+        assert _parse_shards("10.0.0.5:8766,local") == (
+            "specs", ["10.0.0.5:8766", "local"]
+        )
+        for bad in ("-2", "host:", "host:0", ","):
+            with pytest.raises(ValueError):
+                _parse_shards(bad)
 
 
 class TestMain:
@@ -136,6 +156,72 @@ class TestMain:
     def test_query_single_has_no_footer(self, capsys):
         assert main(["query", "football", "0", "1", "2"]) == 0
         assert "batch:" not in capsys.readouterr().out
+
+    def test_query_empty_batch_file_exits_zero(self, tmp_path, capsys):
+        """An explicitly empty --batch file is an empty workload, not a
+        usage error: clean `0 queries` footer, exit 0, and no
+        division-by-zero in the timing averages."""
+        batch = tmp_path / "empty.txt"
+        batch.write_text("")
+        assert main(["query", "football", "--batch", str(batch)]) == 0
+        captured = capsys.readouterr()
+        assert "batch: 0 queries" in captured.out
+        assert "ms/query" not in captured.out  # no averages over nothing
+        assert captured.err == ""
+
+    def test_query_comments_only_batch_file_exits_zero(self, tmp_path, capsys):
+        batch = tmp_path / "comments.txt"
+        batch.write_text("# staging queries\n\n# none yet\n")
+        assert main(["query", "football", "--batch", str(batch)]) == 0
+        assert "batch: 0 queries" in capsys.readouterr().out
+
+    def test_query_empty_batch_sharded_and_json(self, tmp_path, capsys):
+        """The empty workload stays clean across the deployment knobs:
+        sharded (no stats scatter to dead ends) and --json (empty results
+        array, no footer)."""
+        import json
+
+        batch = tmp_path / "empty.json"
+        batch.write_text("[]")
+        assert main(
+            ["query", "football", "--batch", str(batch), "--shards", "2"]
+        ) == 0
+        assert "batch: 0 queries" in capsys.readouterr().out
+        assert main(
+            ["query", "football", "--batch", str(batch), "--json"]
+        ) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["results"] == []
+
+    def test_query_empty_batch_still_validates_dataset(self, capsys, tmp_path):
+        """Empty workload or not, a bad dataset name must still fail."""
+        batch = tmp_path / "empty.txt"
+        batch.write_text("")
+        with pytest.raises(KeyError):
+            main(["query", "mystery-dataset", "--batch", str(batch)])
+
+    def test_query_shards_specs_rejected_cleanly_when_unreachable(
+        self, tmp_path, capsys
+    ):
+        """--shards host:port with nobody listening is a topology error
+        reported on stderr with exit 2, not a traceback."""
+        import socket
+
+        blocker = socket.socket()
+        blocker.bind(("127.0.0.1", 0))
+        port = blocker.getsockname()[1]
+        blocker.close()  # freed: connecting now gets ECONNREFUSED
+        assert main(
+            ["query", "football", "0", "1",
+             "--shards", f"127.0.0.1:{port}"]
+        ) == 2
+        assert "cannot build the shard topology" in capsys.readouterr().err
+
+    def test_query_malformed_shards_spec_rejected(self, capsys):
+        assert main(
+            ["query", "football", "0", "1", "--shards", "nonsense:"]
+        ) == 2
+        assert "shard spec" in capsys.readouterr().err
 
     def test_query_batch_json_file(self, tmp_path, capsys):
         batch = tmp_path / "queries.json"

@@ -1,13 +1,15 @@
 """Tests for the landmark distance oracle."""
 
+import math
 import random
 
 import pytest
 
 from helpers import random_connected_graph
 from repro.errors import GraphError
+from repro.graphs.csr import HAS_NUMPY
 from repro.graphs.landmarks import LandmarkIndex
-from repro.graphs.generators import barabasi_albert, connectify, path_graph, star_graph
+from repro.graphs.generators import barabasi_albert, connectify, erdos_renyi, path_graph, star_graph
 from repro.graphs.traversal import bfs_distances
 from repro.graphs.wiener import wiener_index
 
@@ -75,6 +77,108 @@ class TestEstimates:
             errors.append(index.estimate(u, v) - true)
         # Hub landmarks should be exact for a solid share of pairs.
         assert sum(1 for e in errors if e == 0) >= len(errors) // 3
+
+
+def _disconnected_graph(seed: int, extra_components: int = 3):
+    """A random graph plus several components no landmark will sit in.
+
+    Degree landmarks land in the dense main component, so every vertex of
+    the small satellite components is unreachable from every landmark —
+    the disconnected regime the upper-bound contract must survive.
+    """
+    rng = random.Random(seed)
+    graph = connectify(erdos_renyi(40, 0.12, rng=rng), rng=rng)
+    satellites = []
+    base = 10_000
+    for c in range(extra_components):
+        u, v = base + 2 * c, base + 2 * c + 1
+        graph.add_edge(u, v)
+        satellites.extend([u, v])
+    return graph, satellites
+
+
+class TestDisconnectedContract:
+    """The upper-bound contract on vertices unreachable from every
+    landmark: estimates are ``math.inf``, never an exception — in the
+    dict table build and in the CSR one alike."""
+
+    def _index(self, graph, use_csr: bool, strategy: str = "degree"):
+        if use_csr:
+            from repro.graphs.csr import CSRGraph
+
+            return LandmarkIndex(
+                graph, num_landmarks=4, strategy=strategy,
+                rng=random.Random(0), csr=CSRGraph.from_graph(graph),
+            )
+        return LandmarkIndex(
+            graph, num_landmarks=4, strategy=strategy, rng=random.Random(0)
+        )
+
+    @pytest.mark.parametrize("use_csr", [
+        False,
+        pytest.param(True, marks=pytest.mark.skipif(
+            not HAS_NUMPY, reason="CSR table build needs numpy")),
+    ])
+    @pytest.mark.parametrize("seed", [101, 202, 303])
+    def test_estimate_is_inf_never_raises(self, use_csr, seed):
+        graph, satellites = _disconnected_graph(seed)
+        index = self._index(graph, use_csr)
+        main = sorted(n for n in graph.nodes() if n not in set(satellites))
+        assert all(landmark in main for landmark in index.landmarks)
+        rng = random.Random(seed)
+        for _ in range(20):
+            u = rng.choice(main)
+            v = rng.choice(satellites)
+            assert index.estimate(u, v) == math.inf
+            assert index.estimate(v, u) == math.inf
+            # inf is still a valid *upper* bound; the lower bound falls
+            # back to the trivial 0.0 rather than raising either.
+            assert index.lower_bound(u, v) == 0.0
+        # pairs inside a landmark-less component are just as blind
+        assert index.estimate(satellites[0], satellites[1]) == math.inf
+        # ...and same-vertex stays exact even with no landmark coverage
+        assert index.estimate(satellites[0], satellites[0]) == 0.0
+        # reachable pairs keep returning finite floats
+        u, v = main[0], main[-1]
+        value = index.estimate(u, v)
+        assert isinstance(value, float) and math.isfinite(value)
+
+    @pytest.mark.parametrize("use_csr", [
+        False,
+        pytest.param(True, marks=pytest.mark.skipif(
+            not HAS_NUMPY, reason="CSR table build needs numpy")),
+    ])
+    def test_wiener_estimate_propagates_inf(self, use_csr):
+        graph, satellites = _disconnected_graph(404)
+        index = self._index(graph, use_csr)
+        main = sorted(n for n in graph.nodes() if n not in set(satellites))
+        mixed = main[:3] + satellites[:2]
+        # full enumeration and the pair-sampled path both report inf
+        assert index.wiener_estimate(mixed) == math.inf
+        assert index.wiener_estimate(
+            mixed, sample_pairs=4, rng=random.Random(1)
+        ) == math.inf
+        assert index.wiener_estimate() == math.inf  # whole disconnected graph
+        # an all-reachable subset stays finite
+        assert math.isfinite(index.wiener_estimate(main[:5]))
+
+    @pytest.mark.parametrize("use_csr", [
+        False,
+        pytest.param(True, marks=pytest.mark.skipif(
+            not HAS_NUMPY, reason="CSR table build needs numpy")),
+    ])
+    def test_dict_and_csr_builds_agree(self, use_csr):
+        """Both table builds hold the same distances, so the estimates —
+        finite and infinite — are identical."""
+        graph, satellites = _disconnected_graph(505)
+        reference = self._index(graph, False)
+        index = self._index(graph, use_csr)
+        nodes = sorted(graph.nodes())
+        rng = random.Random(5)
+        for _ in range(30):
+            u, v = rng.sample(nodes, 2)
+            assert index.estimate(u, v) == reference.estimate(u, v)
+            assert index.lower_bound(u, v) == reference.lower_bound(u, v)
 
 
 class TestWienerEstimate:

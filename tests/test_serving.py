@@ -195,6 +195,68 @@ class TestGatewayServer:
         reference = wiener_steiner(graph, good_query)
         assert good["nodes"] == canonical_sort(reference.nodes)
 
+    def test_wire_error_paths_never_kill_the_connection(self):
+        """The protocol's error contract over a *live* socket: a malformed
+        JSON line, an unknown op, and a request missing its ``id`` each
+        get an error (or ``id: null``) response, and the same connection
+        keeps serving afterwards."""
+        graph = random_connected_graph(18, 0.22, seed=12)
+        good_query = sorted(graph.nodes())[:2]
+
+        async def scenario():
+            service = ConnectorService(graph)
+            gateway = AsyncGateway(service)
+            try:
+                async with GatewayServer(gateway, port=0) as server:
+                    reader, writer = await asyncio.open_connection(
+                        "127.0.0.1", server.port
+                    )
+                    try:
+                        async def ask(raw: bytes) -> dict:
+                            writer.write(raw)
+                            await writer.drain()
+                            return json.loads(await reader.readline())
+
+                        malformed = await ask(b"this is not json\n")
+                        unknown_op = await ask(b'{"op": "frobnicate", "id": 7}\n')
+                        missing_id = await ask(b'{"op": "ping"}\n')
+                        no_id_solve = await ask(
+                            json.dumps({"query": good_query}).encode() + b"\n"
+                        )
+                        empty_object = await ask(b"{}\n")
+                        survived = await ask(b'{"op": "ping", "id": 11}\n')
+                        return (malformed, unknown_op, missing_id,
+                                no_id_solve, empty_object, survived)
+                    finally:
+                        writer.close()
+                        await writer.wait_closed()
+            finally:
+                await gateway.aclose()
+
+        (malformed, unknown_op, missing_id, no_id_solve, empty_object,
+         survived) = run(scenario())
+        # a malformed line fails that request with a null id, not the link
+        assert malformed["ok"] is False
+        assert malformed["id"] is None
+        assert malformed["error_type"] == "JSONDecodeError"
+        # an unknown op echoes its id and names the valid ops
+        assert unknown_op["ok"] is False
+        assert unknown_op["id"] == 7
+        assert "unknown op" in unknown_op["error"]
+        # id is optional: an id-less control op succeeds with id null...
+        assert missing_id["ok"] is True and missing_id["pong"] is True
+        assert missing_id["id"] is None
+        # ...and so does an id-less solve (the caller just can't pair it)
+        assert no_id_solve["ok"] is True
+        assert no_id_solve["id"] is None
+        assert set(no_id_solve["result"]["query"]) == set(good_query)
+        # an empty object is neither op nor solve: a per-request error
+        assert empty_object["ok"] is False
+        assert empty_object["id"] is None
+        assert "query" in empty_object["error"]
+        # after five abuses, the connection still serves
+        assert survived == {"ok": True, "pong": True, "id": 11}
+
     def test_pipelining_cap_still_serves_everything(self):
         """max_pipelined throttles reads, it must never drop requests."""
         graph = random_connected_graph(18, 0.2, seed=11)

@@ -173,6 +173,47 @@ class TestShardedIdentity:
             with pytest.raises(ValueError):
                 sharded.resize(0)
 
+    def test_resize_to_current_count_is_a_true_noop(self):
+        """Same-count resize must not rebuild the ring or touch the
+        transports — a supervisor reasserting its topology on a timer
+        should never cost ring churn (or anything else)."""
+        g = random_connected_graph(24, 0.15, 71)
+        with ShardedConnectorService(g, n_shards=2) as sharded:
+            ring_before = sharded._ring
+            transports_before = dict(sharded._shards)
+            processes_before = {
+                shard_id: transport.process.pid
+                for shard_id, transport in sharded._shards.items()
+            }
+            sharded.resize(2)
+            assert sharded._ring is ring_before
+            assert sharded._shards == transports_before
+            assert {
+                shard_id: transport.process.pid
+                for shard_id, transport in sharded._shards.items()
+            } == processes_before
+
+    def test_closed_service_raises_one_message_everywhere(self):
+        """resize and shard_of on a closed service must raise exactly the
+        RuntimeError the solve paths raise — a supervisor matching on the
+        message sees one failure mode, not three."""
+        g = random_connected_graph(20, 0.2, 73)
+        sharded = ShardedConnectorService(g, n_shards=2)
+        sharded.close()
+        messages = set()
+        for call in (
+            lambda: sharded.solve([0, 1]),
+            lambda: sharded.solve_many([[0, 1]]),
+            lambda: sharded.stats(),
+            lambda: sharded.resize(3),
+            lambda: sharded.shard_of([0, 1]),
+        ):
+            with pytest.raises(RuntimeError) as excinfo:
+                call()
+            messages.add(str(excinfo.value))
+        assert messages == {"service is closed"}
+        assert_no_orphan_processes()
+
 
 class TestRouter:
     def test_order_preserved_and_inflight_deduped(self):
