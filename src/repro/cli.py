@@ -15,6 +15,8 @@ Examples
     repro serve email --port 8765 --shards 4     # ...over 4 shard processes
     repro shard-host email --port 8766  # one shard replica, served over TCP
     repro serve email --shards 10.0.0.5:8766,10.0.0.6:8766   # remote shards
+    repro serve email --shards 4 --replication 2   # replicated, self-healing
+    repro ping 10.0.0.5:8766            # health-probe a shard-host daemon
 
 Ad-hoc queries are served through
 :class:`repro.core.service.ConnectorService`: the dataset is indexed once
@@ -37,6 +39,15 @@ identical in-flight queries) behind the JSON-lines TCP protocol of
 ``repro shard-host`` runs the other side of the shard transport: one
 service replica answering ``sweep`` requests for any router that passes
 the graph-digest handshake (see :mod:`repro.serving.remote`).
+
+With ``--replication R`` (R ≥ 2) each key range is served by R distinct
+replicas on the ring: a dead shard degrades the deployment instead of
+failing it (in-flight sweeps fail over to a surviving replica, the slot
+heals with backoff), and ``--heartbeat-interval`` /
+``--liveness-deadline`` tune how fast silence is noticed.  ``repro
+ping`` is the matching supervisor primitive: a handshake-free liveness
+probe of one shard-host daemon, reporting round-trip time and the
+daemon's health counters (exit 0 alive, 1 unreachable).
 """
 
 from __future__ import annotations
@@ -94,6 +105,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "list of specs — host:port of a `repro "
                             "shard-host` daemon, or `local` (answers are "
                             "bit-identical either way)")
+    _add_health_flags(query)
 
     serve = sub.add_parser(
         "serve",
@@ -119,6 +131,7 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--max-queue", type=int, default=1024,
                        help="admission-queue bound; arrivals beyond it "
                             "backpressure (default 1024)")
+    _add_health_flags(serve)
 
     shard_host = sub.add_parser(
         "shard-host",
@@ -131,7 +144,42 @@ def build_parser() -> argparse.ArgumentParser:
     shard_host.add_argument("--port", type=int, default=8766,
                             help="TCP port; 0 asks the OS for a free one "
                                  "(default 8766)")
+
+    ping = sub.add_parser(
+        "ping",
+        help="health-probe a `repro shard-host` daemon (rtt + counters)",
+    )
+    ping.add_argument("address", metavar="HOST:PORT",
+                      help="address of the shard-host daemon to probe")
+    ping.add_argument("--json", action="store_true", dest="as_json",
+                      help="emit one JSON document instead of text")
+    ping.add_argument("--timeout", type=float, default=5.0,
+                      help="seconds to wait for the pong (default 5.0); a "
+                           "hung daemon counts as unreachable")
     return parser
+
+
+def _add_health_flags(command: argparse.ArgumentParser) -> None:
+    """The replicated-ring knobs shared by ``query`` and ``serve``."""
+    command.add_argument(
+        "--replication", type=int, default=1, metavar="R",
+        help="distinct replicas per key range on the shard ring (default "
+             "1: a dead shard fails the batch; R >= 2: it fails over to a "
+             "surviving replica and heals with backoff). Needs --shards "
+             "with at least R slots",
+    )
+    command.add_argument(
+        "--heartbeat-interval", type=float, default=15.0, metavar="SECONDS",
+        help="ping idle remote shard links this often, marking silent "
+             "replicas suspect before a batch touches them (default 15.0; "
+             "0 disables idle heartbeats)",
+    )
+    command.add_argument(
+        "--liveness-deadline", type=float, default=30.0, metavar="SECONDS",
+        help="mid-batch silence from a busy shard tolerated before it is "
+             "probed and, if unreachable, declared dead (default 30.0; 0 "
+             "waits forever, bounded only by ~60s TCP keepalive)",
+    )
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -156,6 +204,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_serve(args)
     if args.command == "shard-host":
         return _run_shard_host(args)
+    if args.command == "ping":
+        return _run_ping(args)
     EXPERIMENTS[args.command].main()
     return 0
 
@@ -191,7 +241,44 @@ def _parse_shards(value: str):
     return "specs", specs
 
 
-def _make_batch_service(graph, options, shards):
+def _check_replication(args: argparse.Namespace, shards) -> None:
+    """Fail a bad ``--replication`` before any dataset loads or shard spawns."""
+    kind, value = shards
+    slots = value if kind == "count" else len(value)
+    if args.replication < 1:
+        raise ValueError(
+            f"--replication must be at least 1, got {args.replication}"
+        )
+    if args.replication > 1 and slots == 0:
+        raise ValueError(
+            f"--replication {args.replication} needs a shard ring; pass "
+            f"--shards with at least {args.replication} slots"
+        )
+    if args.replication > slots > 0:
+        raise ValueError(
+            f"--replication {args.replication} needs at least that many "
+            f"shard slots, got {slots}"
+        )
+
+
+def _health_kwargs(args: argparse.Namespace) -> dict:
+    """The replicated-ring knobs of `_add_health_flags`, service-shaped.
+
+    Zero means "off" on the CLI (argparse has no None literal); the
+    service spells that ``None``.
+    """
+    return {
+        "replication": args.replication,
+        "heartbeat_interval": (
+            args.heartbeat_interval if args.heartbeat_interval > 0 else None
+        ),
+        "liveness_deadline": (
+            args.liveness_deadline if args.liveness_deadline > 0 else None
+        ),
+    }
+
+
+def _make_batch_service(graph, options, shards, health: dict | None = None):
     """The serving backend of one CLI invocation (shared query/serve path)."""
     kind, value = shards
     if kind == "count" and value == 0:
@@ -200,9 +287,10 @@ def _make_batch_service(graph, options, shards):
         return ConnectorService(graph, options)
     from repro.core.sharded import ShardedConnectorService
 
+    kwargs = dict(health or {})
     if kind == "count":
-        return ShardedConnectorService(graph, options, n_shards=value)
-    return ShardedConnectorService(graph, options, shards=value)
+        return ShardedConnectorService(graph, options, n_shards=value, **kwargs)
+    return ShardedConnectorService(graph, options, shards=value, **kwargs)
 
 
 def _canonical_sort(values):
@@ -263,6 +351,7 @@ def _run_query(args: argparse.Namespace) -> int:
 
     try:
         shards = _parse_shards(args.shards)
+        _check_replication(args, shards)
     except ValueError as exc:
         # Pure-string validation, so a malformed --shards fails before the
         # dataset is loaded and indexed (same order as `repro serve`).
@@ -290,7 +379,9 @@ def _run_query(args: argparse.Namespace) -> int:
     )
     wants_footer = bool(args.batch) and not args.as_json
     try:
-        service = _make_batch_service(graph, options, shards)
+        service = _make_batch_service(
+            graph, options, shards, _health_kwargs(args)
+        )
     except (RuntimeError, OSError) as exc:
         # A refused handshake or an unreachable shard host is a topology
         # problem the operator must fix, not a traceback.
@@ -351,6 +442,7 @@ def _run_serve(args: argparse.Namespace) -> int:
 
     try:
         shards = _parse_shards(args.shards)
+        _check_replication(args, shards)
     except ValueError as exc:
         print(exc, file=sys.stderr)
         return 2
@@ -375,7 +467,7 @@ def _run_serve(args: argparse.Namespace) -> int:
 
     graph = load_dataset(args.dataset)
     try:
-        service = _make_batch_service(graph, None, shards)
+        service = _make_batch_service(graph, None, shards, _health_kwargs(args))
     except (RuntimeError, OSError) as exc:
         print(f"cannot build the shard topology: {exc}", file=sys.stderr)
         return 2
@@ -444,6 +536,59 @@ def _run_serve(args: argparse.Namespace) -> int:
         return asyncio.run(run())
     except KeyboardInterrupt:  # pragma: no cover - interactive stop
         return 0
+
+
+def _run_ping(args: argparse.Namespace) -> int:
+    """``repro ping HOST:PORT`` — the supervisor's liveness primitive.
+
+    Handshake-free (no graph needed on this side), so any process can
+    probe any shard-host daemon.  Exit 0: the daemon ponged (round-trip
+    time and its health counters are reported).  Exit 1: unreachable,
+    hung past ``--timeout``, or not a shard host.  Exit 2: usage.
+    """
+    from repro.core.sharded import ShardTransportError, normalize_shard_spec
+    from repro.serving.remote import ping_shard_host
+
+    try:
+        spec = normalize_shard_spec(args.address)
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    if spec == "local":
+        print("ping probes a daemon: pass HOST:PORT, not 'local'",
+              file=sys.stderr)
+        return 2
+    if args.timeout <= 0:
+        print(f"--timeout must be positive, got {args.timeout}",
+              file=sys.stderr)
+        return 2
+    host, port = spec
+    try:
+        report = ping_shard_host(
+            host, port, timeout=args.timeout, with_stats=True
+        )
+    except ShardTransportError as exc:
+        if args.as_json:
+            print(json.dumps(
+                {"ok": False, "address": f"{host}:{port}", "error": str(exc)}
+            ))
+        else:
+            print(exc, file=sys.stderr)
+        return 1
+    if args.as_json:
+        document = {"ok": True, "address": f"{host}:{port}", **report}
+        print(json.dumps(document, indent=2))
+        return 0
+    print(f"shard host {host}:{port}: pong in "
+          f"{report['rtt_seconds'] * 1e3:.2f} ms")
+    daemon = report.get("host")
+    if daemon:
+        print(
+            f"up {daemon['uptime_seconds']:.1f}s, "
+            f"{daemon['sweeps_served']} sweeps served, "
+            f"{daemon['connections_active']} connections active"
+        )
+    return 0
 
 
 def _run_shard_host(args: argparse.Namespace) -> int:

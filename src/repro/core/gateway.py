@@ -73,7 +73,42 @@ __all__ = [
     "GatewayClosedError",
     "GatewayOverloadedError",
     "GatewayStats",
+    "service_health",
 ]
+
+
+def service_health(stats) -> dict:
+    """Summarize a backing service's snapshot as a health verdict.
+
+    Accepts whatever the gateway's backing service returned from
+    ``stats()`` — a :class:`~repro.core.sharded.ShardedStats` (the
+    replicated ring, which carries real degradation state), a plain
+    :class:`~repro.core.service.ServiceStats` (a single in-process
+    replica: alive means healthy), or ``None`` (the service exposes no
+    stats).  Returns a JSON-ready dict with at least ``status``
+    (``"ok"`` or ``"degraded"``) and ``degraded``; for a sharded service
+    it adds the ring's redundancy picture — ``replication``,
+    ``dead_shards``, and the lifetime ``failovers`` / ``reconnects`` /
+    ``shards_failed`` counters — so a load balancer or supervisor can
+    read "serving, but with less redundancy than configured" straight
+    off the gateway's ``stats`` op without knowing the service type.
+    """
+    if stats is None:
+        return {"status": "ok", "degraded": False}
+    dead = tuple(getattr(stats, "dead_shards", ()))
+    health = {
+        "status": "degraded" if dead else "ok",
+        "degraded": bool(dead),
+    }
+    if hasattr(stats, "replication"):
+        health.update(
+            replication=stats.replication,
+            dead_shards=list(dead),
+            failovers=stats.failovers,
+            reconnects=stats.reconnects,
+            shards_failed=stats.shards_failed,
+        )
+    return health
 
 
 class GatewayOverloadedError(RuntimeError):

@@ -1,0 +1,158 @@
+"""Jittered exponential backoff — the shared retry timing of the serving tower.
+
+One policy object answers the only question retry loops keep re-deciding:
+*how long until the next attempt*.  The serving layers that heal
+themselves — :class:`~repro.core.sharded.ShardedConnectorService` reviving
+a dead shard slot, :class:`~repro.serving.remote.RemoteShardTransport`
+re-dialing a dropped daemon link — share this module so their timing
+behavior (exponential growth, a hard delay cap, full-range jitter to
+de-synchronize a fleet of routers hammering one recovering host) cannot
+drift apart.
+
+Two shapes:
+
+* :class:`BackoffPolicy` — the immutable timing rule.  ``delays(seed=...)``
+  yields the jittered schedule; a fixed seed makes the stream
+  reproducible, which is what the chaos tests pin.
+* :class:`RetrySchedule` — a *non-blocking* ledger over one policy for
+  callers that cannot sleep (the synchronous shard router checks
+  ``due()`` at batch boundaries instead of blocking a batch on a revival
+  timer): ``record_failure()`` books the next attempt time,
+  ``due(now)`` says whether it has arrived.
+
+The blocking convenience :func:`call_with_backoff` exists for scripts and
+tests; the router never blocks on it.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+__all__ = ["BackoffPolicy", "RetrySchedule", "call_with_backoff"]
+
+
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """Timing rule for retries: exponential growth, capped, jittered.
+
+    Attempt ``k`` (0-based) waits ``base_delay * multiplier**k`` seconds,
+    clamped to ``max_delay``, then jittered uniformly within
+    ``±jitter * delay`` (never below zero).  Jitter exists so many
+    routers that lost the same shard host do not retry in lockstep and
+    re-stampede it the moment it comes back.
+    """
+
+    base_delay: float = 0.5
+    max_delay: float = 30.0
+    multiplier: float = 2.0
+    jitter: float = 0.2
+
+    def __post_init__(self) -> None:
+        if self.base_delay <= 0:
+            raise ValueError(f"base_delay must be positive, got {self.base_delay}")
+        if self.max_delay < self.base_delay:
+            raise ValueError(
+                f"max_delay ({self.max_delay}) must be at least "
+                f"base_delay ({self.base_delay})"
+            )
+        if self.multiplier < 1.0:
+            raise ValueError(
+                f"multiplier must be at least 1.0, got {self.multiplier}"
+            )
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+
+    def delay(self, attempt: int) -> float:
+        """The un-jittered delay before attempt ``attempt`` (0-based)."""
+        if attempt < 0:
+            raise ValueError(f"attempt must be non-negative, got {attempt}")
+        return min(self.base_delay * self.multiplier**attempt, self.max_delay)
+
+    def delays(self, seed=None) -> Iterator[float]:
+        """An infinite stream of jittered delays (deterministic per seed)."""
+        rng = random.Random(seed)
+        attempt = 0
+        while True:
+            delay = self.delay(attempt)
+            if self.jitter:
+                delay = max(0.0, delay + rng.uniform(-1.0, 1.0) * self.jitter * delay)
+            yield delay
+            attempt += 1
+
+
+class RetrySchedule:
+    """A non-blocking retry ledger: *when* is the next attempt allowed.
+
+    Built for callers that must not sleep — the shard router consults the
+    schedule at batch boundaries and simply skips revival while the
+    timer runs.  ``record_failure()`` advances the jittered schedule;
+    ``due()`` compares against a monotonic clock.  A fresh schedule is
+    due immediately (the first attempt costs nothing); pass
+    ``initial_delay=True`` to start the timer at construction, which is
+    what a just-declared-dead shard wants (it *just* failed — retrying
+    in the same breath is the first failure all over again).
+    """
+
+    def __init__(
+        self,
+        policy: BackoffPolicy | None = None,
+        *,
+        seed=None,
+        initial_delay: bool = False,
+        clock=time.monotonic,
+    ) -> None:
+        self.policy = policy if policy is not None else BackoffPolicy()
+        self._delays = self.policy.delays(seed)
+        self._clock = clock
+        self.attempts = 0
+        self.next_attempt = self._clock()
+        if initial_delay:
+            self.next_attempt += next(self._delays)
+
+    def due(self, now: float | None = None) -> bool:
+        """True when the backoff timer has expired."""
+        return (self._clock() if now is None else now) >= self.next_attempt
+
+    def record_failure(self, now: float | None = None) -> None:
+        """Book the next attempt time after a failed try."""
+        self.attempts += 1
+        base = self._clock() if now is None else now
+        self.next_attempt = base + next(self._delays)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return (
+            f"{type(self).__name__}(attempts={self.attempts}, "
+            f"next_in={max(0.0, self.next_attempt - self._clock()):.2f}s)"
+        )
+
+
+def call_with_backoff(
+    fn,
+    *,
+    policy: BackoffPolicy | None = None,
+    retry_on: tuple[type[BaseException], ...] = (Exception,),
+    max_attempts: int = 5,
+    seed=None,
+    sleep=time.sleep,
+):
+    """Call ``fn()`` until it succeeds, sleeping the policy's delays between.
+
+    The blocking convenience for scripts and tests; raises the last
+    failure after ``max_attempts`` tries.  The synchronous serving
+    layers use :class:`RetrySchedule` instead — a router must never
+    block a live batch on another shard's revival timer.
+    """
+    if max_attempts < 1:
+        raise ValueError(f"max_attempts must be at least 1, got {max_attempts}")
+    delays = (policy if policy is not None else BackoffPolicy()).delays(seed)
+    for attempt in range(max_attempts):
+        try:
+            return fn()
+        except retry_on:
+            if attempt == max_attempts - 1:
+                raise
+            sleep(next(delays))
+    raise AssertionError("unreachable")  # pragma: no cover

@@ -113,7 +113,10 @@ class ServiceStats:
 
     Hit/miss counters cover the whole service lifetime; the ``*_cache_size``
     fields report *current* occupancy, which is what LRU-bound tests and
-    shard introspection need.
+    shard introspection need.  ``uptime_seconds`` is how long this replica
+    has existed — for a remote shard that is the *daemon's* lifetime
+    (which may predate any router connecting), the baseline health
+    dashboards and failover decisions compare against.
     """
 
     queries_served: int
@@ -127,6 +130,7 @@ class ServiceStats:
     result_cache_size: int = 0
     candidate_cache_size: int = 0
     score_cache_size: int = 0
+    uptime_seconds: float = 0.0
 
     def hit_rate(self, layer: str = "result") -> float:
         """Cache hit rate of one layer, ``0.0`` before any lookup.
@@ -216,6 +220,7 @@ class ConnectorService:
         self._landmark_index = None
         self._queries_served = 0
         self._index_digest: str | None = None
+        self._created = time.monotonic()
 
     # ------------------------------------------------------------------
     # Shape / validation helpers
@@ -751,6 +756,7 @@ class ConnectorService:
             result_cache_size=len(self._results),
             candidate_cache_size=len(self._candidates),
             score_cache_size=len(self._scores),
+            uptime_seconds=time.monotonic() - self._created,
         )
 
     @property

@@ -1,4 +1,4 @@
-"""ShardedConnectorService — persistent sharded serving over pluggable transports.
+"""ShardedConnectorService — replicated, self-healing sharded serving.
 
 The ROADMAP's scaling ladder after the serving layer: partition the
 result/candidate caches and the root-BFS state of a
@@ -7,12 +7,16 @@ shard replicas, with a thin router in front.  A shard is just a service
 holding a subset of the key space — exactly what ``ConnectorService`` was
 designed for — so the router stays small:
 
-* **consistent-hash routing** — each ``(query, options)`` request key is
-  placed on a hash ring (:class:`SolveOptions.stable_digest` plus the
-  canonical query repr, never the per-process-salted ``hash()``) with many
-  virtual points per shard, so equal keys always land on the same shard
-  (cache affinity) and :meth:`ShardedConnectorService.resize` moves only
-  ``~1/n`` of the key space;
+* **consistent-hash routing with replication** — each ``(query, options)``
+  request key is placed on a hash ring (:class:`SolveOptions.stable_digest`
+  plus the canonical query repr, never the per-process-salted ``hash()``)
+  with many virtual points per shard.  With ``replication=R`` a key maps
+  to the first **R distinct** slots clockwise from its hash — a
+  deterministic *primary order* that depends only on the slot count,
+  never the transport — and distinct keys rotate their preferred replica
+  within that list, fanning reads across the replica group (the
+  hot-spot headroom PRs 3–5 kept recording) while every *repeat* of a
+  key still lands on the same replica (cache affinity);
 * **persistent shard replicas behind a transport protocol** — every shard
   is a long-lived ``ConnectorService`` replica reached through a
   :class:`ShardTransport`.  The built-in :class:`_PipeShardTransport`
@@ -31,25 +35,50 @@ designed for — so the router stays small:
   :class:`~repro.core.result.ConnectorResult` objects on the
   graph-holding side.
 
-Transport and failure semantics
--------------------------------
+Failure semantics (what fails, what degrades, what heals)
+---------------------------------------------------------
 
 The router speaks :class:`ShardTransport` only: ``submit`` /
 ``submit_stats`` scatter requests (at most :data:`MAX_INFLIGHT_PER_SHARD`
 outstanding per shard, so neither pipe nor socket buffers can deadlock),
-``drain`` gathers whatever replies have arrived without blocking, and
+``drain`` gathers whatever replies have arrived without blocking,
 ``waitable`` exposes the underlying pipe/socket for a multiplexed
-:func:`multiprocessing.connection.wait` — a slow shard never blocks
-draining the others.  Remote transports additionally perform a
-connect-time **handshake**: the router sends
-:meth:`ConnectorService.index_digest` and the shard host refuses a
-mismatch, so a ring is never built over two different graphs.
+:func:`multiprocessing.connection.wait`, and ``probe``/``reconnect``
+carry the health surface.  Transport failures raise
+:class:`ShardTransportError` — :class:`ShardConnectError` at
+connect/handshake time, :class:`ShardLinkError` on an established link —
+so the router can tell a topology problem from a mid-flight death.
 
-A dead shard — local process OOM-killed, remote daemon gone, socket reset
-— poisons any half-served batch, so the router fails the batch with one
-clean ``RuntimeError`` and closes the whole service; stale replies can
-never leak into a later batch.  Shard-side *request* faults (a poisoned
-query) ship back as exception values and fail only that request.
+* **Shard-side request faults** (a poisoned query) ship back as
+  exception values and fail only that request.  Always.
+* **With ``replication=1``** (the default) a dead shard — local process
+  OOM-killed, remote daemon gone, socket reset — poisons any half-served
+  batch, so the router fails the batch with one clean ``RuntimeError``
+  and closes the whole service; stale replies can never leak into a
+  later batch.
+* **With ``replication>=2``** a dead replica *degrades* instead: the
+  router takes the slot out of service, re-dispatches that replica's
+  in-flight sweeps on the next surviving replica of each key (counted in
+  ``ShardedStats.failovers``), and the batch completes bit-identically —
+  replicas are identical ``ConnectorService``s, so the answer cannot
+  depend on who computes it.  The batch fails (and the service closes)
+  only when a key range has **zero** live replicas.
+* **Healing is silent**: every down slot keeps a jittered-exponential
+  :class:`~repro.core.retry.RetrySchedule` (``core/retry.py``), and at
+  each batch boundary the router retries due slots —
+  ``RemoteShardTransport.reconnect()`` re-dials and re-runs the ``hello``
+  digest handshake; a pipe transport respawns its worker.  Successful
+  revivals (``ShardedStats.reconnects``) restore the slot's exact ring
+  position, so warm keys return home.
+* **Liveness is application-level**: remote transports heartbeat idle
+  links with ``ping`` probes and are marked *suspect* on a missed
+  deadline; the router confirms suspects with one probe before a batch
+  touches them.  Mid-batch, a shard that has been silent past
+  ``liveness_deadline`` seconds is probed and — if unreachable —
+  declared dead (failover as above), bounding silent partitions and
+  SIGSTOP'd daemons by the configured deadline instead of the ~60s TCP
+  keepalive the transport also keeps as a backstop.
+
 Stopping a shard stops what the router owns: a pipe transport terminates
 its worker process, a remote transport merely disconnects (the daemon,
 started and owned elsewhere, keeps serving its other routers).
@@ -57,26 +86,34 @@ started and owned elsewhere, keeps serving its other routers).
 Identity contract
 -----------------
 
-Sharding never changes answers.  For any shard count and any transport
-mix, cold or warm, before and after LRU eviction and :meth:`resize`,
+Sharding never changes answers.  For any shard count, any replication
+factor, and any transport mix, cold or warm, before and after LRU
+eviction, :meth:`resize`, :meth:`replace_shard`, and mid-batch failover,
 every connector returned is **bit-identical** to the one-shot
 :func:`~repro.core.wiener_steiner.wiener_steiner` under equal options —
 each shard runs the same canonical λ×root sweep
 (:meth:`ConnectorService.sweep`) on the same arrays, and the router only
-moves bytes.  ``tests/test_sharded.py`` and ``tests/test_remote.py`` fuzz
-this against both the one-shot solver and a single ``ConnectorService``
-on random corpora, over pipes, sockets, and mixed rings.
+moves bytes.  The replicated surface changes *when* the router gives up,
+never *what* it returns.  ``tests/test_sharded.py``,
+``tests/test_remote.py``, and ``tests/test_failover.py`` fuzz this
+against the one-shot solver on random corpora, over pipes, sockets,
+mixed rings, and chaos (kill / SIGSTOP / partition mid-stream).
 
-Rebalancing semantics
----------------------
+Rebalancing and rolling replace
+-------------------------------
 
 :meth:`resize` is legal between batches (the router is synchronous, so
-there are never in-flight requests at call time).  Growing spawns fresh
-local shards; shrinking stops the highest-numbered shards and their
-caches die with them (a remote shard is merely disconnected).  Resizing
-to the current count is a true no-op.  Keys whose ring ownership moved
-are simply re-solved cold on their new shard — a cache-locality event,
-not a correctness event.
+there are never in-flight requests at call time).  It accepts a count —
+growing spawns fresh local shards, shrinking stops the highest-numbered
+slots — or a full spec list, which *diffs against the current topology*:
+unchanged slots keep their live transports and warm caches, changed
+slots are replaced in place.  :meth:`replace_shard` swaps a single
+slot's transport for a new spec without touching the ring, so a
+deployment with ``replication>=2`` upgrades shard hosts one at a time
+with zero downtime (the other replicas cover each key range during the
+swap).  Resizing to the current topology is a true no-op.  Keys whose
+ring ownership moved are simply re-solved cold on their new shard — a
+cache-locality event, not a correctness event.
 
 Quickstart
 ----------
@@ -87,9 +124,12 @@ Quickstart
 >>> [sorted(r.query) for r in results]
 [[12, 25], [12, 26, 30], [12, 25]]
 
-Remote shard hosts (see :mod:`repro.serving.remote`) plug in by address::
+Remote shard hosts (see :mod:`repro.serving.remote`) plug in by address,
+and ``replication=2`` makes any single replica's death survivable::
 
-    ShardedConnectorService(graph, shards=["10.0.0.5:8766", "local"])
+    ShardedConnectorService(
+        graph, shards=["10.0.0.5:8766", "10.0.0.6:8766"], replication=2
+    )
 """
 
 from __future__ import annotations
@@ -97,14 +137,16 @@ from __future__ import annotations
 import hashlib
 import multiprocessing
 import os
+import time
 from bisect import bisect_right
 from multiprocessing import connection as mp_connection
 from collections.abc import Iterable, Sequence
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Protocol, runtime_checkable
 
 from repro.core.options import SolveOptions, stable_repr
 from repro.core.result import ConnectorResult
+from repro.core.retry import BackoffPolicy, RetrySchedule
 from repro.core.service import (
     ConnectorService,
     ServiceStats,
@@ -116,6 +158,8 @@ from repro.graphs.graph import Graph, Node
 __all__ = [
     "ShardTransport",
     "ShardTransportError",
+    "ShardConnectError",
+    "ShardLinkError",
     "ShardedConnectorService",
     "ShardedStats",
     "normalize_shard_spec",
@@ -127,11 +171,27 @@ class ShardTransportError(RuntimeError):
     """A shard link failed at the transport layer (not a request fault).
 
     Raised by :class:`ShardTransport` implementations when the link
-    itself is unusable — a refused/mismatched handshake, a protocol
-    violation on the wire.  The router treats it exactly like a raw
-    ``OSError``/``EOFError`` from a dead pipe: the batch cannot be
-    completed, so the service closes with one clear error.
+    itself is unusable.  The router treats it exactly like a raw
+    ``OSError``/``EOFError`` from a dead pipe: the in-flight sweeps on
+    that replica cannot be completed there, so the router fails over
+    (``replication>=2``) or closes the service with one clear error
+    (``replication=1``).  The two subclasses let the router and its
+    callers tell *when* the link died.
     """
+
+
+class ShardConnectError(ShardTransportError):
+    """The link never came up: refused connect, handshake timeout, a
+    graph-digest mismatch, or a peer that answers with a non-protocol
+    reply (an HTTP server on the wrong port).  Raising at connect time
+    is what lets a bad topology fail at build/revival time instead of
+    poisoning a batch."""
+
+
+class ShardLinkError(ShardTransportError):
+    """An established link broke in flight: a mid-write reset, the peer
+    closing mid-stream, or a reply the router cannot parse (pickle or
+    protocol skew) — the link has lost sync and must be abandoned."""
 
 
 #: What the router catches from a transport call: the link is dead or
@@ -148,9 +208,11 @@ class ShardTransport(Protocol):
     :class:`repro.serving.remote.RemoteShardTransport` (a TCP socket to a
     ``repro shard-host`` daemon).  The router guarantees at most
     :data:`ShardedConnectorService.MAX_INFLIGHT_PER_SHARD` submitted and
-    undrained requests per transport, so ``submit`` may block on the OS
-    buffer without deadlock risk.  All methods raise one of
-    :data:`_TRANSPORT_FAILURES` when the link is dead.
+    undrained requests per transport in steady state (failover may
+    briefly overshoot while a dead replica's sweeps re-dispatch), so
+    ``submit`` may block on the OS buffer without deadlock risk.  All
+    methods raise one of :data:`_TRANSPORT_FAILURES` when the link is
+    dead.
     """
 
     #: Short tag surfaced in result metadata and stats ("pipe"/"socket").
@@ -180,6 +242,33 @@ class ShardTransport(Protocol):
         """The pipe/socket for :func:`multiprocessing.connection.wait`."""
         ...  # pragma: no cover - protocol definition
 
+    def probe(self, timeout: float) -> bool:
+        """Is the replica reachable *right now*?  Never raises.
+
+        Used to tell a slow-but-alive replica (a long sweep in flight)
+        from a dead one before declaring mid-batch failover, and to
+        confirm heartbeat suspicions at batch boundaries.
+        """
+        ...  # pragma: no cover - protocol definition
+
+    def reconnect(self) -> None:
+        """Re-establish a dropped link (respawn/re-dial + handshake).
+
+        Raises one of :data:`_TRANSPORT_FAILURES` when the replica is
+        still unreachable; on success the transport serves again with
+        its caches in whatever state the replica kept (a daemon that
+        merely lost the socket stays warm, a respawned worker is cold).
+        """
+        ...  # pragma: no cover - protocol definition
+
+    def is_suspect(self) -> bool:
+        """Has background health monitoring flagged this link?"""
+        ...  # pragma: no cover - protocol definition
+
+    def clear_suspect(self) -> None:
+        """Reset the suspect flag after a successful probe."""
+        ...  # pragma: no cover - protocol definition
+
     def stop(self) -> None:
         """Release what the router owns (process/pipe or socket)."""
         ...  # pragma: no cover - protocol definition
@@ -193,6 +282,9 @@ def normalize_shard_spec(spec) -> str | tuple[str, int]:
     :class:`ShardedConnectorService` and the CLI ``--shards`` parser, so
     the accepted forms (and the error messages) cannot drift apart.
     """
+    if isinstance(spec, tuple) and len(spec) == 2:
+        # Already normalized (the service stores and re-feeds these).
+        spec = f"{spec[0]}:{spec[1]}"
     if not isinstance(spec, str) or not spec.strip():
         raise ValueError(
             f"a shard spec must be 'local' or 'host:port', got {spec!r}"
@@ -238,7 +330,10 @@ class _HashRing:
     walk clockwise to the first point at or after the key's hash.  Adding
     or removing one shard of ``n`` reassigns ``~1/n`` of the key space —
     the property that makes :meth:`ShardedConnectorService.resize` cheap
-    for warm caches.
+    for warm caches.  :meth:`replicas` continues the same clockwise walk
+    to the next *distinct* shards, which is the standard consistent-
+    hashing replica placement: deterministic, transport-agnostic, and
+    stable under the same ``~1/n`` movement bound.
     """
 
     POINTS_PER_SHARD = 64
@@ -258,12 +353,28 @@ class _HashRing:
         self._shard_ids = [shard_id for _, shard_id in points]
 
     def lookup(self, digest: bytes) -> int:
+        return self.replicas(digest, 1)[0]
+
+    def replicas(self, digest: bytes, count: int) -> list[int]:
+        """The first ``count`` distinct shards clockwise from the key.
+
+        This is the key's *primary order*: position 0 is the slot a
+        ``replication=1`` ring would choose, and failover walks the list
+        left to right.  Depends only on the slot-id set — never on
+        transports or liveness — so every router places every key
+        identically, forever.
+        """
         position = bisect_right(
             self._hashes, int.from_bytes(digest[:8], "big")
         )
-        if position == len(self._hashes):
-            position = 0  # wrap past the top of the ring
-        return self._shard_ids[position]
+        chosen: list[int] = []
+        for step in range(len(self._hashes)):
+            shard_id = self._shard_ids[(position + step) % len(self._hashes)]
+            if shard_id not in chosen:
+                chosen.append(shard_id)
+                if len(chosen) == count:
+                    break
+        return chosen
 
 
 def _shard_main(connection, payload: dict) -> None:
@@ -303,18 +414,25 @@ class _PipeShardTransport:
 
     The original (PR 3) shard shape: the router spawns a persistent
     process running :func:`_shard_main` over a duplex pipe and owns its
-    whole lifecycle — :meth:`stop` terminates the worker.
+    whole lifecycle — :meth:`stop` terminates the worker, and
+    :meth:`reconnect` (the self-healing path) respawns a fresh, cold
+    one from the same payload.
     """
 
     kind = "pipe"
 
     def __init__(self, shard_id: int, payload: dict, ctx) -> None:
         self.shard_id = shard_id
-        self.connection, child_end = ctx.Pipe(duplex=True)
-        self.process = ctx.Process(
+        self._payload = payload
+        self._ctx = ctx
+        self._spawn()
+
+    def _spawn(self) -> None:
+        self.connection, child_end = self._ctx.Pipe(duplex=True)
+        self.process = self._ctx.Process(
             target=_shard_main,
-            args=(child_end, payload),
-            name=f"connector-shard-{shard_id}",
+            args=(child_end, self._payload),
+            name=f"connector-shard-{self.shard_id}",
             daemon=True,
         )
         self.process.start()
@@ -338,6 +456,27 @@ class _PipeShardTransport:
     def waitable(self):
         return self.connection
 
+    def probe(self, timeout: float) -> bool:
+        """A live worker process is a live pipe shard.
+
+        The pipe has no out-of-band channel, so liveness is the OS's
+        word on the process.  A worker stuck in a long sweep is alive
+        (and genuinely working); a crashed or OOM-killed one is not.
+        """
+        return self.process.is_alive()
+
+    def reconnect(self) -> None:
+        """Respawn the worker process (cold caches, same payload)."""
+        self.stop()
+        self._spawn()
+
+    def is_suspect(self) -> bool:
+        """A worker that died between batches is flagged before scatter."""
+        return not self.process.is_alive()
+
+    def clear_suspect(self) -> None:
+        """No sticky flag to clear — suspicion *is* process death."""
+
     def stop(self, timeout: float = 5.0) -> None:
         try:
             self.connection.send(("stop",))
@@ -357,15 +496,65 @@ class _PipeShardTransport:
 _Shard = _PipeShardTransport
 
 
+class _InflightRequest:
+    """One scattered request: its key, payload, and current placement."""
+
+    __slots__ = ("request_id", "key", "query_tuple", "options", "replicas",
+                 "shard", "transport_kind", "kind")
+
+    def __init__(self, request_id, key, query_tuple, options, replicas,
+                 kind="sweep") -> None:
+        self.request_id = request_id
+        self.key = key
+        self.query_tuple = query_tuple
+        self.options = options
+        self.replicas = replicas  # primary order; failover walks this
+        self.shard = None  # the slot currently serving it
+        self.transport_kind = None
+        self.kind = kind  # "sweep" | "stats"
+
+
+class _BatchState:
+    """The mutable bookkeeping of one scatter/gather cycle."""
+
+    __slots__ = ("pending", "inflight", "outcomes", "failures", "activity")
+
+    def __init__(self) -> None:
+        self.pending: dict[int, int] = {}  # shard id -> in-flight count
+        self.inflight: dict[int, _InflightRequest] = {}  # request id -> record
+        self.outcomes: dict[int, object] = {}
+        self.failures: dict[int, Exception] = {}
+        self.activity: dict[int, float] = {}  # shard id -> last traffic
+
+
+class _DownShard:
+    """A slot out of service: its stopped transport and revival timer."""
+
+    __slots__ = ("transport", "schedule")
+
+    def __init__(self, transport, schedule: RetrySchedule) -> None:
+        self.transport = transport
+        self.schedule = schedule
+
+
 @dataclass(frozen=True)
 class ShardedStats:
-    """Router counters plus one :class:`ServiceStats` snapshot per shard.
+    """Router counters plus one :class:`ServiceStats` snapshot per live shard.
 
     ``router_local`` is the router-side fallback service that answers
     what shard replicas cannot (non-``ws-q`` methods, per-call
     ``backend="dict"`` overrides on CSR-seeded shards); its cache traffic
     counts toward the aggregate hit numbers below so a baseline-method
     workload does not read as "never warm" just because it is sharded.
+
+    The health surface: ``dead_shards`` lists the slots currently out of
+    service (their snapshots are necessarily absent from ``shards``),
+    ``shards_failed`` counts every time a slot was declared dead over
+    the router's lifetime, ``failovers`` counts in-flight sweeps that
+    were re-dispatched onto a surviving replica, and ``reconnects``
+    counts successful revivals.  A deployment is *degraded* — serving,
+    but with less redundancy than configured — whenever ``dead_shards``
+    is non-empty.
 
     With remote shards in the ring, a shard's snapshot covers the
     *daemon's* lifetime — which may predate this router connecting.
@@ -377,6 +566,16 @@ class ShardedStats:
     shards: tuple[ServiceStats, ...]
     router_local: ServiceStats | None = None
     transports: tuple[str, ...] = ()
+    replication: int = 1
+    failovers: int = 0
+    shards_failed: int = 0
+    reconnects: int = 0
+    dead_shards: tuple[int, ...] = ()
+
+    @property
+    def degraded(self) -> bool:
+        """Serving with at least one replica slot out of service."""
+        return bool(self.dead_shards)
 
     @property
     def _snapshots(self) -> tuple[ServiceStats, ...]:
@@ -429,6 +628,34 @@ class ShardedConnectorService:
         Mixed rings are fine; ring placement depends only on the slot
         count, so ``shards=["local", "local"]`` and two remote hosts
         route identically.
+    replication:
+        How many distinct replicas serve each key range (default 1 —
+        exactly the pre-replication behavior, including
+        close-on-death).  With ``replication=R >= 2`` each key's sweeps
+        can be served by any of its R ring replicas, a dead replica
+        fails over instead of failing the batch, and the batch fails
+        only when a key range has zero live replicas.  Must not exceed
+        the slot count at construction (a later shrink caps it
+        implicitly).
+    liveness_deadline:
+        Seconds of mid-batch silence from a shard with in-flight sweeps
+        before the router *probes* it (``None`` disables probing and
+        waits forever, the pre-heartbeat behavior).  A probe that
+        answers resets the clock — a long sweep is not a dead shard; a
+        probe that does not marks the replica dead.  This replaces the
+        ~60s TCP-keepalive bound on silent partitions with a
+        configurable one.
+    probe_timeout:
+        Seconds a liveness/suspect-confirmation probe waits.
+    heartbeat_interval:
+        Forwarded to remote transports: idle links are pinged this often
+        by a background monitor and marked suspect on a miss, so the
+        router learns of a dead daemon *before* a batch touches it.
+        ``None`` disables idle heartbeats.
+    backoff:
+        The :class:`~repro.core.retry.BackoffPolicy` pacing revival
+        attempts of down slots (default: 0.5s doubling to 30s, 20%
+        jitter).
     max_cached_roots / max_cached_candidates / max_cached_scores /
     max_cached_results:
         Forwarded to every *local* shard replica, bounding per-shard
@@ -442,7 +669,9 @@ class ShardedConnectorService:
     #: Most requests a shard may have in flight before the router drains
     #: its replies.  Bounds both directions of every pipe/socket far below
     #: the OS buffer size, so arbitrarily large batches scatter without
-    #: deadlock.
+    #: deadlock.  Failover may briefly overshoot this by the dead
+    #: replica's re-dispatched sweeps (at most one extra cap's worth) —
+    #: still far inside the buffer headroom the cap was sized for.
     MAX_INFLIGHT_PER_SHARD = 16
 
     def __init__(
@@ -452,6 +681,11 @@ class ShardedConnectorService:
         *,
         n_shards: int | None = None,
         shards: Sequence[str] | None = None,
+        replication: int = 1,
+        liveness_deadline: float | None = 30.0,
+        probe_timeout: float = 5.0,
+        heartbeat_interval: float | None = 15.0,
+        backoff: BackoffPolicy | None = None,
         max_cached_roots: int | None = 512,
         max_cached_candidates: int | None = 4096,
         max_cached_scores: int | None = 4096,
@@ -470,6 +704,25 @@ class ShardedConnectorService:
             if n_shards < 1:
                 raise ValueError(f"n_shards must be at least 1, got {n_shards}")
             specs = ["local"] * n_shards
+        if replication < 1:
+            raise ValueError(
+                f"replication must be at least 1, got {replication}"
+            )
+        if replication > len(specs):
+            raise ValueError(
+                f"replication={replication} needs at least that many shard "
+                f"slots, got {len(specs)}"
+            )
+        if liveness_deadline is not None and liveness_deadline <= 0:
+            raise ValueError(
+                f"liveness_deadline must be positive or None, "
+                f"got {liveness_deadline}"
+            )
+        self._replication = replication
+        self._liveness_deadline = liveness_deadline
+        self._probe_timeout = probe_timeout
+        self._heartbeat_interval = heartbeat_interval
+        self._backoff = backoff if backoff is not None else BackoffPolicy()
         # The router-side service: validation, payload construction, result
         # building, and the local fallback for non-"ws-q" methods.  Its own
         # solve caches see no sharded traffic.
@@ -490,21 +743,27 @@ class ShardedConnectorService:
             }
         )
         self._ctx = mp_context if mp_context is not None else multiprocessing.get_context()
+        self._specs: dict[int, object] = {}
         self._shards: dict[int, ShardTransport] = {}
+        self._down: dict[int, _DownShard] = {}
         self._ring: _HashRing | None = None
         self._next_request_id = 0
         self._requests_routed = 0
         self._inflight_deduped = 0
+        self._failovers = 0
+        self._shards_failed = 0
+        self._reconnects = 0
         self._closed = False
         try:
             for shard_id, spec in enumerate(specs):
                 self._shards[shard_id] = self._make_transport(shard_id, spec)
+                self._specs[shard_id] = spec
         except BaseException:
             # A refused remote handshake (or connect failure) mid-build
             # must not leak the shards already spawned.
             self.close()
             raise
-        self._ring = _HashRing(sorted(self._shards))
+        self._ring = _HashRing(sorted(self._specs))
 
     def _make_transport(self, shard_id: int, spec) -> ShardTransport:
         if spec == "local":
@@ -515,7 +774,12 @@ class ShardedConnectorService:
         from repro.serving.remote import RemoteShardTransport
 
         return RemoteShardTransport(
-            shard_id, host, port, digest=self._local.index_digest()
+            shard_id,
+            host,
+            port,
+            digest=self._local.index_digest(),
+            heartbeat_interval=self._heartbeat_interval,
+            probe_timeout=self._probe_timeout,
         )
 
     # ------------------------------------------------------------------
@@ -531,13 +795,25 @@ class ShardedConnectorService:
 
     @property
     def n_shards(self) -> int:
-        return len(self._shards)
+        """Total ring slots, live or down (the ring never shrinks on death)."""
+        return len(self._specs)
+
+    @property
+    def replication(self) -> int:
+        return self._replication
+
+    @property
+    def dead_shards(self) -> tuple[int, ...]:
+        """The slots currently out of service, awaiting revival."""
+        return tuple(sorted(self._down))
 
     @property
     def transports(self) -> tuple[str, ...]:
         """The transport kind of each ring slot (``"pipe"``/``"socket"``)."""
         return tuple(
-            self._shards[shard_id].kind for shard_id in sorted(self._shards)
+            (self._shards[shard_id] if shard_id in self._shards
+             else self._down[shard_id].transport).kind
+            for shard_id in sorted(self._specs)
         )
 
     @property
@@ -545,45 +821,260 @@ class ShardedConnectorService:
         """``"csr"`` (bare int arrays) or ``"graph"`` (no-numpy fallback)."""
         return self._payload["kind"]
 
-    def resize(self, n_shards: int) -> None:
-        """Grow or shrink the shard set and rebuild the ring.
+    def resize(self, shards: int | Sequence[str]) -> None:
+        """Grow, shrink, or roll the shard topology and rebuild the ring.
 
         Legal between batches only (the synchronous router never holds
-        in-flight requests across calls).  Growing spawns fresh, cold
-        *local* shards; shrinking stops the highest-numbered shards
-        (terminating local workers, merely disconnecting remote daemons).
-        Resizing to the current count is a true no-op — the ring, the
-        transports, and every warm cache are left untouched.  Retained
-        shards keep their warm caches, and consistent hashing keeps
-        ``~(n-1)/n`` of the key space pinned to them.
+        in-flight requests across calls).  With a *count*: growing
+        spawns fresh, cold *local* shards; shrinking stops the
+        highest-numbered slots (terminating local workers, merely
+        disconnecting remote daemons).  With a *spec list*: the list is
+        diffed against the current topology slot by slot — unchanged
+        slots keep their live transports and warm caches, changed slots
+        are replaced in place (the rolling-upgrade path), extra specs
+        grow the ring, missing ones shrink it.  Resizing to the current
+        topology is a true no-op — the ring, the transports, and every
+        warm cache are left untouched.  Retained shards keep their warm
+        caches, and consistent hashing keeps ``~(n-1)/n`` of the key
+        space pinned to them.
         """
         if self._closed:
             raise RuntimeError("service is closed")
-        if n_shards < 1:
-            raise ValueError(f"n_shards must be at least 1, got {n_shards}")
-        if n_shards == len(self._shards):
-            return
+        if isinstance(shards, int):
+            if shards < 1:
+                raise ValueError(f"n_shards must be at least 1, got {shards}")
+            current = [self._specs[i] for i in sorted(self._specs)]
+            if shards <= len(current):
+                specs = current[:shards]
+            else:
+                specs = current + ["local"] * (shards - len(current))
+        else:
+            specs = [normalize_shard_spec(spec) for spec in shards]
+            if not specs:
+                raise ValueError("shards must name at least one shard")
+        old_count = len(self._specs)
+        # Replace slots whose spec changed (keep matching ones untouched).
+        for shard_id in range(min(old_count, len(specs))):
+            if specs[shard_id] != self._specs[shard_id]:
+                self.replace_shard(shard_id, specs[shard_id])
         created: list[int] = []
         try:
-            for shard_id in range(len(self._shards), n_shards):
-                self._shards[shard_id] = self._make_transport(shard_id, "local")
+            for shard_id in range(old_count, len(specs)):
+                self._shards[shard_id] = self._make_transport(
+                    shard_id, specs[shard_id]
+                )
+                self._specs[shard_id] = specs[shard_id]
                 created.append(shard_id)
         except BaseException:
             for shard_id in created:  # pragma: no cover - spawn failure
                 self._shards.pop(shard_id).stop()
+                self._specs.pop(shard_id)
             raise
-        for shard_id in range(n_shards, len(self._shards)):
-            self._shards.pop(shard_id).stop()
-        self._ring = _HashRing(sorted(self._shards))
+        for shard_id in range(len(specs), old_count):
+            self._specs.pop(shard_id)
+            down = self._down.pop(shard_id, None)
+            transport = self._shards.pop(shard_id, None)
+            if transport is None and down is not None:
+                transport = down.transport
+            if transport is not None:
+                transport.stop()
+        if len(specs) != old_count:
+            self._ring = _HashRing(sorted(self._specs))
+
+    def replace_shard(self, shard_id: int, spec) -> None:
+        """Swap one slot's transport for a new spec, ring untouched.
+
+        The rolling-upgrade primitive: the replacement is built (and,
+        for a remote spec, connected and digest-handshaken) *before* the
+        old transport is stopped, so a failed replacement leaves the old
+        shard serving.  The slot keeps its exact ring position — with
+        ``replication>=2`` the other replicas of each key range cover
+        the swap window, so a deployment upgrades hosts one slot at a
+        time with zero downtime.  A currently-down slot may be replaced
+        too (pointing it at a fresh host is the operator's fast path
+        around the backoff timer).
+        """
+        if self._closed:
+            raise RuntimeError("service is closed")
+        if shard_id not in self._specs:
+            raise ValueError(
+                f"no shard slot {shard_id}; slots are {sorted(self._specs)}"
+            )
+        normalized = normalize_shard_spec(spec)
+        replacement = self._make_transport(shard_id, normalized)
+        down = self._down.pop(shard_id, None)
+        old = self._shards.pop(shard_id, None)
+        if old is None and down is not None:
+            old = down.transport
+        if old is not None:
+            try:
+                old.stop()
+            except Exception:  # pragma: no cover - best-effort teardown
+                pass
+        self._shards[shard_id] = replacement
+        self._specs[shard_id] = normalized
 
     def shard_of(
         self, query: Iterable[Node], options: SolveOptions | None = None
     ) -> int:
-        """Which shard serves this ``(query, options)`` key (introspection)."""
+        """The preferred shard of this ``(query, options)`` key (introspection).
+
+        Pure placement — liveness is ignored, so the answer is stable
+        across failures and heals.
+        """
         if self._closed:
             raise RuntimeError("service is closed")
         opts = self._local._merge(options)
-        return self._ring.lookup(request_digest(frozenset(query), opts))
+        return self._route(request_digest(frozenset(query), opts))[0]
+
+    def _route(self, digest: bytes) -> list[int]:
+        """The key's replica list, preferred-first.
+
+        The ring's clockwise walk gives the deterministic primary order;
+        with ``replication>=2`` the list is then *rotated* by a digest
+        byte so distinct keys sharing a replica group spread their
+        preferred reads across it (hot-range fan-out) while every repeat
+        of one key keeps hitting the same replica (cache affinity).
+        Failover walks the rotated list left to right.
+        """
+        count = min(self._replication, len(self._specs))
+        replicas = self._ring.replicas(digest, count)
+        if len(replicas) > 1:
+            offset = digest[8] % len(replicas)
+            replicas = replicas[offset:] + replicas[:offset]
+        return replicas
+
+    # ------------------------------------------------------------------
+    # Health: failure, failover, healing
+    # ------------------------------------------------------------------
+    def _shard_down(
+        self, shard_id: int, state: _BatchState, *, mid_batch: bool
+    ) -> None:
+        """Take a failed slot out of service; fail over or fail the batch.
+
+        With ``replication=1`` this is the historical close-on-death:
+        a half-served batch cannot be completed and leaves replies
+        queued in the surviving links, so the service closes with one
+        clear error.  With ``replication>=2`` the slot moves to the
+        down set (revival scheduled under the backoff policy) and its
+        in-flight sweeps re-dispatch onto each key's next surviving
+        replica; only a key range with zero live replicas still fails
+        the batch.
+        """
+        if shard_id not in self._shards:
+            return  # already handled by an earlier failure this batch
+        if self._replication == 1:
+            self.close()
+            raise RuntimeError(
+                f"shard {shard_id} died{' mid-batch' if mid_batch else ''}; "
+                "the sharded service was closed and must be rebuilt"
+            ) from None
+        transport = self._shards.pop(shard_id)
+        try:
+            transport.stop()
+        except Exception:  # pragma: no cover - best-effort teardown
+            pass
+        self._down[shard_id] = _DownShard(
+            transport,
+            RetrySchedule(self._backoff, seed=shard_id, initial_delay=True),
+        )
+        self._shards_failed += 1
+        state.pending.pop(shard_id, None)
+        state.activity.pop(shard_id, None)
+        orphans = [
+            record for record in state.inflight.values()
+            if record.shard == shard_id
+        ]
+        for record in orphans:
+            del state.inflight[record.request_id]
+            if record.kind == "stats":
+                # A snapshot of a dead replica is meaningless; drop it.
+                continue
+            self._failovers += 1
+            self._dispatch(record, state)
+
+    def _preferred_live(self, record: _InflightRequest) -> int:
+        """The first live replica of the record's primary order.
+
+        When every replica of the key range is down, each gets one
+        last-resort revival attempt (ignoring its backoff timer — the
+        alternative is failing the batch, so a wasted probe is cheap).
+        Only when that too comes up empty does the batch fail: the
+        ``replication>=2`` contract is *zero live replicas*, not *one
+        dead one*.
+        """
+        for shard_id in record.replicas:
+            if shard_id in self._shards:
+                return shard_id
+        for shard_id in record.replicas:
+            if self._revive(shard_id):
+                return shard_id
+        self.close()
+        raise RuntimeError(
+            f"no live replicas for a key range (slots {record.replicas} are "
+            "all down); the sharded service was closed and must be rebuilt"
+        )
+
+    def _dispatch(self, record: _InflightRequest, state: _BatchState) -> None:
+        """Submit one sweep to its first live replica, failing over on death."""
+        while True:
+            shard_id = self._preferred_live(record)
+            transport = self._shards[shard_id]
+            try:
+                transport.submit(
+                    record.request_id, record.query_tuple, record.options
+                )
+            except _TRANSPORT_FAILURES:
+                self._shard_down(shard_id, state, mid_batch=False)
+                continue  # walk to the key's next replica
+            record.shard = shard_id
+            record.transport_kind = transport.kind
+            state.inflight[record.request_id] = record
+            state.pending[shard_id] = state.pending.get(shard_id, 0) + 1
+            state.activity[shard_id] = time.monotonic()
+            return
+
+    def _revive(self, shard_id: int) -> bool:
+        """One revival attempt of a down slot; True when it rejoined."""
+        down = self._down.get(shard_id)
+        if down is None:
+            return shard_id in self._shards
+        try:
+            down.transport.reconnect()
+        except Exception:
+            down.schedule.record_failure()
+            return False
+        self._shards[shard_id] = down.transport
+        del self._down[shard_id]
+        self._reconnects += 1
+        return True
+
+    def _probe_shard(self, transport: ShardTransport) -> bool:
+        try:
+            return transport.probe(self._probe_timeout)
+        except Exception:  # pragma: no cover - probe must never raise
+            return False
+
+    def _heal(self) -> None:
+        """The batch-boundary health pass: revive the due, confirm suspects.
+
+        Runs before every scatter so a batch starts from the healthiest
+        ring the backoff timers allow, and so replicas flagged by the
+        idle heartbeat monitors are confirmed (one probe) and taken out
+        of service *before* sweeps are routed at them.
+        """
+        now = time.monotonic()
+        for shard_id in sorted(self._down):
+            if self._down[shard_id].schedule.due(now):
+                self._revive(shard_id)
+        for shard_id in sorted(self._shards):
+            transport = self._shards[shard_id]
+            if not transport.is_suspect():
+                continue
+            if self._probe_shard(transport):
+                transport.clear_suspect()
+            else:
+                self._shard_down(shard_id, _BatchState(), mid_batch=False)
 
     # ------------------------------------------------------------------
     # Serving
@@ -619,6 +1110,7 @@ class ShardedConnectorService:
             return [self._local.solve(query_set, opts) for query_set in query_sets]
         for query_set in query_sets:
             self._local._validate(query_set)
+        self._heal()
 
         # Dedupe identical in-flight keys and scatter one request each.
         # Draining is interleaved with scattering: a pipe or socket buffers
@@ -627,76 +1119,52 @@ class ShardedConnectorService:
         # against a shard blocked on sending its replies.  The per-shard
         # in-flight cap keeps both directions of every link comfortably
         # under the buffer size.
-        routed: dict[frozenset, tuple[int, int]] = {}  # key -> (request_id, shard)
-        pending: dict[int, int] = {}  # shard id -> in-flight request count
-        outcomes: dict[int, object] = {}
-        failures: dict[int, Exception] = {}
+        state = _BatchState()
+        routed: dict[frozenset, _InflightRequest] = {}
         for query_set in query_sets:
             if query_set in routed:
                 self._inflight_deduped += 1
                 continue
-            shard_id = self._ring.lookup(request_digest(query_set, opts))
-            if pending.get(shard_id, 0) >= self.MAX_INFLIGHT_PER_SHARD:
-                self._drain(pending, outcomes, failures, below_cap=shard_id)
-            request_id = self._next_request_id
-            self._next_request_id += 1
-            query_tuple = tuple(sorted(query_set, key=repr))
-            self._submit_guarded(
-                shard_id,
-                lambda transport: transport.submit(request_id, query_tuple, opts),
+            record = _InflightRequest(
+                request_id=self._take_request_id(),
+                key=query_set,
+                query_tuple=tuple(sorted(query_set, key=repr)),
+                options=opts,
+                replicas=self._route(request_digest(query_set, opts)),
             )
-            routed[query_set] = (request_id, shard_id)
-            pending[shard_id] = pending.get(shard_id, 0) + 1
+            target = self._preferred_live(record)
+            if state.pending.get(target, 0) >= self.MAX_INFLIGHT_PER_SHARD:
+                self._gather(state, below_cap=target)
+            self._dispatch(record, state)
+            routed[query_set] = record
             self._requests_routed += 1
-        self._drain(pending, outcomes, failures)
+        self._gather(state)
 
-        if failures:
+        if state.failures:
             # Fail the batch with the error of the *earliest* failed request
             # (deterministic regardless of which shard replied first).
-            raise failures[min(failures)]
+            raise state.failures[min(state.failures)]
         results: dict[frozenset, ConnectorResult] = {}
-        for query_set, (request_id, shard_id) in routed.items():
+        for query_set, record in routed.items():
             results[query_set] = self._local._to_result(
                 query_set,
-                outcomes[request_id],
+                state.outcomes[record.request_id],
                 extra={
                     "sharded": True,
-                    "shard": shard_id,
+                    "shard": record.shard,
                     "shards": self.n_shards,
-                    "transport": self._shards[shard_id].kind,
+                    "transport": record.transport_kind,
                 },
             )
         return [results[query_set] for query_set in query_sets]
 
-    def _submit_guarded(self, shard_id: int, send) -> None:
-        """Run one transport send; a dead shard closes the service.
+    def _take_request_id(self) -> int:
+        request_id = self._next_request_id
+        self._next_request_id += 1
+        return request_id
 
-        ``send`` receives the shard's transport and issues exactly one
-        ``submit``/``submit_stats`` call.  A half-served batch cannot be
-        completed and leaves replies queued in the surviving links, so
-        the only safe reaction to a dead shard (OOM-killed worker,
-        vanished daemon, reset socket) is to tear the whole service down
-        — the caller gets one clear error now instead of corrupt state
-        later.
-        """
-        try:
-            send(self._shards[shard_id])
-        except _TRANSPORT_FAILURES:
-            self.close()
-            raise RuntimeError(
-                f"shard {shard_id} died; the sharded service was closed "
-                "and must be rebuilt"
-            ) from None
-
-    def _drain(
-        self,
-        pending: dict[int, int],
-        outcomes: dict[int, object],
-        failures: dict[int, Exception],
-        *,
-        below_cap: int | None = None,
-    ) -> None:
-        """Receive shard replies into ``outcomes`` / ``failures``.
+    def _gather(self, state: _BatchState, *, below_cap: int | None = None) -> None:
+        """Receive shard replies into ``state.outcomes`` / ``state.failures``.
 
         With ``below_cap=shard_id``, stops as soon as that shard is back
         under :data:`MAX_INFLIGHT_PER_SHARD` (the mid-scatter drain);
@@ -704,76 +1172,130 @@ class ShardedConnectorService:
         carry errors — the next batch must find the transports drained.
         Uses :func:`multiprocessing.connection.wait` over the transports'
         waitables so a slow shard never blocks draining the others.
+
+        Liveness: with a configured ``liveness_deadline``, the wait ticks
+        instead of blocking forever; a shard silent past the deadline is
+        probed, and only an *unreachable* one is declared dead (a probe
+        that answers resets the shard's clock — long sweeps are work,
+        not death).  Death here routes through the same
+        :meth:`_shard_down` failover path as an explicit transport error.
         """
-        while pending:
+        while state.pending:
             if (
                 below_cap is not None
-                and pending.get(below_cap, 0) < self.MAX_INFLIGHT_PER_SHARD
+                and state.pending.get(below_cap, 0) < self.MAX_INFLIGHT_PER_SHARD
             ):
                 return
             progressed = False
-            for shard_id in list(pending):
+            for shard_id in list(state.pending):
+                transport = self._shards.get(shard_id)
+                if transport is None:
+                    # Went down (and failed over) earlier in this pass.
+                    state.pending.pop(shard_id, None)
+                    continue
                 try:
-                    replies = self._shards[shard_id].drain()
+                    replies = transport.drain()
                 except _TRANSPORT_FAILURES:
-                    self.close()  # see _submit_guarded: a dead shard poisons the batch
-                    raise RuntimeError(
-                        f"shard {shard_id} died mid-batch; the sharded "
-                        "service was closed and must be rebuilt"
-                    ) from None
-                for request_id, status, value in replies:
-                    if status == "ok":
-                        outcomes[request_id] = value
-                    else:
-                        failures[request_id] = value
-                    pending[shard_id] -= 1
+                    self._shard_down(shard_id, state, mid_batch=True)
                     progressed = True
-                if not pending.get(shard_id, 1):
-                    del pending[shard_id]
-            if progressed or not pending:
+                    continue
+                for request_id, status, value in replies:
+                    record = state.inflight.pop(request_id, None)
+                    if record is None:
+                        continue  # defensive: a reply for a failed-over id
+                    if status == "ok":
+                        state.outcomes[request_id] = value
+                    else:
+                        state.failures[request_id] = value
+                    state.pending[shard_id] -= 1
+                    state.activity[shard_id] = time.monotonic()
+                    progressed = True
+                if not state.pending.get(shard_id, 1):
+                    del state.pending[shard_id]
+            if progressed or not state.pending:
                 continue
             by_waitable = {
                 self._shards[shard_id].waitable: shard_id
-                for shard_id in pending
+                for shard_id in state.pending
             }
-            mp_connection.wait(list(by_waitable))
+            if self._liveness_deadline is None:
+                mp_connection.wait(list(by_waitable))
+                continue
+            tick = min(1.0, self._liveness_deadline / 4)
+            ready = mp_connection.wait(list(by_waitable), tick)
+            if ready:
+                continue
+            now = time.monotonic()
+            for shard_id in list(state.pending):
+                silent = now - state.activity.get(shard_id, now)
+                if silent < self._liveness_deadline:
+                    continue
+                if self._probe_shard(self._shards[shard_id]):
+                    state.activity[shard_id] = now  # alive, just slow
+                else:
+                    self._shard_down(shard_id, state, mid_batch=True)
 
     # ------------------------------------------------------------------
     # Observability / lifecycle
     # ------------------------------------------------------------------
     def stats(self) -> ShardedStats:
-        """Router counters plus a live snapshot from every shard."""
+        """Router counters plus a live snapshot from every *live* shard.
+
+        Down slots contribute no snapshot (there is nobody to ask) and
+        are listed in :attr:`ShardedStats.dead_shards` instead; a shard
+        that dies during this very scatter is likewise reported as dead
+        rather than failing the call (``replication>=2`` only — with a
+        single replica the historical close-on-death applies here too).
+        """
         if self._closed:
             raise RuntimeError("service is closed")
-        pending: dict[int, int] = {}
-        snapshots: dict[int, object] = {}
-        failures: dict[int, Exception] = {}
-        ordered_requests: list[int] = []
+        self._heal()
+        state = _BatchState()
+        ordered: list[tuple[int, int]] = []  # (shard id, request id)
         for shard_id in sorted(self._shards):
-            request_id = self._next_request_id
-            self._next_request_id += 1
-            self._submit_guarded(
-                shard_id,
-                lambda transport: transport.submit_stats(request_id),
+            record = _InflightRequest(
+                request_id=self._take_request_id(),
+                key=None,
+                query_tuple=None,
+                options=None,
+                replicas=(shard_id,),
+                kind="stats",
             )
-            ordered_requests.append(request_id)
-            pending[shard_id] = 1
-        self._drain(pending, snapshots, failures)
-        assert not failures  # stats requests cannot fail
-        ordered = tuple(
-            snapshots[request_id] for request_id in ordered_requests
+            transport = self._shards[shard_id]
+            try:
+                transport.submit_stats(record.request_id)
+            except _TRANSPORT_FAILURES:
+                self._shard_down(shard_id, state, mid_batch=False)
+                continue
+            record.shard = shard_id
+            record.transport_kind = transport.kind
+            state.inflight[record.request_id] = record
+            state.pending[shard_id] = state.pending.get(shard_id, 0) + 1
+            state.activity[shard_id] = time.monotonic()
+            ordered.append((shard_id, record.request_id))
+        self._gather(state)
+        assert not state.failures  # stats requests cannot fail
+        snapshots = tuple(
+            state.outcomes[request_id]
+            for _, request_id in ordered
+            if request_id in state.outcomes
         )
         return ShardedStats(
             n_shards=self.n_shards,
             requests_routed=self._requests_routed,
             inflight_deduped=self._inflight_deduped,
-            shards=ordered,
+            shards=snapshots,
             router_local=self._local.stats(),
             transports=self.transports,
+            replication=self._replication,
+            failovers=self._failovers,
+            shards_failed=self._shards_failed,
+            reconnects=self._reconnects,
+            dead_shards=self.dead_shards,
         )
 
     def close(self) -> None:
-        """Stop every shard transport; idempotent.
+        """Stop every shard transport, live or down; idempotent.
 
         Local workers are terminated; remote daemons are only
         disconnected (they are owned by whoever started them and may be
@@ -785,6 +1307,12 @@ class ShardedConnectorService:
         while self._shards:
             _, shard = self._shards.popitem()
             shard.stop()
+        while self._down:
+            _, down = self._down.popitem()
+            try:
+                down.transport.stop()
+            except Exception:  # pragma: no cover - already stopped
+                pass
 
     def __enter__(self) -> "ShardedConnectorService":
         return self
@@ -799,7 +1327,10 @@ class ShardedConnectorService:
             pass
 
     def __repr__(self) -> str:  # pragma: no cover - debugging nicety
-        state = "closed" if self._closed else f"shards={self.n_shards}"
+        state = "closed" if self._closed else (
+            f"shards={self.n_shards}"
+            + (f" (down: {list(self.dead_shards)})" if self._down else "")
+        )
         return (
             f"{type(self).__name__}(|V|={self._local.num_nodes}, {state}, "
             f"routed={self._requests_routed})"

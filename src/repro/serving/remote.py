@@ -1,4 +1,4 @@
-"""Remote shard transport: scatter/gather over sockets for multi-host sharding.
+"""Remote shard transport: replicated scatter/gather over sockets.
 
 The paper's §6.6 concedes single-machine memory limits and points at
 parallel computation at scale; the systems answer in this reproduction is
@@ -28,27 +28,66 @@ Handshake
 At connect time the transport sends ``{"op": "hello", "digest": ...}``
 with the router's :meth:`~repro.core.service.ConnectorService.index_digest`
 and the daemon compares it against its own graph.  A mismatch is refused
-(``ShardTransportError``) *before* any request is routed — and the
-daemon enforces it server-side too: a connection that skipped (or
-failed) ``hello`` has its ``sweep`` requests rejected.  The bit-identity
-contract — remote shards return exactly the one-shot ``wiener_steiner``
-connectors — only holds when router and shard host serve the same
-graph, and a version skew between two dataset copies must fail loudly
-at topology-build time, not corrupt answers at serve time.
+(:class:`~repro.core.sharded.ShardConnectError`) *before* any request is
+routed — and the daemon enforces it server-side too: a connection that
+skipped (or failed) ``hello`` has its ``sweep`` requests rejected.  The
+bit-identity contract — remote shards return exactly the one-shot
+``wiener_steiner`` connectors — only holds when router and shard host
+serve the same graph, and a version skew between two dataset copies must
+fail loudly at topology-build time, not corrupt answers at serve time.
+The same handshake runs again on every :meth:`~RemoteShardTransport.
+reconnect`, so a daemon that was restarted with a *different* dataset
+while the link was down is refused, never silently rejoined.
 
-Failure semantics
------------------
+Failure semantics: what fails, what degrades, what heals
+--------------------------------------------------------
 
-Request-level faults (a poisoned query) travel back as pickled exception
-values and fail only that request — identical to a pipe shard.  A dead
-daemon (killed process, reset connection, unparsable reply) surfaces as
-``EOFError``/``OSError``/:class:`~repro.core.sharded.ShardTransportError`
-out of ``submit``/``drain``; the router then fails the in-flight batch
-with one clean ``RuntimeError`` and closes the whole sharded service.
-``stop()`` only disconnects: the daemon belongs to whoever started it
-(several routers may share it), so tearing down a router never tears
-down a host.  Use :func:`shutdown_shard_host` (or the ``shutdown`` op)
-to stop a daemon remotely — ``repro shard-host`` exits 0 on it.
+Three distinct layers, three distinct behaviors:
+
+* **Request faults fail the request.**  A poisoned query travels back as
+  a pickled exception value and fails only that request — identical to a
+  pipe shard.  Always, at every replication factor.
+* **Link faults fail the *link*, typed by when they struck.**  Every
+  transport failure raises a
+  :class:`~repro.core.sharded.ShardTransportError` subclass the router
+  can dispatch on: :class:`~repro.core.sharded.ShardConnectError` when
+  the link never came up (refused connect, handshake timeout, digest
+  mismatch, a non-protocol peer such as an HTTP server on the wrong
+  port) and :class:`~repro.core.sharded.ShardLinkError` when an
+  established link broke (mid-write reset, peer closed mid-stream, an
+  unparsable or pickle-skewed reply — protocol sync is gone, the link is
+  unusable).  What the router *does* with a dead link depends on its
+  replication factor: with ``replication=1`` it fails the in-flight
+  batch and closes the sharded service (the historical close-on-death);
+  with ``replication>=2`` it fails over — the in-flight sweeps re-run on
+  a surviving replica and the slot heals in the background.
+* **Silence is bounded by heartbeats, not TCP timers.**  A silent
+  partition (powered-off host, dropped route) produces no FIN/RST.  The
+  transport keeps TCP keepalive (~60s) as a kernel backstop, but its
+  *application-level* liveness is finer: an optional background monitor
+  pings idle links every ``heartbeat_interval`` seconds over a separate
+  throwaway connection (never the request socket, so a probe can never
+  interleave with a reply in flight) and marks the transport *suspect*
+  on a miss; the router confirms suspects with one :meth:`probe` before
+  the next batch touches them, and probes mid-batch shards that stay
+  silent past its ``liveness_deadline``.  A SIGSTOP'd daemon — the
+  kernel accepts new connections into the backlog but nobody answers —
+  fails the probe's ping deadline and is declared dead like any other.
+
+Healing: :meth:`RemoteShardTransport.reconnect` re-dials and re-runs the
+``hello`` digest handshake, raising the connect-time taxonomy above when
+the daemon is still gone; the router paces those attempts with the
+jittered exponential backoff of :mod:`repro.core.retry`.  A revived link
+rejoins with whatever caches the daemon kept — a daemon that merely lost
+the socket is still warm.
+
+``stop()`` only disconnects, within a bounded time even when the peer is
+hung: the daemon belongs to whoever started it (several routers may
+share it), so tearing down a router never tears down a host.  Use
+:func:`shutdown_shard_host` (or the ``shutdown`` op) to stop a daemon
+remotely — ``repro shard-host`` exits 0 on it — and
+:func:`ping_shard_host` (or ``repro ping``) as the handshake-free health
+probe for supervisors.
 
 Trust model: the ``sweep`` op carries pickles, so shard hosts must only
 be reachable from trusted routers (a private cluster network), never
@@ -61,10 +100,11 @@ import dataclasses
 import socket
 import socketserver
 import threading
+import time
 
 from repro.core.options import SolveOptions
 from repro.core.service import ConnectorService, ServiceStats
-from repro.core.sharded import ShardTransportError
+from repro.core.sharded import ShardConnectError, ShardLinkError
 from repro.serving.protocol import (
     decode_line,
     decode_pickled,
@@ -75,11 +115,16 @@ from repro.serving.protocol import (
 __all__ = [
     "RemoteShardTransport",
     "ShardHostServer",
+    "ping_shard_host",
     "shutdown_shard_host",
 ]
 
 #: Connect/handshake timeout — topology building should fail fast.
 CONNECT_TIMEOUT_SECONDS = 10.0
+
+#: Upper bound on ``RemoteShardTransport.stop()``: a SIGSTOP'd or hung
+#: daemon must never block router/service teardown.
+STOP_TIMEOUT_SECONDS = 5.0
 
 #: Per-read chunk size of the transport's gather loop.
 _RECV_CHUNK = 1 << 16
@@ -101,6 +146,11 @@ class _ShardHostHandler(socketserver.StreamRequestHandler):
         # after the parent setup has run.)
         self.request.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         super().setup()
+        self.server.shard_host._connection_opened()  # type: ignore[attr-defined]
+
+    def finish(self) -> None:
+        self.server.shard_host._connection_closed()  # type: ignore[attr-defined]
+        super().finish()
 
     def handle(self) -> None:
         host: ShardHostServer = self.server.shard_host  # type: ignore[attr-defined]
@@ -138,12 +188,13 @@ class ShardHostServer:
 
     The remote counterpart of the in-process ``_shard_main`` worker loop:
     ops ``hello`` (digest handshake), ``sweep`` (one λ×root sweep,
-    pickled outcome), ``stats`` (a :class:`ServiceStats` snapshot as
-    JSON), ``ping`` and ``shutdown``.  Each connection is served by its
-    own thread in receipt order, but sweeps and snapshots across all
-    connections serialize through one lock — the service's caches are not
-    thread-safe, and a shard replica's unit of scale is the host, not
-    the thread.
+    pickled outcome), ``stats`` (a :class:`ServiceStats` snapshot as JSON
+    plus a ``host`` sub-object with daemon-level health: uptime, sweeps
+    served, connections active), ``ping`` and ``shutdown``.  Each
+    connection is served by its own thread in receipt order, but sweeps
+    and snapshots across all connections serialize through one lock — the
+    service's caches are not thread-safe, and a shard replica's unit of
+    scale is the host, not the thread.
 
     The server owns only its sockets; the service belongs to the caller.
     """
@@ -162,6 +213,8 @@ class ShardHostServer:
         self._shutdown = threading.Event()
         self._server: _ShardHostTCPServer | None = None
         self._thread: threading.Thread | None = None
+        self._started: float | None = None
+        self._connections_active = 0
         self.sweeps_served = 0
 
     @property
@@ -184,6 +237,7 @@ class ShardHostServer:
             (self._host, self._port), _ShardHostHandler
         )
         self._server.shard_host = self  # type: ignore[attr-defined]
+        self._started = time.monotonic()
         self._thread = threading.Thread(
             target=self._server.serve_forever,
             name=f"shard-host-{self.port}",
@@ -203,14 +257,17 @@ class ShardHostServer:
         threads are daemons blocked on reads and exit when the router
         disconnects (routers own their connection lifecycle).
         """
-        if self._server is None:
+        # Swap-then-close so concurrent close() calls (a chaos test's
+        # killer thread racing a finally block) are both safe no-ops
+        # rather than a TOCTOU on self._server.
+        server, self._server = self._server, None
+        thread, self._thread = self._thread, None
+        if server is None:
             return
-        self._server.shutdown()
-        self._server.server_close()
-        if self._thread is not None:
-            self._thread.join(timeout=5.0)
-        self._server = None
-        self._thread = None
+        server.shutdown()
+        server.server_close()
+        if thread is not None:
+            thread.join(timeout=5.0)
         self._shutdown.set()  # unblock any waiter even on a local close
 
     def __enter__(self) -> "ShardHostServer":
@@ -218,6 +275,35 @@ class ShardHostServer:
 
     def __exit__(self, exc_type, exc_value, traceback) -> None:
         self.close()
+
+    # ------------------------------------------------------------------
+    # Daemon-level health (the "host" sub-object of the stats reply)
+    # ------------------------------------------------------------------
+    def _connection_opened(self) -> None:
+        with self._lock:
+            self._connections_active += 1
+
+    def _connection_closed(self) -> None:
+        with self._lock:
+            self._connections_active -= 1
+
+    def host_stats(self) -> dict:
+        """Daemon-level counters for dashboards and failover decisions.
+
+        Separate from the :class:`ServiceStats` snapshot on purpose: the
+        service knows about queries and caches, only the *daemon* knows
+        how long it has been up and who is connected — and the wire
+        keeps them apart so ``ServiceStats(**reply["stats"])`` keeps
+        round-tripping unchanged as either side grows fields.
+        """
+        return {
+            "uptime_seconds": (
+                0.0 if self._started is None
+                else time.monotonic() - self._started
+            ),
+            "sweeps_served": self.sweeps_served,
+            "connections_active": self._connections_active,
+        }
 
     # ------------------------------------------------------------------
     # Request handling (called from handler threads)
@@ -254,7 +340,11 @@ class ShardHostServer:
             elif op == "stats":
                 with self._lock:
                     snapshot = self._service.stats()
-                response = {"ok": True, "stats": dataclasses.asdict(snapshot)}
+                response = {
+                    "ok": True,
+                    "stats": dataclasses.asdict(snapshot),
+                    "host": self.host_stats(),
+                }
             elif op == "shutdown":
                 response = {"ok": True, "shutting_down": True}
                 is_shutdown = True
@@ -324,6 +414,49 @@ class ShardHostServer:
         )
 
 
+class _HeartbeatMonitor:
+    """Ping an idle shard link in the background; flag misses as suspect.
+
+    Runs as a daemon thread per :class:`RemoteShardTransport`.  Probes go
+    over a *fresh throwaway connection* each time (:func:`ping_shard_host`),
+    never the transport's request socket — a probe must not interleave
+    with a sweep reply in flight, and a daemon whose listener still
+    answers is alive regardless of what one busy link looks like.  Links
+    with recent request traffic are not probed (the traffic *is* the
+    heartbeat).  A miss only *marks* the transport suspect; the router
+    owns the decision, confirming with one more probe at the next batch
+    boundary before taking the slot out of service.
+    """
+
+    def __init__(
+        self,
+        transport: "RemoteShardTransport",
+        interval: float,
+        probe_timeout: float,
+    ) -> None:
+        self._transport = transport
+        self._interval = interval
+        self._probe_timeout = probe_timeout
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run,
+            name=f"shard-heartbeat-{transport.shard_id}",
+            daemon=True,
+        )
+        self._thread.start()
+
+    def _run(self) -> None:
+        while not self._stop.wait(self._interval):
+            if self._transport.idle_seconds() < self._interval:
+                continue  # request traffic is the heartbeat
+            if not self._transport.probe(self._probe_timeout):
+                self._transport._suspect.set()
+
+    def stop(self, timeout: float) -> None:
+        self._stop.set()
+        self._thread.join(timeout)
+
+
 class RemoteShardTransport:
     """Socket-backed :class:`~repro.core.sharded.ShardTransport`.
 
@@ -335,6 +468,13 @@ class RemoteShardTransport:
     read exactly what has already arrived, parse complete lines, and
     buffer the rest.  The raw socket is exposed as :attr:`waitable` for
     the router's multiplexed gather.
+
+    Failures carry the module taxonomy (see the module docstring):
+    :class:`~repro.core.sharded.ShardConnectError` from ``__init__`` /
+    :meth:`reconnect`, :class:`~repro.core.sharded.ShardLinkError` (or a
+    raw ``EOFError`` on a clean peer close) from ``submit``/``drain``.
+    With ``heartbeat_interval`` set, a background monitor pings the
+    daemon while the link is idle and marks it suspect on a miss.
     """
 
     kind = "socket"
@@ -347,28 +487,48 @@ class RemoteShardTransport:
         *,
         digest: str,
         connect_timeout: float = CONNECT_TIMEOUT_SECONDS,
+        heartbeat_interval: float | None = None,
+        probe_timeout: float = 5.0,
     ) -> None:
         self.shard_id = shard_id
         self.address = f"{host}:{port}"
+        self._host = host
+        self._port = port
+        self._digest = digest
+        self._connect_timeout = connect_timeout
+        self._probe_timeout = probe_timeout
+        self._heartbeat_interval = heartbeat_interval
         self._buffer = bytearray()
+        self._suspect = threading.Event()
+        self._last_activity = time.monotonic()
+        self._monitor: _HeartbeatMonitor | None = None
+        self._sock: socket.socket | None = None
+        self._connect()
+        if heartbeat_interval is not None:
+            self._monitor = _HeartbeatMonitor(
+                self, heartbeat_interval, probe_timeout
+            )
+
+    def _connect(self) -> None:
+        """Dial and run the ``hello`` digest handshake (connect-time taxonomy)."""
+        self._buffer.clear()
         try:
             self._sock = socket.create_connection(
-                (host, port), timeout=connect_timeout
+                (self._host, self._port), timeout=self._connect_timeout
             )
         except OSError as exc:
-            raise ShardTransportError(
+            self._sock = None
+            raise ShardConnectError(
                 f"cannot connect to shard host {self.address}: {exc}"
             ) from exc
         # See _ShardHostHandler.setup: tiny pipelined lines must not sit
         # out Nagle/delayed-ACK stalls on real cross-machine links.
         self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-        # Liveness guard for silent partitions (powered-off host, dropped
-        # route): no FIN/RST ever arrives, so without keepalive the
-        # router's gather would block forever.  With these probes the OS
-        # errors the socket after ~60s of silence and the dead link
-        # surfaces through the normal close-on-death path.  (Finer-grained
-        # liveness — application heartbeats — is recorded ROADMAP
-        # headroom.)
+        # Kernel backstop for silent partitions (powered-off host, dropped
+        # route): no FIN/RST ever arrives, so without keepalive a gather
+        # with no liveness deadline would block forever.  The OS errors
+        # the socket after ~60s of silence; the application-level
+        # heartbeat/probe machinery usually notices far sooner.
         self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_KEEPALIVE, 1)
         for option, value in (
             ("TCP_KEEPIDLE", 30), ("TCP_KEEPINTVL", 10), ("TCP_KEEPCNT", 3),
@@ -379,18 +539,20 @@ class RemoteShardTransport:
                 )
         try:
             self._sock.sendall(
-                encode_line({"op": "hello", "digest": digest, "id": None})
+                encode_line({"op": "hello", "digest": self._digest, "id": None})
             )
-            reply = self._handshake_reply(connect_timeout)
+            reply = self._handshake_reply(self._connect_timeout)
             if not reply.get("ok"):
-                raise ShardTransportError(
+                raise ShardConnectError(
                     f"shard host {self.address} refused the handshake: "
                     f"{reply.get('error', 'no error reported')}"
                 )
             self._sock.settimeout(None)  # blocking from here on
         except BaseException:
             self._sock.close()
+            self._sock = None
             raise
+        self._last_activity = time.monotonic()
 
     def _pop_line(self) -> bytes | None:
         """Remove and return one complete line from the buffer, if any."""
@@ -410,21 +572,21 @@ class RemoteShardTransport:
                     return decode_line(line)
                 except ValueError as exc:
                     # The peer answered with non-JSON (an HTTP server, an
-                    # SSH banner): same broken-link contract as _parse, so
-                    # the CLI reports a topology error, not a traceback.
-                    raise ShardTransportError(
+                    # SSH banner): a connect-time topology error, so the
+                    # CLI reports it as one, not as a traceback.
+                    raise ShardConnectError(
                         f"shard host {self.address} answered the handshake "
                         f"with a non-protocol reply: {exc}"
                     ) from exc
             try:
                 chunk = self._sock.recv(_RECV_CHUNK)
             except socket.timeout:
-                raise ShardTransportError(
+                raise ShardConnectError(
                     f"shard host {self.address} did not answer the "
                     f"handshake within {timeout:.0f}s"
                 ) from None
             if not chunk:
-                raise ShardTransportError(
+                raise ShardConnectError(
                     f"shard host {self.address} closed the connection "
                     "during the handshake"
                 )
@@ -436,7 +598,7 @@ class RemoteShardTransport:
     def submit(
         self, request_id: int, query_tuple: tuple, options: SolveOptions
     ) -> None:
-        self._sock.sendall(
+        self._send(
             encode_line(
                 {
                     "op": "sweep",
@@ -447,9 +609,28 @@ class RemoteShardTransport:
         )
 
     def submit_stats(self, request_id: int) -> None:
-        self._sock.sendall(encode_line({"op": "stats", "id": request_id}))
+        self._send(encode_line({"op": "stats", "id": request_id}))
+
+    def _send(self, payload: bytes) -> None:
+        if self._sock is None:
+            raise ShardLinkError(
+                f"shard host link {self.address} is closed"
+            )
+        try:
+            self._sock.sendall(payload)
+        except OSError as exc:
+            # A mid-write reset (or an already-errored socket): the link
+            # broke in flight, typed so the router fails over cleanly.
+            raise ShardLinkError(
+                f"shard host {self.address} link failed mid-write: {exc}"
+            ) from exc
+        self._last_activity = time.monotonic()
 
     def drain(self) -> list[tuple[int, str, object]]:
+        if self._sock is None:
+            raise ShardLinkError(
+                f"shard host link {self.address} is closed"
+            )
         eof = False
         # A non-blocking recv loop, not select(): select.select raises
         # ValueError for any fd >= FD_SETSIZE (1024), which a busy host
@@ -463,16 +644,24 @@ class RemoteShardTransport:
                     chunk = self._sock.recv(_RECV_CHUNK)
                 except (BlockingIOError, InterruptedError):
                     break  # nothing more has arrived
+                except OSError as exc:
+                    raise ShardLinkError(
+                        f"shard host {self.address} link failed mid-read: "
+                        f"{exc}"
+                    ) from exc
                 if not chunk:
                     eof = True
                     break
                 self._buffer.extend(chunk)
         finally:
-            self._sock.setblocking(True)
+            if self._sock is not None:
+                self._sock.setblocking(True)
         replies = []
         while (line := self._pop_line()) is not None:
             if line.strip():
                 replies.append(self._parse(line))
+        if replies:
+            self._last_activity = time.monotonic()
         if eof and not replies:
             # The socket stays readable at EOF, so after any already-
             # parsed replies are consumed the next drain raises here.
@@ -505,9 +694,9 @@ class RemoteShardTransport:
             # An unparsable reply — bad JSON, a missing field, a pickle
             # that will not load (version skew, corruption) — means router
             # and host have lost protocol sync: the link is unusable,
-            # exactly like a dead shard, so the router must see a
-            # transport failure and close, never a stray exception type.
-            raise ShardTransportError(
+            # exactly like a dead one, so the router must see an in-flight
+            # transport failure, never a stray exception type.
+            raise ShardLinkError(
                 f"shard host {self.address} sent an unparsable reply: {exc}"
             ) from exc
 
@@ -515,18 +704,154 @@ class RemoteShardTransport:
     def waitable(self):
         return self._sock
 
-    def stop(self) -> None:
-        """Disconnect from the daemon (which keeps running); idempotent."""
+    # ------------------------------------------------------------------
+    # Health: probe / suspect / reconnect
+    # ------------------------------------------------------------------
+    def idle_seconds(self) -> float:
+        """Seconds since the last request-socket traffic (for heartbeats)."""
+        return time.monotonic() - self._last_activity
+
+    def probe(self, timeout: float | None = None) -> bool:
+        """Is the daemon answering pings *right now*?  Never raises.
+
+        Uses a fresh throwaway connection (see :class:`_HeartbeatMonitor`
+        for why), so it works — and stays safe — whatever state the
+        request socket is in, including mid-batch with replies in flight.
+        """
         try:
+            ping_shard_host(
+                self._host,
+                self._port,
+                timeout=self._probe_timeout if timeout is None else timeout,
+            )
+        except Exception:
+            return False
+        return True
+
+    def is_suspect(self) -> bool:
+        """Has the heartbeat monitor flagged a missed ping?"""
+        return self._suspect.is_set()
+
+    def clear_suspect(self) -> None:
+        self._suspect.clear()
+
+    def reconnect(self) -> None:
+        """Re-dial and re-run the digest handshake; rejoin on success.
+
+        Raises the connect-time taxonomy while the daemon is still gone
+        (the router's backoff schedule paces the attempts).  A restarted
+        daemon serving a *different* graph is refused by the handshake —
+        a stale replica must never silently rejoin the ring.
+        """
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+            self._sock = None
+        self._connect()
+        self._suspect.clear()
+        if self._heartbeat_interval is not None and self._monitor is None:
+            # stop() (a router taking the slot out of service) tears the
+            # monitor down; a successful revival brings it back.
+            self._monitor = _HeartbeatMonitor(
+                self, self._heartbeat_interval, self._probe_timeout
+            )
+
+    def stop(self) -> None:
+        """Disconnect from the daemon (which keeps running); idempotent.
+
+        Bounded: the close path never waits on the peer — a SIGSTOP'd or
+        hung daemon cannot block router/service teardown.  The heartbeat
+        monitor thread is stopped with the same bound.
+        """
+        if self._monitor is not None:
+            self._monitor.stop(STOP_TIMEOUT_SECONDS)
+            self._monitor = None
+        if self._sock is None:
+            return
+        try:
+            # An explicit timeout so nothing on the close path (a lingering
+            # send buffer, an unresponsive peer) can wait on the daemon.
+            self._sock.settimeout(STOP_TIMEOUT_SECONDS)
             self._sock.close()
         except OSError:  # pragma: no cover - already closed
             pass
+        self._sock = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging nicety
         return (
             f"{type(self).__name__}(shard={self.shard_id}, "
             f"address={self.address})"
         )
+
+
+def ping_shard_host(
+    host: str,
+    port: int,
+    *,
+    timeout: float = CONNECT_TIMEOUT_SECONDS,
+    with_stats: bool = False,
+) -> dict:
+    """Handshake-free health probe of a shard-host daemon.
+
+    Connects, sends one ``ping``, and returns ``{"rtt_seconds": ...}``
+    measured around the round trip — no ``hello`` required, so any
+    supervisor can probe any daemon without knowing its graph.  With
+    ``with_stats=True`` the reply also carries the daemon's ``stats``
+    snapshot (``"stats"``: the :class:`ServiceStats` fields, ``"host"``:
+    uptime/sweeps/connections) fetched over the same connection.
+
+    Raises :class:`~repro.core.sharded.ShardConnectError` when the
+    daemon is unreachable, does not answer within ``timeout`` (a
+    SIGSTOP'd daemon: the kernel accepts the connection, nobody ever
+    replies), or answers with something that is not a shard-host pong.
+    """
+    address = f"{host}:{port}"
+    try:
+        with socket.create_connection((host, port), timeout=timeout) as sock:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            sock.settimeout(timeout)
+            reader = sock.makefile("rb")
+            started = time.perf_counter()
+            sock.sendall(encode_line({"op": "ping", "id": 0}))
+            line = reader.readline()
+            rtt = time.perf_counter() - started
+            if not line:
+                raise ShardConnectError(
+                    f"shard host {address} closed the connection on ping"
+                )
+            try:
+                reply = decode_line(line)
+            except ValueError as exc:
+                raise ShardConnectError(
+                    f"shard host {address} answered ping with a "
+                    f"non-protocol reply: {exc}"
+                ) from exc
+            if not (reply.get("ok") and reply.get("pong")):
+                raise ShardConnectError(
+                    f"shard host {address} did not pong: {reply!r}"
+                )
+            result = {"rtt_seconds": rtt}
+            if with_stats:
+                sock.sendall(encode_line({"op": "stats", "id": 1}))
+                stats_line = reader.readline()
+                try:
+                    stats_reply = decode_line(stats_line) if stats_line else {}
+                except ValueError:
+                    stats_reply = {}
+                if stats_reply.get("ok"):
+                    result["stats"] = stats_reply.get("stats")
+                    result["host"] = stats_reply.get("host")
+            return result
+    except socket.timeout:
+        raise ShardConnectError(
+            f"shard host {address} did not answer within {timeout:.0f}s"
+        ) from None
+    except OSError as exc:
+        raise ShardConnectError(
+            f"cannot connect to shard host {address}: {exc}"
+        ) from exc
 
 
 def shutdown_shard_host(
@@ -537,16 +862,20 @@ def shutdown_shard_host(
     The remote-stop path examples, benchmarks, and supervisors use so a
     ``repro shard-host`` daemon exits 0 with nothing orphaned.  Returns
     ``False`` when the daemon is already gone (connection refused), never
-    answers within ``timeout``, or the peer is not actually a shard host
-    (no ``shutting_down`` ack) — a supervisor must not wait on a process
-    that was never told to stop.
+    answers within ``timeout`` (every socket operation below runs under
+    an explicit timeout, so a SIGSTOP'd daemon cannot hang the caller),
+    or the peer is not actually a shard host (no ``shutting_down`` ack) —
+    a supervisor must not wait on a process that was never told to stop.
     """
     try:
         with socket.create_connection((host, port), timeout=timeout) as sock:
-            sock.sendall(encode_line({"op": "shutdown", "id": 0}))
+            # create_connection's timeout covers the dial; pin it on the
+            # established socket too so sendall and the reply read are
+            # bounded against a hung (SIGSTOP'd) daemon.
             sock.settimeout(timeout)
+            sock.sendall(encode_line({"op": "shutdown", "id": 0}))
             line = sock.makefile("rb").readline()
-    except OSError:
+    except OSError:  # includes socket.timeout
         return False
     try:
         reply = decode_line(line)

@@ -28,6 +28,7 @@ from __future__ import annotations
 import asyncio
 import dataclasses
 
+from repro.core.gateway import service_health
 from repro.core.options import SolveOptions
 from repro.serving.protocol import (
     decode_line,
@@ -300,6 +301,9 @@ class GatewayServer:
             service_stats = await self._gateway.aservice_stats()
             if service_stats is not None:
                 payload["service"] = dataclasses.asdict(service_stats)
+            # The degraded-mode verdict (replicated rings report dead
+            # slots and failover counters) — what supervisors poll.
+            payload["health"] = service_health(service_stats)
             return {"ok": True, "stats": payload}, False
         if op == "shutdown":
             # The flag defers the event until *after* this response is on
