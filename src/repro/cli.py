@@ -17,6 +17,8 @@ Examples
     repro serve email --shards 10.0.0.5:8766,10.0.0.6:8766   # remote shards
     repro serve email --shards 4 --replication 2   # replicated, self-healing
     repro ping 10.0.0.5:8766            # health-probe a shard-host daemon
+    repro mutate email --edges delta.txt           # offline delta dry-run
+    repro mutate email --edges delta.txt --port 8765   # mutate a live server
 
 Ad-hoc queries are served through
 :class:`repro.core.service.ConnectorService`: the dataset is indexed once
@@ -145,6 +147,25 @@ def build_parser() -> argparse.ArgumentParser:
                             help="TCP port; 0 asks the OS for a free one "
                                  "(default 8766)")
 
+    mutate = sub.add_parser(
+        "mutate",
+        help="apply an edge delta to a dataset index or a running server",
+    )
+    mutate.add_argument("dataset",
+                        help="stand-in dataset name (see `repro list`)")
+    mutate.add_argument("--edges", metavar="FILE", required=True,
+                        help="delta file, one op per line: `+ u v` insert, "
+                             "`- u v` delete, `= u v w` reweight; a bare "
+                             "`u v` inserts; `#` starts a comment")
+    mutate.add_argument("--host", default="127.0.0.1",
+                        help="server address for --port (default 127.0.0.1)")
+    mutate.add_argument("--port", type=int, default=0,
+                        help="send the delta to a running `repro serve` "
+                             "daemon on this port instead of applying "
+                             "offline (default 0: offline dry-run)")
+    mutate.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit one JSON document instead of text")
+
     ping = sub.add_parser(
         "ping",
         help="health-probe a `repro shard-host` daemon (rtt + counters)",
@@ -204,6 +225,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_serve(args)
     if args.command == "shard-host":
         return _run_shard_host(args)
+    if args.command == "mutate":
+        return _run_mutate(args)
     if args.command == "ping":
         return _run_ping(args)
     EXPERIMENTS[args.command].main()
@@ -536,6 +559,125 @@ def _run_serve(args: argparse.Namespace) -> int:
         return asyncio.run(run())
     except KeyboardInterrupt:  # pragma: no cover - interactive stop
         return 0
+
+
+def _read_delta(path: str):
+    """Parse a delta file into a :class:`~repro.core.versioned.GraphDelta`.
+
+    One op per line: ``+ u v`` inserts, ``- u v`` deletes, ``= u v w``
+    reweights; a bare ``u v`` is an insert.  ``#`` starts a comment.
+    The GraphDelta constructor then enforces the batch rules (no
+    duplicate edge across ops, no self-loops, non-empty).
+    """
+    from repro.core.versioned import GraphDelta
+
+    inserts, deletes, reweights = [], [], []
+    with open(path, encoding="utf-8") as handle:
+        for number, raw in enumerate(handle, start=1):
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            tokens = line.split()
+            op = "+"
+            if tokens[0] in ("+", "-", "="):
+                op, tokens = tokens[0], tokens[1:]
+            try:
+                if op == "=" and len(tokens) == 3:
+                    reweights.append(
+                        (int(tokens[0]), int(tokens[1]), float(tokens[2]))
+                    )
+                elif op in ("+", "-") and len(tokens) == 2:
+                    target = inserts if op == "+" else deletes
+                    target.append((int(tokens[0]), int(tokens[1])))
+                else:
+                    raise ValueError("wrong arity")
+            except ValueError:
+                raise ValueError(
+                    f"line {number}: expected `+ u v`, `- u v` or "
+                    f"`= u v w`, got {raw.strip()!r}"
+                ) from None
+    return GraphDelta(
+        inserts=tuple(inserts),
+        deletes=tuple(deletes),
+        reweights=tuple(reweights),
+    )
+
+
+def _run_mutate(args: argparse.Namespace) -> int:
+    """``repro mutate`` — the operator's edge-delta primitive.
+
+    Offline (no ``--port``): loads the dataset, applies the delta to a
+    fresh index, and reports the new epoch/digest — a dry-run that
+    answers "does this delta apply, and what version does it produce?"
+    before it is shipped anywhere.  With ``--port``, sends the delta to
+    a running ``repro serve`` daemon as the pure-JSON ``mutate`` op, so
+    the live gateway (and its whole shard ring) flips to the new epoch.
+    Exit 0: applied.  Exit 1: refused (inapplicable delta, unreachable
+    server).  Exit 2: usage (unreadable/malformed delta file).
+    """
+    from repro.errors import DeltaError
+
+    try:
+        delta = _read_delta(args.edges)
+    except (OSError, ValueError, DeltaError) as exc:
+        print(f"cannot read delta file {args.edges!r}: {exc}", file=sys.stderr)
+        return 2
+
+    if args.port:
+        import asyncio
+
+        from repro.serving.server import AsyncConnectorClient, ServerError
+
+        async def run() -> int:
+            client = await AsyncConnectorClient.connect(args.host, args.port)
+            try:
+                return await client.mutate(delta)
+            finally:
+                await client.aclose()
+
+        try:
+            epoch = asyncio.run(run())
+        except (ServerError, ConnectionError, OSError) as exc:
+            print(f"mutate against {args.host}:{args.port} failed: {exc}",
+                  file=sys.stderr)
+            return 1
+        if args.as_json:
+            print(json.dumps({
+                "ok": True,
+                "address": f"{args.host}:{args.port}",
+                "epoch": epoch,
+                "ops": delta.num_ops,
+            }))
+        else:
+            print(f"server {args.host}:{args.port} advanced to epoch {epoch} "
+                  f"({delta.num_ops} ops)")
+        return 0
+
+    from repro.core.service import ConnectorService
+    from repro.datasets import load_dataset
+
+    graph = load_dataset(args.dataset)
+    service = ConnectorService(graph)
+    try:
+        epoch = service.apply_delta(delta)
+    except DeltaError as exc:
+        print(f"delta does not apply to {args.dataset!r}: {exc}",
+              file=sys.stderr)
+        return 1
+    digest = service.index_digest()
+    if args.as_json:
+        print(json.dumps({
+            "ok": True,
+            "dataset": args.dataset,
+            "epoch": epoch,
+            "ops": delta.num_ops,
+            "digest": digest,
+            "nodes": service.num_nodes,
+        }))
+    else:
+        print(f"{args.dataset!r} at epoch {epoch} after {delta.num_ops} ops "
+              f"(digest {digest[:12]}, {service.num_nodes} vertices)")
+    return 0
 
 
 def _run_ping(args: argparse.Namespace) -> int:

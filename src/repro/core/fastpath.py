@@ -464,6 +464,75 @@ class CSRWienerSteinerEngine:
         """How many root BFS entries are currently cached."""
         return len(self._root_cache)
 
+    def apply_delta(self, delta, new_csr: CSRGraph) -> tuple[int, int]:
+        """Rebase onto post-delta arrays with scoped root-cache invalidation.
+
+        Adopts ``new_csr`` (dropping every structure derived from the old
+        arrays: flat lists, the scipy matrix), then decides each cached
+        root entry's fate from its *pre-delta* ``dist`` array and the
+        delta — the same provable-invariance rules as
+        :meth:`repro.core.wiener_steiner._DictEngine.apply_delta`, in
+        index space.  Retained entries keep their ``(dist, parent)``
+        arrays (with the gap-1 insert parent fix-up applied) and get
+        their per-arc ``max`` array recomputed against the new arc
+        layout — the exact expression a cold BFS would evaluate, over
+        provably identical distances.  Returns ``(retained, evicted)``.
+        """
+        old_num_nodes = self.csr.num_nodes
+        self.csr = new_csr
+        self._indptr_list = None
+        self._indices_list = None
+        self._matrix = None
+        if new_csr.num_nodes != old_num_nodes:
+            return 0, self._root_cache.clear()
+        index_of = new_csr.index_of
+        ins = [(index_of[u], index_of[v]) for u, v in delta.inserts]
+        dels = [(index_of[u], index_of[v]) for u, v in delta.deletes]
+        arc_src = new_csr.arc_src
+        arc_dst = new_csr.indices
+        retained = evicted = 0
+        for root in self._root_cache.keys():
+            dist, parent, _stale_arc_max = self._root_cache.peek(root)
+            safe = True
+            fixups: list[tuple[int, int]] = []
+            for iu, iv in ins:
+                du = int(dist[iu])
+                dv = int(dist[iv])
+                if du < 0 and dv < 0:
+                    continue
+                if du < 0 or dv < 0:
+                    safe = False
+                    break
+                gap = du - dv
+                if gap == 0:
+                    continue
+                if abs(gap) == 1:
+                    deep, shallow = (iu, iv) if gap > 0 else (iv, iu)
+                    fixups.append((deep, shallow))
+                    continue
+                safe = False
+                break
+            if safe:
+                for iu, iv in dels:
+                    du = int(dist[iu])
+                    dv = int(dist[iv])
+                    if du < 0 and dv < 0:
+                        continue
+                    if du < 0 or dv < 0 or abs(du - dv) == 1:
+                        safe = False
+                        break
+            if not safe:
+                self._root_cache.pop(root)
+                evicted += 1
+                continue
+            for deep, shallow in fixups:
+                if shallow < int(parent[deep]):
+                    parent[deep] = shallow
+            arc_max = np.maximum(dist[arc_src], dist[arc_dst])
+            self._root_cache.replace(root, (dist, parent, arc_max))
+            retained += 1
+        return retained, evicted
+
     def unreachable_queries(self, root: Node, query_set) -> list[Node]:
         dist = self._root_data(root)[0]
         index_of = self.csr.index_of

@@ -565,6 +565,49 @@ class AsyncGateway:
                     self._failures += 1
 
     # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    async def amutate(self, delta) -> int:
+        """Advance the backing service one graph version; returns the epoch.
+
+        Epoch flips are serialized with the solve windows: the apply runs
+        on the gateway's single dispatch-executor thread, so every window
+        dispatched before this call completes first and every window
+        dispatched after it solves on the new graph — no window ever
+        spans two graph versions.  Requests already *admitted* but not
+        yet dispatched are answered at the epoch current when their
+        window runs, which is the dispatch-time contract every layer of
+        the tower keeps.
+
+        The backing service does the real work
+        (:meth:`~repro.core.service.ConnectorService.apply_delta` /
+        :meth:`~repro.core.sharded.ShardedConnectorService.apply_delta`);
+        a service without one (a bare ``solve_many`` duck type) raises
+        ``TypeError``.
+        """
+        apply = getattr(self._service, "apply_delta", None)
+        if not callable(apply):
+            raise TypeError(
+                f"backing service {type(self._service).__name__} has no "
+                "apply_delta; only versioned services can mutate"
+            )
+        if self._closing:
+            raise GatewayClosedError("gateway is draining; retry after aclose()")
+        executor = self._executor
+        if executor is not None:
+            try:
+                submitted = asyncio.get_running_loop().run_in_executor(
+                    executor, apply, delta
+                )
+            except RuntimeError:  # executor shut down by a concurrent aclose
+                pass  # idle now, so the direct call below is safe
+            else:
+                # Awaited outside the except so the service's own errors
+                # (DeltaError, ShardLinkError) propagate untouched.
+                return await submitted
+        return apply(delta)
+
+    # ------------------------------------------------------------------
     # Observability / lifecycle
     # ------------------------------------------------------------------
     async def aservice_stats(self):

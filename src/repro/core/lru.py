@@ -14,6 +14,9 @@ from collections import OrderedDict
 
 __all__ = ["LRUCache"]
 
+#: Sentinel distinguishing "not cached" from a cached ``None`` in :meth:`pop`.
+_MISSING = object()
+
 
 class LRUCache:
     """A tiny LRU map with hit/miss counters; ``maxsize=None`` = unbounded."""
@@ -43,6 +46,41 @@ class LRUCache:
         self._data.move_to_end(key)
         if self._maxsize is not None and len(self._data) > self._maxsize:
             self._data.popitem(last=False)
+
+    def peek(self, key):
+        """Read ``key`` without recency or counter effects (``None`` if absent)."""
+        return self._data.get(key)
+
+    def replace(self, key, value) -> None:
+        """Overwrite an *existing* entry without recency or counter effects.
+
+        Raises ``KeyError`` for absent keys: replacing is cache
+        maintenance (e.g. rebasing a retained entry onto new graph
+        arrays), and silently inserting under maintenance would bypass
+        the recency bookkeeping of :meth:`put`.
+        """
+        if key not in self._data:
+            raise KeyError(key)
+        self._data[key] = value
+
+    def pop(self, key) -> bool:
+        """Drop ``key`` if cached; returns whether it was present.
+
+        A targeted eviction (scoped invalidation after a graph delta), so
+        it touches neither the hit nor the miss counter — those measure
+        lookup traffic, not cache maintenance.
+        """
+        return self._data.pop(key, _MISSING) is not _MISSING
+
+    def keys(self):
+        """A snapshot list of the cached keys, LRU-first."""
+        return list(self._data)
+
+    def clear(self) -> int:
+        """Drop every entry; returns how many were dropped."""
+        dropped = len(self._data)
+        self._data.clear()
+        return dropped
 
     def __len__(self) -> int:
         return len(self._data)

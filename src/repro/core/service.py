@@ -52,7 +52,6 @@ Quickstart
 
 from __future__ import annotations
 
-import hashlib
 import math
 import os
 import time
@@ -60,10 +59,21 @@ from collections.abc import Iterable, Sequence
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 
-from repro.errors import DisconnectedGraphError, GraphError, InvalidQueryError
+from repro.errors import (
+    DeltaError,
+    DisconnectedGraphError,
+    GraphError,
+    InvalidQueryError,
+)
 from repro.core.lru import LRUCache
-from repro.core.options import SolveOptions, stable_repr
+from repro.core.options import SolveOptions
 from repro.core.result import ConnectorResult
+from repro.core.versioned import (
+    GraphDelta,
+    VersionedIndex,
+    csr_has_edge,
+    index_digest_of,
+)
 from repro.core.wiener_steiner import (
     _lambda_grid,
     _make_engine,
@@ -131,6 +141,14 @@ class ServiceStats:
     candidate_cache_size: int = 0
     score_cache_size: int = 0
     uptime_seconds: float = 0.0
+    #: Graph version this replica serves: 0 at construction, +1 per
+    #: applied delta.  The fields below are lifetime totals across every
+    #: :meth:`ConnectorService.apply_delta` — how many cache entries the
+    #: scoped invalidation evicted vs proved safe to keep.  All three
+    #: default for wire compatibility with pre-mutation stats payloads.
+    epoch: int = 0
+    entries_invalidated: int = 0
+    entries_retained: int = 0
 
     def hit_rate(self, layer: str = "result") -> float:
         """Cache hit rate of one layer, ``0.0`` before any lookup.
@@ -205,12 +223,19 @@ class ConnectorService:
         max_cached_scores: int | None = 4096,
         max_cached_results: int | None = 1024,
         landmarks: int | None = None,
+        epoch: int = 0,
     ) -> None:
         if graph is None and csr is None:
             raise GraphError("ConnectorService needs a graph or a CSRGraph")
-        self.graph = graph
+        # Defensive copy: the service *owns* its graph.  Cached answers are
+        # pure functions of the graph content at a given epoch, so a caller
+        # mutating the submitted graph behind the service's back would
+        # silently corrupt every warm entry; the only supported mutation
+        # path is apply_delta, which versions the copy.
+        self.graph = graph.copy() if graph is not None else None
         self.options = options if options is not None else SolveOptions()
         self._csr = csr
+        self._versioned = VersionedIndex(self.graph, csr, epoch=epoch)
         self._engines: dict[str, object] = {}
         self._max_cached_roots = max_cached_roots
         self._candidates = LRUCache(max_cached_candidates)
@@ -219,6 +244,8 @@ class ConnectorService:
         self._landmark_count = landmarks
         self._landmark_index = None
         self._queries_served = 0
+        self._entries_invalidated = 0
+        self._entries_retained = 0
         self._index_digest: str | None = None
         self._created = time.monotonic()
 
@@ -265,39 +292,7 @@ class ConnectorService:
         ``PYTHONHASHSEED``, today's process or a restarted one.
         """
         if self._index_digest is None:
-            if self.graph is not None:
-                node_reprs = sorted(
-                    stable_repr(node) for node in self.graph.nodes()
-                )
-                edge_reprs = sorted(
-                    "|".join(sorted((stable_repr(u), stable_repr(v))))
-                    for u, v in self.graph.edges()
-                )
-            else:
-                # Graph-less (bare-CSR) services digest the same logical
-                # content reconstructed from the arrays.
-                node_of = self._csr.node_of
-                node_reprs = sorted(stable_repr(node) for node in node_of)
-                indptr, indices = self._csr.indptr, self._csr.indices
-                edge_reprs = sorted(
-                    "|".join(
-                        sorted(
-                            (stable_repr(node_of[i]), stable_repr(node_of[j]))
-                        )
-                    )
-                    for i in range(len(node_of))
-                    for j in indices[indptr[i]:indptr[i + 1]]
-                    if i <= j
-                )
-            digest = hashlib.sha1()
-            digest.update(repr(len(node_reprs)).encode("utf-8"))
-            for text in node_reprs:
-                digest.update(b"n")
-                digest.update(text.encode("utf-8"))
-            for text in edge_reprs:
-                digest.update(b"e")
-                digest.update(text.encode("utf-8"))
-            self._index_digest = digest.hexdigest()
+            self._index_digest = index_digest_of(self.graph, self._csr)
         return self._index_digest
 
     def _backend_name(self, options: SolveOptions) -> str:
@@ -317,7 +312,9 @@ class ConnectorService:
                 from repro.core.fastpath import CSRWienerSteinerEngine
 
                 if self._csr is None:
-                    self._csr = CSRGraph.from_graph(self.graph)
+                    # Built through the version index so the epoch counter
+                    # and the arrays can never describe different graphs.
+                    self._csr = self._versioned.csr
                 engine = CSRWienerSteinerEngine(
                     self.graph,
                     csr=self._csr,
@@ -653,6 +650,10 @@ class ConnectorService:
         payload: dict = {
             "options": opts,
             "limits": dict(cache_limits) if cache_limits else {},
+            # The graph version the payload captures: a replica built from
+            # it starts at this epoch, so a respawn after deltas reports
+            # the right version in the mutate/handshake protocol.
+            "epoch": self.epoch,
         }
         if self._backend_name(opts) == "csr":
             self._engine("csr")  # ensures self._csr exists
@@ -737,6 +738,112 @@ class ConnectorService:
         )
 
     # ------------------------------------------------------------------
+    # Mutation: versioned epochs + scoped invalidation
+    # ------------------------------------------------------------------
+    @property
+    def epoch(self) -> int:
+        """The graph version this service serves (0 until the first delta)."""
+        return self._versioned.epoch
+
+    def deltas_since(self, epoch: int):
+        """Catch-up deltas from ``epoch`` to now (``None`` = unrecoverable).
+
+        The negotiation primitive of the reconnect handshake: a replica
+        that was down across some epochs reports its last known epoch and
+        replays this suffix instead of resyncing a full graph payload.
+        """
+        return self._versioned.deltas_since(epoch)
+
+    def align_epoch(self, epoch: int) -> None:
+        """Adopt a peer's epoch numbering for this (digest-verified) graph.
+
+        Shard hosts call this when a router's ``hello`` digest matches
+        but its epoch count does not (the daemon was restarted with the
+        already-mutated dataset and began counting from 0 again).  Pure
+        renumbering — graph and caches untouched.
+        """
+        self._versioned.align(epoch)
+
+    def apply_delta(self, delta: GraphDelta) -> int:
+        """Mutate the graph to the next epoch; returns the new epoch number.
+
+        All-or-nothing: an inapplicable delta raises
+        :class:`~repro.errors.DeltaError` with the graph, the caches, and
+        the epoch untouched.
+
+        On success the caches are **scope-invalidated**, not dropped: a
+        reachability-invariance pass over the delta decides, per cached
+        entry, whether the touched edges can reach the entry's answer.
+
+        * **root-BFS entries** (per engine) survive when every delta edge
+          provably preserves that root's distances and canonical parents
+          — see the engines' ``apply_delta`` for the exact rules;
+        * **score entries** survive unless a delta edge has *both*
+          endpoints inside the scored candidate set (exact and sampled
+          scores are pure functions of the induced subgraph ``G[S]``,
+          which only such an edge can change);
+        * **candidate and result entries** are always evicted: every edge
+          of the host graph participates in the Lemma-4 reweighted
+          instance ``G_{r,λ}``, so any edge change can reach them.
+
+        ``entries_retained`` / ``entries_invalidated`` in :meth:`stats`
+        accumulate the outcome, and the epoch bump invalidates the
+        handshake digest — remote peers must renegotiate before their
+        next sweep is accepted.
+        """
+        if not isinstance(delta, GraphDelta):
+            raise DeltaError(
+                f"apply_delta takes a GraphDelta, got {type(delta).__name__}"
+            )
+        # Reject before analysis: the retention pass below fixes cached
+        # entries up in place, which must not happen for a delta that the
+        # version index would then refuse.
+        if delta.reweights:
+            raise DeltaError(
+                "reweight ops need a weighted graph; the serving host "
+                "graph is unweighted"
+            )
+        if self.graph is not None:
+            delta._check_applicable(self.graph.has_edge)
+        else:
+            delta._check_applicable(
+                lambda u, v: csr_has_edge(self._csr, u, v)
+            )
+        nodes_changed = any(
+            not self._has_node(node) for node in delta.touched_nodes()
+        )
+        touched = delta.touched_edges()
+
+        epoch = self._versioned.apply(delta)
+        self._csr = self._versioned.csr if self._versioned.csr_built else None
+        self._index_digest = None
+        # The landmark index is a whole-graph structure; rebuild lazily.
+        self._landmark_index = None
+
+        retained = invalidated = 0
+        for name, engine in self._engines.items():
+            if name == "csr":
+                kept, gone = engine.apply_delta(delta, self._versioned.csr)
+            else:
+                kept, gone = engine.apply_delta(
+                    delta, nodes_changed=nodes_changed
+                )
+            retained += kept
+            invalidated += gone
+        for key in self._scores.keys():
+            nodes = key[1]
+            if any(u in nodes and v in nodes for u, v in touched):
+                self._scores.pop(key)
+                invalidated += 1
+            else:
+                retained += 1
+        invalidated += self._candidates.clear()
+        invalidated += self._results.clear()
+        self._entries_retained += retained
+        self._entries_invalidated += invalidated
+        return epoch
+
+    # ------------------------------------------------------------------
     # Observability / extras
     # ------------------------------------------------------------------
     def stats(self) -> ServiceStats:
@@ -757,6 +864,9 @@ class ConnectorService:
             candidate_cache_size=len(self._candidates),
             score_cache_size=len(self._scores),
             uptime_seconds=time.monotonic() - self._created,
+            epoch=self._versioned.epoch,
+            entries_invalidated=self._entries_invalidated,
+            entries_retained=self._entries_retained,
         )
 
     @property
@@ -783,7 +893,7 @@ class ConnectorService:
                 # Build the service's shared arrays now rather than letting
                 # the index create a private duplicate; the first CSR solve
                 # adopts the same object.
-                self._csr = CSRGraph.from_graph(self.graph)
+                self._csr = self._versioned.csr
             self._landmark_index = LandmarkIndex(
                 self.graph, num_landmarks=self._landmark_count, csr=self._csr
             )
@@ -858,10 +968,15 @@ def service_from_payload(payload: dict) -> ConnectorService:
     processes of :mod:`repro.core.sharded`.
     """
     limits = payload.get("limits") or {}
+    epoch = payload.get("epoch", 0)
     if payload["kind"] == "csr":
         csr = CSRGraph(payload["indptr"], payload["indices"], payload["node_of"])
-        return ConnectorService(csr=csr, options=payload["options"], **limits)
-    return ConnectorService(payload["graph"], options=payload["options"], **limits)
+        return ConnectorService(
+            csr=csr, options=payload["options"], epoch=epoch, **limits
+        )
+    return ConnectorService(
+        payload["graph"], options=payload["options"], epoch=epoch, **limits
+    )
 
 
 # ----------------------------------------------------------------------

@@ -219,9 +219,28 @@ class ShardTransport(Protocol):
     kind: str
 
     def submit(
-        self, request_id: int, query_tuple: tuple, options: SolveOptions
+        self,
+        request_id: int,
+        query_tuple: tuple,
+        options: SolveOptions,
+        epoch: int | None = None,
     ) -> None:
-        """Send one sweep request; the reply arrives via :meth:`drain`."""
+        """Send one sweep request; the reply arrives via :meth:`drain`.
+
+        ``epoch`` stamps the graph version the router dispatched at; a
+        replica serving a different version refuses the sweep with a
+        :class:`ShardLinkError` value rather than answering from the
+        wrong graph.
+        """
+        ...  # pragma: no cover - protocol definition
+
+    def submit_mutate(self, request_id: int, delta) -> None:
+        """Ship one :class:`~repro.core.versioned.GraphDelta` to the replica.
+
+        The reply value is the replica's new epoch, which must equal the
+        router's after its own local apply — anything else means the
+        replica diverged.
+        """
         ...  # pragma: no cover - protocol definition
 
     def submit_stats(self, request_id: int) -> None:
@@ -380,12 +399,19 @@ class _HashRing:
 def _shard_main(connection, payload: dict) -> None:
     """The shard process body: one service replica, a small message loop.
 
-    Messages are ``("solve", request_id, query_tuple, options)``,
-    ``("stats", request_id)`` and ``("stop",)``.  Every request gets
-    exactly one ``(request_id, status, value)`` reply in receipt order, so
-    the router can account for replies per shard.  Worker faults are
-    caught and shipped back as values — a poisoned query must fail that
-    request, not the shard.
+    Messages are ``("solve", request_id, query_tuple, options, epoch)``,
+    ``("mutate", request_id, delta)``, ``("stats", request_id)`` and
+    ``("stop",)``.  Every request gets exactly one
+    ``(request_id, status, value)`` reply in receipt order, so the router
+    can account for replies per shard.  Worker faults are caught and
+    shipped back as values — a poisoned query must fail that request, not
+    the shard.
+
+    Epoch discipline: a sweep dispatched at one graph version must never
+    be answered from another.  The request carries the router's epoch and
+    is refused (a :class:`ShardLinkError` value — the link is stale, not
+    the query poisoned) when it does not match this replica's; the reply
+    re-stamps the serving epoch so the router can verify on receipt too.
     """
     service = service_from_payload(payload)
     try:
@@ -393,9 +419,25 @@ def _shard_main(connection, payload: dict) -> None:
             message = connection.recv()
             kind = message[0]
             if kind == "solve":
-                _, request_id, query_tuple, options = message
+                _, request_id, query_tuple, options, epoch = message
                 try:
-                    reply = (request_id, "ok", service.sweep(query_tuple, options))
+                    if epoch is not None and epoch != service.epoch:
+                        raise ShardLinkError(
+                            f"sweep dispatched at epoch {epoch} but this "
+                            f"replica serves epoch {service.epoch}"
+                        )
+                    reply = (
+                        request_id,
+                        "ok",
+                        (service.epoch, service.sweep(query_tuple, options)),
+                    )
+                except Exception as exc:
+                    reply = (request_id, "error", exc)
+                connection.send(reply)
+            elif kind == "mutate":
+                _, request_id, delta = message
+                try:
+                    reply = (request_id, "ok", service.apply_delta(delta))
                 except Exception as exc:
                     reply = (request_id, "error", exc)
                 connection.send(reply)
@@ -438,10 +480,27 @@ class _PipeShardTransport:
         self.process.start()
         child_end.close()  # the child owns its end now
 
+    def update_payload(self, payload: dict) -> None:
+        """Rebase future respawns onto a new graph version.
+
+        The self-healing path (:meth:`reconnect`) spawns cold workers
+        from the stored payload; after a delta the router swaps in the
+        current-epoch payload so a revived slot rejoins at the graph
+        version the ring is serving, never a stale one.
+        """
+        self._payload = payload
+
     def submit(
-        self, request_id: int, query_tuple: tuple, options: SolveOptions
+        self,
+        request_id: int,
+        query_tuple: tuple,
+        options: SolveOptions,
+        epoch: int | None = None,
     ) -> None:
-        self.connection.send(("solve", request_id, query_tuple, options))
+        self.connection.send(("solve", request_id, query_tuple, options, epoch))
+
+    def submit_mutate(self, request_id: int, delta) -> None:
+        self.connection.send(("mutate", request_id, delta))
 
     def submit_stats(self, request_id: int) -> None:
         self.connection.send(("stats", request_id))
@@ -571,6 +630,9 @@ class ShardedStats:
     shards_failed: int = 0
     reconnects: int = 0
     dead_shards: tuple[int, ...] = ()
+    #: The graph version the whole ring serves (every live replica is
+    #: held at this epoch; a disagreeing reply is a ShardLinkError).
+    epoch: int = 0
 
     @property
     def degraded(self) -> bool:
@@ -734,13 +796,16 @@ class ShardedConnectorService:
             max_cached_scores=max_cached_scores,
             max_cached_results=max_cached_results,
         )
+        # Kept so apply_delta can rebuild the payload at the new epoch
+        # (revived pipe slots respawn from it and must not be stale).
+        self._cache_limits = {
+            "max_cached_roots": max_cached_roots,
+            "max_cached_candidates": max_cached_candidates,
+            "max_cached_scores": max_cached_scores,
+            "max_cached_results": max_cached_results,
+        }
         self._payload = self._local.worker_payload(
-            cache_limits={
-                "max_cached_roots": max_cached_roots,
-                "max_cached_candidates": max_cached_candidates,
-                "max_cached_scores": max_cached_scores,
-                "max_cached_results": max_cached_results,
-            }
+            cache_limits=self._cache_limits
         )
         self._ctx = mp_context if mp_context is not None else multiprocessing.get_context()
         self._specs: dict[int, object] = {}
@@ -773,11 +838,16 @@ class ShardedConnectorService:
         # reaches back when a remote shard is actually requested.
         from repro.serving.remote import RemoteShardTransport
 
+        # Version state goes in as *providers*, not snapshots: a revival
+        # after a delta must handshake at the epoch the ring serves now,
+        # and offer the daemon the catch-up deltas it missed while down.
         return RemoteShardTransport(
             shard_id,
             host,
             port,
-            digest=self._local.index_digest(),
+            digest=self._local.index_digest,
+            epoch=lambda: self._local.epoch,
+            catchup=self._local.deltas_since,
             heartbeat_interval=self._heartbeat_interval,
             probe_timeout=self._probe_timeout,
         )
@@ -987,8 +1057,10 @@ class ShardedConnectorService:
         ]
         for record in orphans:
             del state.inflight[record.request_id]
-            if record.kind == "stats":
-                # A snapshot of a dead replica is meaningless; drop it.
+            if record.kind != "sweep":
+                # A snapshot of a dead replica is meaningless; a mutate
+                # needs no failover either — the slot picks the delta up
+                # on revival (refreshed pipe payload / catch-up handshake).
                 continue
             self._failovers += 1
             self._dispatch(record, state)
@@ -1022,7 +1094,10 @@ class ShardedConnectorService:
             transport = self._shards[shard_id]
             try:
                 transport.submit(
-                    record.request_id, record.query_tuple, record.options
+                    record.request_id,
+                    record.query_tuple,
+                    record.options,
+                    self._local.epoch,
                 )
             except _TRANSPORT_FAILURES:
                 self._shard_down(shard_id, state, mid_batch=False)
@@ -1203,7 +1278,23 @@ class ShardedConnectorService:
                     record = state.inflight.pop(request_id, None)
                     if record is None:
                         continue  # defensive: a reply for a failed-over id
-                    if status == "ok":
+                    if status == "ok" and record.kind == "sweep":
+                        # Sweep replies arrive epoch-stamped.  The router
+                        # is synchronous, so its epoch cannot have moved
+                        # since dispatch — a mismatch means the replica
+                        # answered from another graph version, and that
+                        # must surface as a typed error, never a silently
+                        # stale connector.
+                        reply_epoch, payload = value
+                        if reply_epoch != self._local.epoch:
+                            state.failures[request_id] = ShardLinkError(
+                                f"shard {shard_id} answered a sweep at "
+                                f"epoch {reply_epoch}; the router is at "
+                                f"epoch {self._local.epoch}"
+                            )
+                        else:
+                            state.outcomes[request_id] = payload
+                    elif status == "ok":
                         state.outcomes[request_id] = value
                     else:
                         state.failures[request_id] = value
@@ -1234,6 +1325,100 @@ class ShardedConnectorService:
                     state.activity[shard_id] = now  # alive, just slow
                 else:
                     self._shard_down(shard_id, state, mid_batch=True)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    @property
+    def epoch(self) -> int:
+        """The graph version the ring serves (the router's local epoch)."""
+        return self._local.epoch
+
+    def index_digest(self) -> str:
+        """The current graph version's digest (changes with every delta)."""
+        return self._local.index_digest()
+
+    def apply_delta(self, delta) -> int:
+        """Advance the whole ring to the next graph version; returns it.
+
+        The two-phase epoch flip.  *Quiesce* is structural: the router is
+        synchronous, so at call time no batch is in flight anywhere —
+        every previously scattered sweep has been gathered, and every
+        future sweep will be dispatched (and epoch-stamped) after the
+        flip.  Phase one applies the delta to the router's local service
+        (which validates it — an inapplicable delta raises
+        :class:`~repro.errors.DeltaError` before any replica is touched)
+        and rebuilds the worker payload so revived pipe slots respawn at
+        the new version.  Phase two scatters the delta to every *live*
+        replica and gathers their new epochs; a replica that answers with
+        a different epoch, or fails to apply a delta the router already
+        applied, has diverged — a :class:`ShardLinkError`, because a
+        version-skewed link is a broken link.
+
+        Down slots are not forgotten: a pipe slot respawns cold from the
+        refreshed payload, and a remote slot's reconnect handshake
+        negotiates catch-up — the daemon reports the epoch it is stuck
+        at, the transport replays ``deltas_since`` that epoch, and only a
+        daemon too far behind (or on a diverged graph) stays refused.
+        """
+        if self._closed:
+            raise RuntimeError("service is closed")
+        # Heal first so every replica that *can* take the delta live does,
+        # instead of burning a cold respawn/catch-up on the next batch.
+        self._heal()
+        epoch = self._local.apply_delta(delta)
+        self._payload = self._local.worker_payload(
+            cache_limits=self._cache_limits
+        )
+        for shard_id in sorted(self._specs):
+            transport = (
+                self._shards.get(shard_id)
+                or self._down[shard_id].transport
+            )
+            if transport.kind == "pipe":
+                transport.update_payload(self._payload)
+        state = _BatchState()
+        ordered: list[tuple[int, int]] = []  # (shard id, request id)
+        for shard_id in sorted(self._shards):
+            record = _InflightRequest(
+                request_id=self._take_request_id(),
+                key=None,
+                query_tuple=None,
+                options=None,
+                replicas=(shard_id,),
+                kind="mutate",
+            )
+            transport = self._shards[shard_id]
+            try:
+                transport.submit_mutate(record.request_id, delta)
+            except _TRANSPORT_FAILURES:
+                self._shard_down(shard_id, state, mid_batch=False)
+                continue
+            record.shard = shard_id
+            record.transport_kind = transport.kind
+            state.inflight[record.request_id] = record
+            state.pending[shard_id] = state.pending.get(shard_id, 0) + 1
+            state.activity[shard_id] = time.monotonic()
+            ordered.append((shard_id, record.request_id))
+        self._gather(state)
+        if state.failures:
+            first = state.failures[min(state.failures)]
+            raise ShardLinkError(
+                f"a replica failed to apply the delta for epoch {epoch} "
+                f"(it has diverged from the router): {first}"
+            ) from first
+        for shard_id, request_id in ordered:
+            replied = state.outcomes.get(request_id)
+            if replied is None:
+                # The slot died mid-mutate (moved to the down set by
+                # _gather); revival brings it back at the current epoch.
+                continue
+            if replied != epoch:
+                raise ShardLinkError(
+                    f"shard {shard_id} applied the delta but reports epoch "
+                    f"{replied}; the router is at epoch {epoch}"
+                )
+        return epoch
 
     # ------------------------------------------------------------------
     # Observability / lifecycle
@@ -1292,6 +1477,7 @@ class ShardedConnectorService:
             shards_failed=self._shards_failed,
             reconnects=self._reconnects,
             dead_shards=self.dead_shards,
+            epoch=self._local.epoch,
         )
 
     def close(self) -> None:

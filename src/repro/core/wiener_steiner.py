@@ -270,6 +270,83 @@ class _DictEngine:
             total += sum(distances.values())
         return (total / num_sources) * n / 2
 
+    def apply_delta(self, delta, *, nodes_changed: bool) -> tuple[int, int]:
+        """Scoped invalidation of the root-BFS cache after a graph delta.
+
+        Called *after* the host graph (which this engine shares by
+        reference) has been mutated; the cached ``(distances, parents)``
+        entries still describe the pre-delta epoch and are the analysis
+        input.  Returns ``(retained, evicted)``.
+
+        A root entry survives only when the delta **provably** preserves
+        its BFS tree:
+
+        * insert ``(u, v)`` with both endpoints unreachable from the root
+          — the edge joins components the root never sees;
+        * insert with equal distances — a same-level edge lies on no
+          shortest path and previous-level neighbor sets are untouched;
+        * insert with distances differing by exactly 1 — distances are
+          preserved (a shortcut needs a gap ≥ 2), and the single possible
+          parent change (the deeper endpoint gaining a lower-order
+          previous-level neighbor) is fixed up in place;
+        * delete with both endpoints unreachable, or with a distance gap
+          ≠ 1 — shortest paths only use gap-1 edges, so no current
+          shortest path (and no canonical parent edge) is lost.
+
+        Everything else — inserts bridging a gap ≥ 2 or reaching into an
+        unreachable component, deletes of gap-1 edges — may move
+        distances or parents, so the entry is evicted.  When the delta
+        changed the node set (``nodes_changed``) every entry is evicted:
+        a cached BFS that never saw a node cannot answer for it, and the
+        canonical order map must be rebuilt.
+        """
+        if nodes_changed:
+            evicted = self._root_cache.clear()
+            self._order = order_map(self.graph)
+            return 0, evicted
+        order = self._order
+        retained = evicted = 0
+        for root in self._root_cache.keys():
+            distances, parents = self._root_cache.peek(root)
+            safe = True
+            fixups: list[tuple[Node, Node]] = []
+            for u, v in delta.inserts:
+                du = distances.get(u)
+                dv = distances.get(v)
+                if du is None and dv is None:
+                    continue
+                if du is None or dv is None:
+                    safe = False
+                    break
+                gap = du - dv
+                if gap == 0:
+                    continue
+                if abs(gap) == 1:
+                    deep, shallow = (u, v) if gap > 0 else (v, u)
+                    fixups.append((deep, shallow))
+                    continue
+                safe = False
+                break
+            if safe:
+                for u, v in delta.deletes:
+                    du = distances.get(u)
+                    dv = distances.get(v)
+                    if du is None and dv is None:
+                        continue
+                    if du is None or dv is None or abs(du - dv) == 1:
+                        safe = False
+                        break
+            if not safe:
+                self._root_cache.pop(root)
+                evicted += 1
+                continue
+            for deep, shallow in fixups:
+                current = parents.get(deep)
+                if current is not None and order[shallow] < order[current]:
+                    parents[deep] = shallow
+            retained += 1
+        return retained, evicted
+
 
 def _validate_query(graph: Graph, query_set: frozenset[Node]) -> None:
     if not query_set:

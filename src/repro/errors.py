@@ -37,6 +37,17 @@ class DisconnectedGraphError(GraphError):
     """An operation requiring a connected graph got a disconnected one."""
 
 
+class DeltaError(GraphError):
+    """A :class:`repro.core.versioned.GraphDelta` is malformed or inapplicable.
+
+    Raised when a delta batch is internally inconsistent (duplicate or
+    conflicting ops on one edge, self-loops, negative weights) or cannot
+    be applied to the target graph (inserting an existing edge, deleting
+    or reweighting a missing one).  Deltas are all-or-nothing: an
+    inapplicable op fails the whole batch before anything mutates.
+    """
+
+
 class InvalidQueryError(ReproError):
     """The query set ``Q`` is empty or contains nodes outside the graph."""
 

@@ -280,6 +280,41 @@ class WeightedGraph:
         self._adj[u][v] = weight
         self._adj[v][u] = weight
 
+    def remove_edge(self, u: Node, v: Node) -> None:
+        """Remove the edge ``{u, v}``.
+
+        Raises
+        ------
+        EdgeNotFoundError
+            If the edge is not present.
+        """
+        if not self.has_edge(u, v):
+            raise EdgeNotFoundError(u, v)
+        del self._adj[u][v]
+        del self._adj[v][u]
+        self._num_edges -= 1
+
+    def set_weight(self, u: Node, v: Node, weight: float) -> None:
+        """Reweight the *existing* edge ``{u, v}``.
+
+        Unlike :meth:`add_edge` this never creates the edge, so a typo'd
+        endpoint in a reweight delta fails loudly instead of silently
+        growing the graph.
+
+        Raises
+        ------
+        EdgeNotFoundError
+            If the edge is not present.
+        GraphError
+            If ``weight`` is negative.
+        """
+        if not self.has_edge(u, v):
+            raise EdgeNotFoundError(u, v)
+        if weight < 0:
+            raise GraphError(f"negative weight {weight!r} on edge ({u!r}, {v!r})")
+        self._adj[u][v] = weight
+        self._adj[v][u] = weight
+
     def has_node(self, node: Node) -> bool:
         """Return whether ``node`` is in the graph."""
         return node in self._adj

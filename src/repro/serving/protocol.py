@@ -16,28 +16,49 @@ for untrusted clients:
   fields keep the server's defaults.
 * ``{"op": "stats", "id": ...?}`` — gateway + backing-service counters.
 * ``{"op": "ping", "id": ...?}`` — liveness probe.
+* ``{"op": "mutate", "delta": {...}, "id": ...?}`` — advance the served
+  graph one epoch.  ``delta`` is the pure-JSON payload of a
+  :class:`~repro.core.versioned.GraphDelta` (``"insert"``/``"delete"``
+  lists of endpoint pairs, ``"reweight"`` triples); the success response
+  carries the new ``"epoch"``.  No pickles — this op is safe on the
+  untrusted surface because ``GraphDelta.from_payload`` validates shape
+  and content and the apply is all-or-nothing.
 * ``{"op": "shutdown", "id": ...?}`` — acknowledge, then gracefully stop
   the whole server (the operation the tests' clean-teardown assertions
   drive).
 
 **The shard transport** (:mod:`repro.serving.remote`), the
 cluster-internal scatter/gather link between a sharded router and its
-shard-host daemons.  Same framing, two extra ops:
+shard-host daemons.  Same framing, extra ops and version stamping:
 
-* ``{"op": "hello", "digest": hex, "id": ...?}`` — the connect-time
-  handshake: the router sends the digest of its graph index
-  (:meth:`~repro.core.service.ConnectorService.index_digest`) and the
-  shard host acknowledges with its own, refusing mismatches — routing a
-  key ring over a *different* graph would silently break the
-  bit-identity contract.
-* ``{"op": "sweep", "request": b64, "id": ...}`` — one λ×root sweep.
-  ``request`` is :func:`encode_pickled` of ``(query_tuple, options)``
-  and the success response carries ``"outcome"``, :func:`encode_pickled`
-  of the shard's :class:`~repro.core.service.SweepOutcome` — exactly the
-  object a pipe-backed shard would ship, so the router rebuilds
-  identical :class:`~repro.core.result.ConnectorResult` objects either
-  way.  Failure responses may carry the pickled original exception under
+* ``{"op": "hello", "digest": hex, "epoch": n, "id": ...?}`` — the
+  connect-time handshake: the router sends the digest of its graph index
+  (:meth:`~repro.core.service.ConnectorService.index_digest`) plus its
+  epoch, and the shard host acknowledges with its own, refusing
+  mismatches — routing a key ring over a *different* graph would
+  silently break the bit-identity contract.  A digest refusal reports
+  the daemon's ``"epoch"`` so the router can bridge the gap with
+  catch-up.
+* ``{"op": "sweep", "request": b64, "epoch": n, "id": ...}`` — one
+  λ×root sweep.  ``request`` is :func:`encode_pickled` of
+  ``(query_tuple, options)`` and the success response carries
+  ``"outcome"``, :func:`encode_pickled` of the shard's
+  :class:`~repro.core.service.SweepOutcome` — exactly the object a
+  pipe-backed shard would ship, so the router rebuilds identical
+  :class:`~repro.core.result.ConnectorResult` objects either way — plus
+  the serving ``"epoch"``.  A version-skewed sweep is refused with
+  ``error_type: "EpochMismatch"`` (the router treats the link as stale
+  and fails over), never answered from the wrong graph.  Failure
+  responses may carry the pickled original exception under
   ``"exception"`` so shard-side faults re-raise with their real type.
+* ``{"op": "mutate", "delta": {...}, "id": ...}`` — same payload as the
+  gateway's mutate: apply one :class:`~repro.core.versioned.GraphDelta`
+  to the replica, acknowledge with the new ``"epoch"`` and ``"digest"``.
+* ``{"op": "catchup", "delta": {...}, "id": ...?}`` — the reconnect
+  healing path: only accepted immediately after this connection's
+  ``hello`` was refused for a digest mismatch, it replays one delta the
+  daemon missed while its link was down; the router sends the retained
+  suffix oldest-first, then re-runs ``hello``.
 
 The pickled payloads make the sweep op a **trusted-cluster** format:
 never expose a shard host to untrusted peers (unpickling attacker bytes

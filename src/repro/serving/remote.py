@@ -39,6 +39,19 @@ The same handshake runs again on every :meth:`~RemoteShardTransport.
 reconnect`, so a daemon that was restarted with a *different* dataset
 while the link was down is refused, never silently rejoined.
 
+Since the versioned-graph layer the handshake also carries the graph
+*epoch* (see :mod:`repro.core.versioned`): ``hello`` stamps the router's
+epoch, every ``sweep`` request/response is epoch-stamped (a version-
+skewed sweep is refused with ``EpochMismatch``, surfaced as a
+:class:`~repro.core.sharded.ShardLinkError` — never a silently stale
+answer), and the ``mutate`` op ships one
+:class:`~repro.core.versioned.GraphDelta` to advance the replica in
+lockstep with the router.  A daemon that missed deltas while its link
+was down is healed at reconnect: its digest refusal reports the epoch it
+is stuck at, and the transport replays the router's retained delta
+suffix (the ``catchup`` op, only accepted right after such a refusal)
+before re-running ``hello``.
+
 Failure semantics: what fails, what degrades, what heals
 --------------------------------------------------------
 
@@ -105,6 +118,7 @@ import time
 from repro.core.options import SolveOptions
 from repro.core.service import ConnectorService, ServiceStats
 from repro.core.sharded import ShardConnectError, ShardLinkError
+from repro.core.versioned import GraphDelta
 from repro.serving.protocol import (
     decode_line,
     decode_pickled,
@@ -326,6 +340,13 @@ class ShardHostServer:
             elif op == "hello":
                 response = self._hello(message)
                 state["handshaken"] = bool(response.get("ok"))
+                # A digest refusal opens the catch-up window: the router
+                # may replay the deltas this daemon missed while down,
+                # then hello again on the same connection.
+                state["catchup"] = (
+                    not state["handshaken"]
+                    and response.get("error_type") == "GraphDigestMismatch"
+                )
             elif op == "sweep":
                 if not state["handshaken"]:
                     # The digest check is enforced here, not just trusted
@@ -337,6 +358,22 @@ class ShardHostServer:
                         '{"op": "hello", "digest": ...} first'
                     )
                 response = self._sweep(message)
+            elif op == "mutate":
+                if not state["handshaken"]:
+                    # Same gate as sweep: only a digest-verified router
+                    # may advance this replica's graph version.
+                    raise PermissionError(
+                        "mutate before a successful hello handshake; send "
+                        '{"op": "hello", "digest": ...} first'
+                    )
+                response = self._apply_delta(message)
+            elif op == "catchup":
+                if not state.get("catchup"):
+                    raise PermissionError(
+                        "catchup is only accepted right after a hello "
+                        "refused for a digest mismatch"
+                    )
+                response = self._apply_delta(message)
             elif op == "stats":
                 with self._lock:
                     snapshot = self._service.stats()
@@ -350,8 +387,8 @@ class ShardHostServer:
                 is_shutdown = True
             else:
                 raise ValueError(
-                    f"unknown op {op!r}; choose from "
-                    "('hello', 'sweep', 'stats', 'ping', 'shutdown')"
+                    f"unknown op {op!r}; choose from ('hello', 'sweep', "
+                    "'mutate', 'catchup', 'stats', 'ping', 'shutdown')"
                 )
         except Exception as exc:  # noqa: BLE001 - reported on the wire
             response = {
@@ -365,6 +402,9 @@ class ShardHostServer:
     def _hello(self, message: dict) -> dict:
         theirs = message.get("digest")
         if theirs != self._digest:
+            # The refusal reports this daemon's version coordinates so a
+            # router that mutated past us can decide whether catch-up
+            # (replaying the missed deltas) can bridge the gap.
             return {
                 "ok": False,
                 "error": (
@@ -374,10 +414,21 @@ class ShardHostServer:
                 ),
                 "error_type": "GraphDigestMismatch",
                 "digest": self._digest,
+                "epoch": self._service.epoch,
             }
+        epoch = message.get("epoch")
+        if isinstance(epoch, int) and epoch != self._service.epoch:
+            # Same graph (digest-verified), different counting base: a
+            # daemon restarted with the already-mutated dataset starts at
+            # 0 again.  Adopt the router's timeline so sweep stamping and
+            # catch-up arithmetic agree.  A shard host serves one
+            # deployment's epoch timeline at a time.
+            with self._lock:
+                self._service.align_epoch(epoch)
         return {
             "ok": True,
             "digest": self._digest,
+            "epoch": self._service.epoch,
             "nodes": self._service.num_nodes,
         }
 
@@ -387,8 +438,23 @@ class ShardHostServer:
             raise ValueError(
                 f"sweep options must be SolveOptions, got {type(options).__name__}"
             )
+        expected = message.get("epoch")
         try:
             with self._lock:
+                # Checked and served under one lock: a concurrent mutate
+                # cannot slip between the version check and the sweep, so
+                # the stamped epoch is exactly the one that answered.
+                epoch = self._service.epoch
+                if expected is not None and expected != epoch:
+                    return {
+                        "ok": False,
+                        "error": (
+                            f"sweep dispatched at epoch {expected} but "
+                            f"this shard host serves epoch {epoch}"
+                        ),
+                        "error_type": "EpochMismatch",
+                        "epoch": epoch,
+                    }
                 outcome = self._service.sweep(query_tuple, options)
                 self.sweeps_served += 1
         except Exception as exc:
@@ -404,7 +470,17 @@ class ShardHostServer:
             except Exception:  # pragma: no cover - unpicklable exception
                 pass
             return response
-        return {"ok": True, "outcome": encode_pickled(outcome)}
+        return {"ok": True, "outcome": encode_pickled(outcome), "epoch": epoch}
+
+    def _apply_delta(self, message: dict) -> dict:
+        """Advance this replica one epoch (the ``mutate``/``catchup`` ops)."""
+        delta = GraphDelta.from_payload(message.get("delta"))
+        with self._lock:
+            epoch = self._service.apply_delta(delta)
+            # The handshake digest tracks the graph version: the next
+            # hello must compare against the mutated graph, not epoch 0's.
+            self._digest = self._service.index_digest()
+        return {"ok": True, "epoch": epoch, "digest": self._digest}
 
     def __repr__(self) -> str:  # pragma: no cover - debugging nicety
         state = "stopped" if self._server is None else f"port={self.port}"
@@ -485,7 +561,9 @@ class RemoteShardTransport:
         host: str,
         port: int,
         *,
-        digest: str,
+        digest,
+        epoch=0,
+        catchup=None,
         connect_timeout: float = CONNECT_TIMEOUT_SECONDS,
         heartbeat_interval: float | None = None,
         probe_timeout: float = 5.0,
@@ -494,7 +572,12 @@ class RemoteShardTransport:
         self.address = f"{host}:{port}"
         self._host = host
         self._port = port
-        self._digest = digest
+        # Version state comes in as providers (plain values are wrapped):
+        # every (re)connect must handshake at the epoch the router serves
+        # *now*, not the one it served when this transport was built.
+        self._digest_of = digest if callable(digest) else (lambda: digest)
+        self._epoch_of = epoch if callable(epoch) else (lambda: epoch)
+        self._catchup = catchup
         self._connect_timeout = connect_timeout
         self._probe_timeout = probe_timeout
         self._heartbeat_interval = heartbeat_interval
@@ -538,10 +621,9 @@ class RemoteShardTransport:
                     socket.IPPROTO_TCP, getattr(socket, option), value
                 )
         try:
-            self._sock.sendall(
-                encode_line({"op": "hello", "digest": self._digest, "id": None})
-            )
-            reply = self._handshake_reply(self._connect_timeout)
+            reply = self._say_hello()
+            if not reply.get("ok"):
+                reply = self._negotiate_catchup(reply)
             if not reply.get("ok"):
                 raise ShardConnectError(
                     f"shard host {self.address} refused the handshake: "
@@ -553,6 +635,51 @@ class RemoteShardTransport:
             self._sock = None
             raise
         self._last_activity = time.monotonic()
+
+    def _say_hello(self) -> dict:
+        self._sock.sendall(
+            encode_line({
+                "op": "hello",
+                "digest": self._digest_of(),
+                "epoch": self._epoch_of(),
+                "id": None,
+            })
+        )
+        return self._handshake_reply(self._connect_timeout)
+
+    def _negotiate_catchup(self, refusal: dict) -> dict:
+        """Try to bridge a digest refusal by replaying missed deltas.
+
+        A daemon that was down across some epochs still serves the old
+        graph; its refusal reports the epoch it is stuck at.  When the
+        router retains the delta suffix from there to now, this replays
+        it over the same connection (the daemon only accepts ``catchup``
+        right after its own refusal) and re-runs ``hello`` — which now
+        compares equal digests.  Anything else — no catch-up source, a
+        daemon *ahead* of the router, a suffix outside the retained
+        history window (``catchup(...)`` returns ``None``), a diverged
+        graph that digest-mismatches even at the right epoch — returns
+        the original refusal for the caller to raise.
+        """
+        if refusal.get("error_type") != "GraphDigestMismatch":
+            return refusal
+        theirs = refusal.get("epoch")
+        ours = self._epoch_of()
+        if self._catchup is None or not isinstance(theirs, int) or theirs >= ours:
+            return refusal
+        deltas = self._catchup(theirs)
+        if deltas is None:
+            return refusal
+        for delta in deltas:
+            self._sock.sendall(
+                encode_line(
+                    {"op": "catchup", "delta": delta.to_payload(), "id": None}
+                )
+            )
+            step = self._handshake_reply(self._connect_timeout)
+            if not step.get("ok"):
+                return step
+        return self._say_hello()
 
     def _pop_line(self) -> bytes | None:
         """Remove and return one complete line from the buffer, if any."""
@@ -596,15 +723,25 @@ class RemoteShardTransport:
     # ShardTransport
     # ------------------------------------------------------------------
     def submit(
-        self, request_id: int, query_tuple: tuple, options: SolveOptions
+        self,
+        request_id: int,
+        query_tuple: tuple,
+        options: SolveOptions,
+        epoch: int | None = None,
     ) -> None:
+        message = {
+            "op": "sweep",
+            "id": request_id,
+            "request": encode_pickled((query_tuple, options)),
+        }
+        if epoch is not None:
+            message["epoch"] = epoch
+        self._send(encode_line(message))
+
+    def submit_mutate(self, request_id: int, delta) -> None:
         self._send(
             encode_line(
-                {
-                    "op": "sweep",
-                    "id": request_id,
-                    "request": encode_pickled((query_tuple, options)),
-                }
+                {"op": "mutate", "id": request_id, "delta": delta.to_payload()}
             )
         )
 
@@ -676,20 +813,40 @@ class RemoteShardTransport:
             request_id = message.get("id")
             if message.get("ok"):
                 if "outcome" in message:
-                    return request_id, "ok", decode_pickled(message["outcome"])
+                    # Sweep replies are epoch-stamped so the router can
+                    # verify the serving version on receipt (same shape a
+                    # pipe shard sends).
+                    return request_id, "ok", (
+                        message.get("epoch", 0),
+                        decode_pickled(message["outcome"]),
+                    )
                 if "stats" in message:
                     return request_id, "ok", ServiceStats(**message["stats"])
+                if "epoch" in message:
+                    # A mutate acknowledgement: the replica's new epoch.
+                    return request_id, "ok", message["epoch"]
                 raise ValueError("success reply carries no payload")
+            error_type = message.get("error_type", "")
+            if error_type == "EpochMismatch":
+                # The daemon refused to answer from a different graph
+                # version — the link is stale, not the query poisoned, so
+                # the router must fail over and reconnect (with catch-up),
+                # never treat it as a request fault.
+                raise ShardLinkError(
+                    f"shard host {self.address} is at a different epoch: "
+                    f"{message.get('error', 'epoch mismatch')}"
+                )
             error = message.get("error", "request failed")
             if "exception" in message:
                 exc = decode_pickled(message["exception"])
                 if isinstance(exc, Exception):
                     return request_id, "error", exc
-            error_type = message.get("error_type", "")
             rebuilt = RuntimeError(
                 f"{error_type}: {error}" if error_type else error
             )
             return request_id, "error", rebuilt
+        except ShardLinkError:
+            raise  # already typed (a stale-epoch reply), not a parse fault
         except Exception as exc:
             # An unparsable reply — bad JSON, a missing field, a pickle
             # that will not load (version skew, corruption) — means router

@@ -30,6 +30,7 @@ import dataclasses
 
 from repro.core.gateway import service_health
 from repro.core.options import SolveOptions
+from repro.core.versioned import GraphDelta
 from repro.serving.protocol import (
     decode_line,
     encode_line,
@@ -305,11 +306,23 @@ class GatewayServer:
             # slots and failover counters) — what supervisors poll.
             payload["health"] = service_health(service_stats)
             return {"ok": True, "stats": payload}, False
+        if op == "mutate":
+            # The mutate op stays pure JSON like everything else on this
+            # untrusted surface: the delta arrives as plain edge lists
+            # (GraphDelta.from_payload validates shape and content), never
+            # as a pickle.  amutate serializes the epoch flip with the
+            # solve windows on the gateway's executor.
+            delta = GraphDelta.from_payload(message.get("delta"))
+            epoch = await self._gateway.amutate(delta)
+            return {"ok": True, "epoch": epoch}, False
         if op == "shutdown":
             # The flag defers the event until *after* this response is on
             # the wire, so the requester always sees its acknowledgement.
             return {"ok": True, "shutting_down": True}, True
-        raise ValueError(f"unknown op {op!r}; choose from ('ping', 'stats', 'shutdown')")
+        raise ValueError(
+            f"unknown op {op!r}; choose from "
+            "('ping', 'stats', 'mutate', 'shutdown')"
+        )
 
 
 class AsyncConnectorClient:
@@ -408,6 +421,19 @@ class AsyncConnectorClient:
     async def ping(self) -> bool:
         response = await self.request({"op": "ping"})
         return bool(response.get("pong"))
+
+    async def mutate(self, delta) -> int:
+        """Apply a graph delta server-side; returns the new epoch.
+
+        ``delta`` may be a :class:`~repro.core.versioned.GraphDelta` or
+        its plain-JSON payload dict (``{"insert": [...], "delete": [...],
+        "reweight": [...]}``).
+        """
+        payload = delta.to_payload() if isinstance(delta, GraphDelta) else dict(delta)
+        response = await self._checked_request(
+            {"op": "mutate", "delta": payload}, "mutate failed"
+        )
+        return int(response["epoch"])
 
     async def shutdown_server(self) -> None:
         """Ask the server to shut down gracefully (acknowledged)."""

@@ -39,14 +39,17 @@ def assert_no_orphan_processes(timeout: float = 5.0) -> None:
 
 
 def spawn_shard_host(
-    dataset: str, timeout: float = 30.0
+    dataset: str, timeout: float = 30.0, port: int = 0
 ) -> tuple[subprocess.Popen, int]:
     """A real ``repro shard-host DATASET`` subprocess; returns (process, port).
 
     The shared spawn-and-parse-the-listening-line helper of the remote
     transport tests.  On success the caller owns the process
     (kill/communicate it in a ``finally``); the port comes from the
-    daemon's parseable ``listening on 127.0.0.1:PORT`` line.  A daemon
+    daemon's parseable ``listening on 127.0.0.1:PORT`` line.  Pass a
+    non-zero ``port`` to respawn a daemon at a known address (the
+    kill-and-heal chaos tests revive a replica where the router expects
+    it).  A daemon
     that exits, stays silent past ``timeout``, or prints an unexpected
     banner is killed here and reported as an AssertionError — a broken
     spawn must fail the test, never hang the suite or leak the child.
@@ -57,7 +60,8 @@ def spawn_shard_host(
     src = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
     env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
     process = subprocess.Popen(
-        [sys.executable, "-m", "repro", "shard-host", dataset, "--port", "0"],
+        [sys.executable, "-m", "repro", "shard-host", dataset,
+         "--port", str(port)],
         stdout=subprocess.PIPE,
         stderr=subprocess.PIPE,
         text=True,
