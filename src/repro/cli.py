@@ -100,6 +100,10 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--backend", default="auto",
                        choices=("auto", "csr", "dict"),
                        help="solver backend (default auto)")
+    query.add_argument("--no-prune", action="store_true",
+                       help="disable certified λ×root sweep pruning "
+                            "(ablation; the connector is bit-identical "
+                            "either way, pruning is only faster)")
     query.add_argument("--shards", default="0", metavar="N|SPECS",
                        help="serve the batch through persistent shards: a "
                             "count N of local shard processes (default 0: "
@@ -399,6 +403,7 @@ def _run_query(args: argparse.Namespace) -> int:
         beta=args.beta,
         selection=args.selection,
         backend=args.backend,
+        prune=not args.no_prune,
     )
     wants_footer = bool(args.batch) and not args.as_json
     try:

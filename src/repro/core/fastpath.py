@@ -550,6 +550,44 @@ class CSRWienerSteinerEngine:
             weights = np.where(arc_max < 0, np.inf, weights)
         index_of = self.csr.index_of
         terminals = sorted({index_of[q] for q in query_set} | {index_of[root]})
+        return self._candidate_from_weights(
+            weights, dist, parent, terminals, query_set, adjust, index_of[root]
+        )
+
+    def candidates_for_root(
+        self, root: Node, lams, query_set, adjust: bool
+    ) -> list[frozenset[Node]]:
+        """Lines 7–11 for one root across a λ batch, one vectorized pass.
+
+        The whole grid's Lemma-4 weight rows are produced by a single
+        broadcast ``λ[:, None] + arc_max[None, :] / λ[:, None]`` — the
+        same elementwise float64 divide-and-add :meth:`candidate`
+        evaluates per λ, so row ``i`` equals the single-λ weight array
+        bit for bit — and the unreachable-arc mask, terminal index set,
+        and root lookup are computed once instead of per λ.
+        """
+        dist, parent, arc_max = self._root_data(root)
+        lam_arr = np.asarray(list(lams), dtype=np.float64)
+        weight_rows = lam_arr[:, None] + arc_max[None, :] / lam_arr[:, None]
+        if bool((arc_max < 0).any()):
+            weight_rows = np.where(
+                arc_max[None, :] < 0, np.inf, weight_rows
+            )
+        index_of = self.csr.index_of
+        terminals = sorted({index_of[q] for q in query_set} | {index_of[root]})
+        root_idx = index_of[root]
+        return [
+            self._candidate_from_weights(
+                weight_rows[i], dist, parent, terminals, query_set, adjust,
+                root_idx,
+            )
+            for i in range(len(lam_arr))
+        ]
+
+    def _candidate_from_weights(
+        self, weights, dist, parent, terminals, query_set, adjust: bool,
+        root_idx: int,
+    ) -> frozenset[Node]:
         if _scipy_dijkstra is None:
             indptr_list, indices_list = self._flat_lists()
         else:
@@ -574,7 +612,7 @@ class CSRWienerSteinerEngine:
             adjusted = adjust_distances(
                 _IndexHost(self.csr.num_nodes),
                 tree,
-                index_of[root],
+                root_idx,
                 bfs_distances_map=_IntArrayMapping(dist),
                 bfs_parents_map=_IntArrayMapping(parent),
             )
@@ -585,6 +623,40 @@ class CSRWienerSteinerEngine:
         nodes = {node_of[i] for i in node_indices}
         nodes |= query_set
         return frozenset(nodes)
+
+    # -- pruning primitives (exact integer data for the certified bounds)
+    def host_distances(self, root: Node, nodes) -> list[int]:
+        """Exact host BFS distances from ``root`` to each of ``nodes``.
+
+        Raises on an unreachable node (distance ``-1``) — the sweep only
+        asks about root-reachable vertices, so silence here would mask a
+        pruning-soundness bug.
+        """
+        dist = self._root_data(root)[0]
+        index_of = self.csr.index_of
+        values = [int(dist[index_of[node]]) for node in nodes]
+        if any(value < 0 for value in values):
+            raise KeyError(f"node unreachable from root {root!r}")
+        return values
+
+    def induced_edge_count(self, nodes) -> int:
+        """``|E(G[nodes])|`` by membership-filtered adjacency slices."""
+        member_idx = np.sort(self.csr.indices_for(nodes))
+        if member_idx.size < 2:
+            return 0
+        indptr = self.csr.indptr
+        indices = self.csr.indices
+        slices = [
+            indices[int(indptr[i]) : int(indptr[i + 1])]
+            for i in member_idx.tolist()
+        ]
+        neighbors = np.concatenate(slices) if slices else indices[:0]
+        if neighbors.size == 0:
+            return 0
+        positions = np.searchsorted(member_idx, neighbors)
+        positions[positions >= member_idx.size] = 0
+        degree_sum = int((member_idx[positions] == neighbors).sum())
+        return degree_sum // 2
 
     # -- line 15: scoring via induced index masks ---------------------
     def score_exact(self, nodes) -> float:

@@ -67,6 +67,7 @@ from repro.errors import (
 )
 from repro.core.lru import LRUCache
 from repro.core.options import SolveOptions
+from repro.core.pruning import candidate_bound, root_bound
 from repro.core.result import ConnectorResult
 from repro.core.versioned import (
     GraphDelta,
@@ -149,6 +150,24 @@ class ServiceStats:
     epoch: int = 0
     entries_invalidated: int = 0
     entries_retained: int = 0
+    #: Certified-pruning counters: of all the (root, λ) pairs the λ×root
+    #: sweeps of this replica's lifetime visited, how many were skipped
+    #: because a provable score lower bound exceeded the incumbent
+    #: (``pairs_pruned``) vs carried through candidate construction and
+    #: scoring (``pairs_scored``).  They partition the visited pairs:
+    #: ``pairs_pruned + pairs_scored`` equals the lifetime pair total.
+    #: ``landmark_rebuilds`` counts LandmarkIndex constructions (lazy
+    #: first builds and the eager post-delta rebuilds alike).  All three
+    #: default for wire compatibility with older stats payloads.
+    pairs_pruned: int = 0
+    pairs_scored: int = 0
+    landmark_rebuilds: int = 0
+
+    @property
+    def prune_rate(self) -> float:
+        """Share of visited sweep pairs skipped by certified pruning."""
+        total = self.pairs_pruned + self.pairs_scored
+        return self.pairs_pruned / total if total else 0.0
 
     def hit_rate(self, layer: str = "result") -> float:
         """Cache hit rate of one layer, ``0.0`` before any lookup.
@@ -243,9 +262,12 @@ class ConnectorService:
         self._results = LRUCache(max_cached_results)
         self._landmark_count = landmarks
         self._landmark_index = None
+        self._landmark_rebuilds = 0
         self._queries_served = 0
         self._entries_invalidated = 0
         self._entries_retained = 0
+        self._pairs_pruned = 0
+        self._pairs_scored = 0
         self._index_digest: str | None = None
         self._created = time.monotonic()
 
@@ -342,11 +364,33 @@ class ConnectorService:
     def _solve_ws(self, query_set: frozenset, options: SolveOptions) -> SweepOutcome:
         """Run one WienerSteiner sweep; returns a label-space outcome.
 
-        This is the exact canonical loop of the historical one-shot
+        This is the canonical λ-major loop of the historical one-shot
         ``wiener_steiner``: same grid, same root order, same per-query
         candidate dedup, same strict-improvement selection.  The caches
         only short-circuit recomputation of pure functions, so warm and
         cold services return identical outcomes.
+
+        Two certified accelerations ride on the canonical order (both are
+        pure functions of ``(graph, query, options)``, so every serving
+        path — one-shot, warm service, shard replica, any epoch — makes
+        the same decisions):
+
+        * **certified pruning** (``options.prune``, default on): a root
+          whose :func:`~repro.core.pruning.root_bound` exceeds the
+          incumbent at its first canonical encounter is skipped for the
+          whole grid, and a constructed candidate whose
+          :func:`~repro.core.pruning.candidate_bound` exceeds the
+          incumbent skips its (expensive) scoring.  The bounds hold under
+          any scoring root and the incumbent only decreases, so a pruned
+          pair could never have produced a strict improvement — the
+          winner is bit-identical with pruning on or off (the
+          ``candidates`` trace may legitimately shrink, since pruned
+          roots' candidate sets are never materialized);
+        * **λ work sharing**: each root's candidates are built for the
+          whole grid in one engine batch at the root's first unpruned
+          encounter (one vectorized reweighting pass on the CSR backend,
+          one shared arc list on the dict backend), honoring the
+          candidate LRU per ``(root, λ)`` entry.
         """
         started = time.perf_counter()
         self._validate(query_set)
@@ -380,19 +424,59 @@ class ConnectorService:
             else _lambda_grid(self.num_nodes, options.beta)
         )
 
+        prune = options.prune and options.method == "ws-q"
+        # Integer bounds from the exact root tables the reachability loop
+        # above just forced — free of extra traversals.
+        bounds = (
+            _sweep_root_bounds(engine, root_list, query_set, options)
+            if prune
+            else {}
+        )
+
         best_key: float = math.inf
         best_nodes: frozenset | None = None
         best_root = None
         best_lambda: float | None = None
         scored: dict[frozenset, float] = {}
+        pruned_roots: set = set()
+        batches: dict = {}
+        pairs_pruned = pairs_scored = 0
 
-        for lam in grid:
+        for lam_i, lam in enumerate(grid):
             for root in root_list:
-                candidate = self._candidate(
-                    engine, backend_name, root, lam, query_set, options.adjust
-                )
+                if prune:
+                    if root in pruned_roots:
+                        pairs_pruned += 1
+                        continue
+                    if lam_i == 0 and bounds[root] > best_key:
+                        # Decided once, at the root's first canonical
+                        # encounter; the bound is λ-independent.
+                        pruned_roots.add(root)
+                        pairs_pruned += 1
+                        continue
+                per_lam = batches.get(root)
+                if per_lam is None:
+                    per_lam = self._candidates_for_root(
+                        engine, backend_name, root, grid, query_set,
+                        options.adjust,
+                    )
+                    batches[root] = per_lam
+                candidate = per_lam[lam_i]
                 if candidate in scored:
+                    pairs_scored += 1
                     continue
+                if prune:
+                    # Checked *before* the score-cache lookup so warm and
+                    # cold sweeps prune (and count) identically.
+                    floor = self._score_bound(engine, candidate, root, options)
+                    if floor > best_key:
+                        # Sentinel entry: later (root, λ) encounters of
+                        # this candidate dedup against it, and the trace
+                        # still counts the candidate as materialized.
+                        scored[candidate] = float(floor)
+                        pairs_pruned += 1
+                        continue
+                pairs_scored += 1
                 key = self._score_candidate(engine, candidate, root, options)
                 scored[candidate] = key
                 if key < best_key:
@@ -401,7 +485,11 @@ class ConnectorService:
                     best_root = root
                     best_lambda = lam
 
-        assert best_nodes is not None  # the grid and root list are non-empty
+        # The first (λ, root) pair is never pruned (no finite bound
+        # exceeds an infinite incumbent), so a winner always exists.
+        assert best_nodes is not None
+        self._pairs_pruned += pairs_pruned
+        self._pairs_scored += pairs_scored
         return SweepOutcome(
             nodes=best_nodes,
             root=best_root,
@@ -412,22 +500,59 @@ class ConnectorService:
             runtime_seconds=time.perf_counter() - started,
         )
 
-    def _candidate(
-        self, engine, backend_name: str, root, lam: float, query_set, adjust: bool
-    ) -> frozenset:
-        """One (root, λ) candidate, cached across queries.
+    def _candidates_for_root(
+        self, engine, backend_name: str, root, grid: list, query_set,
+        adjust: bool,
+    ) -> list:
+        """All of one root's grid candidates, batch-built through the LRU.
 
-        The candidate is a pure function of the key below — the engine's
-        reweighting, Steiner solve, and rebalancing are deterministic —
-        so a cache hit is bit-identical to recomputation.
+        Grid positions already cached are honored entry by entry; only
+        the missing λ values go to the engine's batch constructor (which
+        produces the same frozensets an isolated per-λ call would), so a
+        warm service never rebuilds what it has while a cold one pays a
+        single shared pass per root.
         """
-        cache_key = (backend_name, root, lam, query_set, adjust)
-        cached = self._candidates.get(cache_key)
-        if cached is not None:
-            return cached
-        candidate = engine.candidate(root, lam, query_set, adjust)
-        self._candidates.put(cache_key, candidate)
-        return candidate
+        per_lam: list = [None] * len(grid)
+        missing: list[int] = []
+        for i, lam in enumerate(grid):
+            cached = self._candidates.get(
+                (backend_name, root, lam, query_set, adjust)
+            )
+            if cached is not None:
+                per_lam[i] = cached
+            else:
+                missing.append(i)
+        if missing:
+            built = engine.candidates_for_root(
+                root, [grid[i] for i in missing], query_set, adjust
+            )
+            for i, candidate in zip(missing, built):
+                per_lam[i] = candidate
+                self._candidates.put(
+                    (backend_name, root, grid[i], query_set, adjust), candidate
+                )
+        return per_lam
+
+    def _score_bound(
+        self, engine, nodes: frozenset, root, options: SolveOptions
+    ) -> int:
+        """Certified integer floor on a known candidate's key (see
+        :func:`repro.core.pruning.candidate_bound`)."""
+        node_list = list(nodes)
+        distances = engine.host_distances(root, node_list)
+        selection = options.selection
+        use_exact = selection == "wiener" or (
+            selection in ("auto", "sampled")
+            and len(nodes) <= options.exact_threshold
+        )
+        induced_edges = engine.induced_edge_count(nodes) if use_exact else 0
+        return candidate_bound(
+            selection,
+            options.exact_threshold,
+            len(nodes),
+            distances,
+            induced_edges,
+        )
 
     def _score_candidate(
         self, engine, nodes: frozenset, root, options: SolveOptions
@@ -693,15 +818,27 @@ class ConnectorService:
                 pending_set.add(query_set)
         if pending:
             payload = self.worker_payload(opts)
+            # Batch-level root co-location: queries that share terminals
+            # share per-root BFS tables inside a worker's engine cache, so
+            # order the batch by its canonical root tuple and hand the
+            # pool contiguous chunks — overlapping queries land in one
+            # process and reuse its tables instead of recomputing them
+            # across the pool.  Results are keyed by query set, so the
+            # reorder cannot change what any caller receives.
+            pending.sort(
+                key=lambda q: tuple(repr(r) for r in _root_list(opts, q))
+            )
             jobs = [tuple(sorted(q, key=repr)) for q in pending]
             workers = max_workers or min(len(pending), os.cpu_count() or 1)
+            chunksize = max(1, len(jobs) // (workers * 4))
             pool = ProcessPoolExecutor(
                 max_workers=workers,
                 initializer=_worker_init,
                 initargs=(payload,),
             )
             try:
-                for query_set, solved in zip(pending, pool.map(_worker_solve, jobs)):
+                solutions = pool.map(_worker_solve, jobs, chunksize=chunksize)
+                for query_set, solved in zip(pending, solutions):
                     result = self._to_result(
                         query_set,
                         solved,
@@ -817,8 +954,13 @@ class ConnectorService:
         epoch = self._versioned.apply(delta)
         self._csr = self._versioned.csr if self._versioned.csr_built else None
         self._index_digest = None
-        # The landmark index is a whole-graph structure; rebuild lazily.
+        # The landmark index is a whole-graph structure; when the service
+        # owns one, rebuild it *now* rather than lazily — shard replicas
+        # apply deltas off the query path, so an eager rebuild keeps the
+        # first post-mutate sweep from paying k BFS/Dijkstra passes.
         self._landmark_index = None
+        if self._landmark_count is not None:
+            self._build_landmark_index()
 
         retained = invalidated = 0
         for name, engine in self._engines.items():
@@ -867,6 +1009,9 @@ class ConnectorService:
             epoch=self._versioned.epoch,
             entries_invalidated=self._entries_invalidated,
             entries_retained=self._entries_retained,
+            pairs_pruned=self._pairs_pruned,
+            pairs_scored=self._pairs_scored,
+            landmark_rebuilds=self._landmark_rebuilds,
         )
 
     @property
@@ -881,10 +1026,22 @@ class ConnectorService:
         if self._landmark_count is None:
             return None
         if self._landmark_index is None:
-            from repro.graphs.landmarks import LandmarkIndex
+            self._build_landmark_index()
+        return self._landmark_index
 
-            if self.graph is None:
-                raise GraphError("a landmark index needs the original graph")
+    def _build_landmark_index(self) -> None:
+        """(Re)build the shared landmark index and count the rebuild."""
+        from repro.graphs.landmarks import LandmarkIndex
+
+        if self.graph is None:
+            # Bare-CSR replicas (shard workers) still get landmark tables
+            # — the index runs entirely on the shared int arrays.
+            if self._csr is None:
+                self._csr = self._versioned.csr
+            self._landmark_index = LandmarkIndex(
+                None, num_landmarks=self._landmark_count, csr=self._csr
+            )
+        else:
             if (
                 self._csr is None
                 and HAS_NUMPY
@@ -897,7 +1054,7 @@ class ConnectorService:
             self._landmark_index = LandmarkIndex(
                 self.graph, num_landmarks=self._landmark_count, csr=self._csr
             )
-        return self._landmark_index
+        self._landmark_rebuilds += 1
 
     def estimate_distance(self, u: Node, v: Node) -> float:
         """Landmark upper bound on ``d_G(u, v)`` (requires ``landmarks=``)."""
@@ -955,6 +1112,77 @@ def _root_list(options: SolveOptions, query_set: frozenset) -> list:
     if not roots:
         raise InvalidQueryError("root candidate list must be non-empty")
     return roots
+
+
+def _sweep_root_bounds(
+    engine, root_list: list, query_set: frozenset, options: SolveOptions
+) -> dict:
+    """Per-root certified score floors for one sweep (see :mod:`repro.core.pruning`).
+
+    Built from the exact per-root distance tables the sweep's
+    reachability check has already forced, restricted to the query
+    vertices — O(|roots| · |Q|) dictionary lookups, no new traversals.
+    Every quantity is an integer derived deterministically from
+    ``(graph, query, options)``, so all serving paths (both backends,
+    warm or cold caches, any shard replica) compute identical bounds and
+    hence make identical pruning decisions.
+    """
+    query = sorted(query_set, key=repr)
+    dist_to_q = {
+        r: dict(zip(query, engine.host_distances(r, query)))
+        for r in dict.fromkeys(root_list)
+    }
+    # One (distance_sum, |Q ∪ {r'}|) floor per potential *scoring* root:
+    # candidate dedup means a pruned root's candidate may be scored by any
+    # other root, so proxy bounds must hold under all of them.
+    scorer_floors = [
+        (
+            sum(d for q, d in dist_to_q[r].items() if q != r),
+            len(query_set) + (0 if r in query_set else 1),
+        )
+        for r in root_list
+    ]
+
+    def lower(u, v) -> int:
+        # Certified lower bound on d_G(u, v) for query vertices: exact
+        # when either endpoint has a forced table (always true for the
+        # Lemma-5 default roots = Q), else the best landmark-style
+        # triangle gap through the root tables, floored at 1.
+        if u == v:
+            return 0
+        if u in dist_to_q:
+            return dist_to_q[u][v]
+        if v in dist_to_q:
+            return dist_to_q[v][u]
+        gap = max(abs(t[u] - t[v]) for t in dist_to_q.values())
+        return max(gap, 1)
+
+    q_pair_sum = 0
+    for i, u in enumerate(query):
+        for v in query[i + 1:]:
+            q_pair_sum += lower(u, v)
+
+    bounds: dict = {}
+    for r in root_list:
+        dmap = dist_to_q[r]
+        eccentricity = max(dmap.values())
+        if r in query_set:
+            num_terminals = len(query_set)
+            pair_sum = q_pair_sum
+        else:
+            num_terminals = len(query_set) + 1
+            pair_sum = q_pair_sum + sum(dmap.values())
+        min_size = max(num_terminals, eccentricity + 1)
+        bounds[r] = root_bound(
+            options.selection,
+            options.exact_threshold,
+            min_size,
+            eccentricity,
+            pair_sum,
+            num_terminals,
+            scorer_floors,
+        )
+    return bounds
 
 
 def service_from_payload(payload: dict) -> ConnectorService:

@@ -219,26 +219,79 @@ class _DictEngine:
         self, root: Node, lam: float, query_set, adjust: bool
     ) -> frozenset[Node]:
         """Lines 7–11 of Algorithm 1 for one ``(r, λ)`` pair."""
+        return self.candidates_for_root(root, [lam], query_set, adjust)[0]
+
+    def candidates_for_root(
+        self, root: Node, lams, query_set, adjust: bool
+    ) -> list[frozenset[Node]]:
+        """Lines 7–11 for one root across a λ batch, sharing the root data.
+
+        The λ grid only changes the *reweighting* of ``G_{r,λ}``: the
+        per-arc ``max(d_r(u), d_r(v))`` values, the node iteration order,
+        and the unreachable-endpoint skip rule are identical for every λ.
+        One pass extracts that shared arc list; each λ then rebuilds its
+        weighted instance from it — the same edges in the same insertion
+        order with the same ``λ + max(·)/λ`` expression the single-λ
+        construction always evaluated, so each returned candidate is
+        bit-identical to an isolated :meth:`candidate` call.
+        """
         host_distances, host_parents = self._root_data(root)
-        reweighted = _reweighted_graph(self.graph, host_distances, lam)
+        node_list = list(self.graph.nodes())
+        arcs: list[tuple[Node, Node, int]] = []
+        for u, v in self.graph.edges():
+            du = host_distances.get(u)
+            dv = host_distances.get(v)
+            if du is None or dv is None:
+                continue
+            arcs.append((u, v, du if du >= dv else dv))
         terminals = set(query_set) | {root}
-        # G_{r,λ} weights are λ + max(·)/λ ≥ λ > 0 by construction.
-        tree = mehlhorn_steiner_tree(
-            reweighted, terminals, assume_positive_weights=True
-        )
-        if adjust:
-            adjusted = adjust_distances(
-                self.graph,
-                tree,
-                root,
-                bfs_distances_map=host_distances,
-                bfs_parents_map=host_parents,
+        candidates: list[frozenset[Node]] = []
+        for lam in lams:
+            reweighted = WeightedGraph()
+            for node in node_list:
+                reweighted.add_node(node)
+            for u, v, gap in arcs:
+                reweighted.add_edge(u, v, lam + gap / lam)
+            # G_{r,λ} weights are λ + max(·)/λ ≥ λ > 0 by construction.
+            tree = mehlhorn_steiner_tree(
+                reweighted, terminals, assume_positive_weights=True
             )
-            nodes = set(adjusted.nodes())
-        else:
-            nodes = set(tree.nodes())
-        nodes |= query_set
-        return frozenset(nodes)
+            if adjust:
+                adjusted = adjust_distances(
+                    self.graph,
+                    tree,
+                    root,
+                    bfs_distances_map=host_distances,
+                    bfs_parents_map=host_parents,
+                )
+                nodes = set(adjusted.nodes())
+            else:
+                nodes = set(tree.nodes())
+            nodes |= query_set
+            candidates.append(frozenset(nodes))
+        return candidates
+
+    # -- pruning primitives (exact integer data for the certified bounds)
+    def host_distances(self, root: Node, nodes) -> list[int]:
+        """Exact host BFS distances from ``root`` to each of ``nodes``.
+
+        Raises ``KeyError`` on an unreachable node — the sweep only asks
+        about root-reachable vertices (its reachability check ran first),
+        so silence here would mask a pruning-soundness bug.
+        """
+        distances = self._root_data(root)[0]
+        return [distances[node] for node in nodes]
+
+    def induced_edge_count(self, nodes) -> int:
+        """``|E(G[nodes])|`` by membership-filtered adjacency scans."""
+        members = set(nodes)
+        degree_sum = sum(
+            1
+            for node in members
+            for neighbor in self.graph.neighbors(node)
+            if neighbor in members
+        )
+        return degree_sum // 2
 
     def score_exact(self, nodes) -> float:
         return wiener_index(self.graph.subgraph(nodes))

@@ -5,12 +5,13 @@ import random
 
 import pytest
 
-from helpers import random_connected_graph
+from helpers import random_connected_graph, random_weighted_graph
 from repro.errors import GraphError
 from repro.graphs.csr import HAS_NUMPY
+from repro.graphs.graph import WeightedGraph
 from repro.graphs.landmarks import LandmarkIndex
 from repro.graphs.generators import barabasi_albert, connectify, erdos_renyi, path_graph, star_graph
-from repro.graphs.traversal import bfs_distances
+from repro.graphs.traversal import bfs_distances, dijkstra
 from repro.graphs.wiener import wiener_index
 
 
@@ -179,6 +180,141 @@ class TestDisconnectedContract:
             u, v = rng.sample(nodes, 2)
             assert index.estimate(u, v) == reference.estimate(u, v)
             assert index.lower_bound(u, v) == reference.lower_bound(u, v)
+
+
+class TestWeightedTables:
+    """The weight-aware table regression: Dijkstra tables on weighted
+    graphs, so the triangle bounds bracket the *weighted* metric.  An
+    earlier revision silently ran hop-count BFS on WeightedGraph inputs,
+    putting the "bounds" on the wrong side of the truth."""
+
+    @pytest.mark.parametrize("seed", [11, 22, 33, 44])
+    def test_bounds_bracket_weighted_truth(self, seed):
+        g = random_weighted_graph(40, 120, seed=seed)
+        index = LandmarkIndex(g, num_landmarks=6)
+        nodes = sorted(g.nodes())
+        rng = random.Random(seed)
+        for _ in range(40):
+            u, v = rng.sample(nodes, 2)
+            true = dijkstra(g, u)[0].get(v)
+            if true is None:
+                continue
+            assert index.lower_bound(u, v) <= true + 1e-9
+            assert index.estimate(u, v) >= true - 1e-9
+
+    def test_hop_counts_would_violate_the_bracket(self):
+        """The concrete failure mode the fix removes: on a path with heavy
+        edges, hop counts under-report the metric, so the old hop-count
+        'upper bound' would fall below the true distance."""
+        g = WeightedGraph()
+        for i in range(5):
+            g.add_edge(i, i + 1, weight=3.0)
+        index = LandmarkIndex(g, num_landmarks=2)
+        truth = dijkstra(g, 0)[0][5]
+        assert truth == 15.0
+        assert index.estimate(0, 5) >= truth  # hop count would say 5
+        assert index.lower_bound(0, 5) <= truth
+
+    def test_unit_weight_weighted_graph_matches_bfs(self):
+        """All-ones weights are metrically unweighted: the tables must
+        equal BFS hop counts (and stay integer-typed)."""
+        plain = random_connected_graph(30, 0.15, 77)
+        unit = WeightedGraph()
+        for node in plain.nodes():
+            unit.add_node(node)
+        for u, v in plain.edges():
+            unit.add_edge(u, v, weight=1)
+        index = LandmarkIndex(unit, num_landmarks=4)
+        reference = LandmarkIndex(plain, num_landmarks=4)
+        assert index.landmarks == reference.landmarks
+        for landmark in index.landmarks:
+            hops = bfs_distances(plain, landmark)
+            table = index._tables[landmark]
+            assert table == hops
+            assert all(isinstance(d, int) for d in table.values())
+
+
+class TestVectorizedMany:
+    """estimate_many / lower_bound_many are pinned element-wise to the
+    scalar methods — including same-node pairs and pairs no landmark
+    covers."""
+
+    def _pairs(self, graph, seed, count=60):
+        rng = random.Random(seed)
+        nodes = sorted(graph.nodes(), key=repr)
+        pairs = [tuple(rng.sample(nodes, 2)) for _ in range(count)]
+        pairs.extend((node, node) for node in nodes[:5])
+        return pairs
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_matches_scalar_on_connected(self, seed):
+        g = random_connected_graph(70, 0.07, seed)
+        index = LandmarkIndex(g, num_landmarks=7)
+        pairs = self._pairs(g, seed)
+        assert index.estimate_many(pairs) == [
+            index.estimate(u, v) for u, v in pairs
+        ]
+        assert index.lower_bound_many(pairs) == [
+            index.lower_bound(u, v) for u, v in pairs
+        ]
+
+    def test_matches_scalar_on_disconnected(self):
+        graph, satellites = _disconnected_graph(606)
+        index = LandmarkIndex(graph, num_landmarks=4)
+        main = sorted(n for n in graph.nodes() if n not in set(satellites))
+        pairs = (
+            [(main[0], s) for s in satellites]
+            + [(satellites[0], satellites[1])]
+            + [(main[0], main[-1]), (main[3], main[3])]
+        )
+        assert index.estimate_many(pairs) == [
+            index.estimate(u, v) for u, v in pairs
+        ]
+        assert index.lower_bound_many(pairs) == [
+            index.lower_bound(u, v) for u, v in pairs
+        ]
+
+    def test_weighted_matches_scalar(self):
+        g = random_weighted_graph(35, 100, seed=9)
+        index = LandmarkIndex(g, num_landmarks=5)
+        pairs = self._pairs(g, 9, count=40)
+        assert index.estimate_many(pairs) == [
+            index.estimate(u, v) for u, v in pairs
+        ]
+        assert index.lower_bound_many(pairs) == [
+            index.lower_bound(u, v) for u, v in pairs
+        ]
+
+    def test_empty_pairs(self):
+        index = LandmarkIndex(path_graph(6), num_landmarks=2)
+        assert index.estimate_many([]) == []
+        assert index.lower_bound_many([]) == []
+
+
+class TestReprAndCSROnly:
+    def test_repr_reports_post_clamp_count(self):
+        index = LandmarkIndex(path_graph(3), num_landmarks=10)
+        assert "landmarks=3" in repr(index)  # built 3, not the 10 asked for
+
+    @pytest.mark.skipif(not HAS_NUMPY, reason="CSR construction needs numpy")
+    def test_csr_only_construction_matches_graph_build(self):
+        from repro.graphs.csr import CSRGraph
+
+        g = random_connected_graph(50, 0.1, 88)
+        bare = LandmarkIndex(csr=CSRGraph.from_graph(g), num_landmarks=5)
+        full = LandmarkIndex(g, num_landmarks=5)
+        assert bare.landmarks == full.landmarks
+        rng = random.Random(8)
+        nodes = sorted(g.nodes())
+        for _ in range(30):
+            u, v = rng.sample(nodes, 2)
+            assert bare.estimate(u, v) == full.estimate(u, v)
+            assert bare.lower_bound(u, v) == full.lower_bound(u, v)
+        assert f"|V|={g.num_nodes}" in repr(bare)
+
+    def test_rejects_neither_graph_nor_csr(self):
+        with pytest.raises(GraphError):
+            LandmarkIndex(None, num_landmarks=2)
 
 
 class TestWienerEstimate:

@@ -404,9 +404,23 @@ class TestSolveOptionsKeys:
         "sample_seed": 3,
     }
 
+    #: Fields certified not to change the answer, hence *excluded* from the
+    #: routing digest (pruned and unpruned asks of one query must land on
+    #: the same shard and coalesce in the gateway).
+    DIGEST_NEUTRAL = {"prune": False}
+
     def test_variants_cover_every_field(self):
         field_names = {f.name for f in dataclasses.fields(SolveOptions)}
-        assert set(self.VARIANTS) == field_names
+        assert set(self.VARIANTS) | set(self.DIGEST_NEUTRAL) == field_names
+
+    def test_digest_neutral_fields_share_routing_key(self):
+        base = SolveOptions()
+        for field, value in self.DIGEST_NEUTRAL.items():
+            changed = base.replace(**{field: value})
+            # Still a distinct equality/hash key (separate cache entries) —
+            # only the cross-process routing digest treats them as one.
+            assert changed != base
+            assert changed.stable_digest() == base.stable_digest()
 
     @pytest.mark.parametrize("field", sorted(VARIANTS))
     def test_each_field_participates_in_equality_hash_and_digest(self, field):
