@@ -1,0 +1,320 @@
+"""Million-node scenario benchmark: stream-built graph, replayed trace, SLOs.
+
+The end-to-end scenario the loadgen subsystem exists for, with every
+layer at its scale target:
+
+* **instance** — a Barabási–Albert scale-free graph built through the
+  *edge-stream* path: :func:`barabasi_albert_edges` feeds
+  :meth:`CSRGraph.from_edge_stream` directly, so the 10^6-node host
+  exists only as CSR arrays — no dict ``Graph`` is ever materialized;
+* **tower** — a graph-less :class:`ShardedConnectorService` over the
+  bare arrays, behind an :class:`AsyncGateway` and a
+  :class:`GatewayServer` TCP socket: the production stack, in process;
+* **load** — a deterministic synthesized trace (Zipf-skewed pool,
+  Poisson arrivals with a burst envelope) fired open-loop by
+  :func:`replay_trace` through the real wire protocol;
+* **gates** — an SLO envelope over the replay report (no errors, no
+  unexplained shedding, a latency ceiling), plus the identity contract:
+  replayed answers are spot-checked bit-identical to cold one-shot
+  ``wiener_steiner`` solves on the same CSR arrays.
+
+Usage::
+
+    python benchmarks/bench_scale.py            # 10^6-node run, writes BENCH_scale.json
+    python benchmarks/bench_scale.py --smoke    # small CI gate, no file written
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import pathlib
+import platform
+import random
+import sys
+import time
+
+if __package__ in (None, ""):
+    _HERE = pathlib.Path(__file__).resolve().parent
+    _SRC = _HERE.parent / "src"
+    for path in (_SRC, _HERE):
+        if path.is_dir() and str(path) not in sys.path:
+            sys.path.insert(0, str(path))
+
+from repro.core.gateway import AsyncGateway
+from repro.core.service import ConnectorService
+from repro.core.sharded import ShardedConnectorService
+from repro.graphs.csr import CSRGraph
+from repro.graphs.generators import barabasi_albert_edges
+from repro.loadgen.replay import replay_trace
+from repro.loadgen.slo import SLO
+from repro.loadgen.trace import synthesize
+from repro.serving.protocol import canonical_sort
+from repro.serving.server import GatewayServer
+
+
+def build_csr(nodes: int, attachment: int, seed: int) -> CSRGraph:
+    """Stream a BA edge sequence straight into CSR arrays."""
+    edges = barabasi_albert_edges(nodes, attachment, random.Random(seed))
+    return CSRGraph.from_edge_stream(nodes, edges)
+
+
+def make_pool(nodes: int, pool_size: int, query_size: int, seed: int):
+    """Distinct query sets over the stream-built host.
+
+    BA growth attaches every node into one component, so uniform id
+    samples are always solvable — no dict graph needed to check.
+    """
+    rng = random.Random(seed)
+    pool, seen = [], set()
+    while len(pool) < pool_size:
+        query = tuple(rng.sample(range(nodes), query_size))
+        key = frozenset(query)
+        if key not in seen:
+            seen.add(key)
+            pool.append(query)
+    return pool
+
+
+async def drive_tower(service, trace, *, max_batch: int, max_wait_ms: float):
+    """Serve the tower over TCP, replay the trace, return (report, stats)."""
+    gateway = AsyncGateway(service, max_batch=max_batch, max_wait_ms=max_wait_ms)
+    try:
+        async with GatewayServer(gateway, port=0) as server:
+            report = await replay_trace(
+                trace, server.host, server.port, keep_results=True
+            )
+        stats = gateway.stats()
+    finally:
+        await gateway.aclose()
+    return report, stats
+
+
+def spot_check(csr, trace, report, checks: int) -> tuple[int, bool]:
+    """Replayed answers vs cold one-shot solves on the same arrays.
+
+    Picks the first occurrence of up to ``checks`` distinct queries; each
+    reference solve runs on a *fresh* graph-less service, so nothing warm
+    is shared with the tower that answered the replay.
+    """
+    picked: list[int] = []
+    seen: set[frozenset] = set()
+    for index, record in enumerate(trace.records):
+        key = frozenset(record.query)
+        if key not in seen:
+            seen.add(key)
+            picked.append(index)
+        if len(picked) >= checks:
+            break
+    for index in picked:
+        record = trace.records[index]
+        payload = report.results[index]
+        if payload is None:
+            return len(picked), False
+        reference = ConnectorService(None, csr=csr).solve(
+            frozenset(record.query)
+        )
+        if payload["nodes"] != canonical_sort(reference.nodes):
+            return len(picked), False
+        if payload["wiener_index"] != reference.wiener_index:
+            return len(picked), False
+        metadata = payload["metadata"]
+        for field in ("root", "lambda", "candidates"):
+            if metadata.get(field) != reference.metadata.get(field):
+                return len(picked), False
+    return len(picked), True
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--nodes", type=int, default=1_000_000)
+    parser.add_argument("--attachment", type=int, default=2,
+                        help="BA edges per new node (default 2)")
+    parser.add_argument("--shards", type=int, default=2)
+    parser.add_argument("--requests", type=int, default=150)
+    parser.add_argument("--pool-size", type=int, default=3,
+                        help="distinct query sets, hottest first")
+    parser.add_argument("--query-size", type=int, default=5)
+    parser.add_argument("--mean-gap-ms", type=float, default=50.0)
+    parser.add_argument("--zipf", type=float, default=1.1)
+    parser.add_argument("--burst-amplitude", type=float, default=0.5)
+    parser.add_argument("--burst-period-s", type=float, default=5.0)
+    parser.add_argument("--max-batch", type=int, default=16)
+    parser.add_argument("--max-wait-ms", type=float, default=5.0)
+    parser.add_argument("--spot-checks", type=int, default=2,
+                        help="distinct replayed queries re-solved cold and "
+                             "compared bit for bit")
+    parser.add_argument("--max-p99-s", type=float, default=1800.0,
+                        help="SLO ceiling on client p99 latency (queueing "
+                             "included; a 10^6-node sweep takes minutes)")
+    parser.add_argument("--seed", type=int, default=20150531)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="reduced instance; exit 1 unless the SLO envelope holds and "
+             "replayed answers are bit-identical (CI regression gate)",
+    )
+    parser.add_argument(
+        "--output",
+        default=str(pathlib.Path(__file__).resolve().parent.parent
+                    / "BENCH_scale.json"),
+        help="where to write the JSON record (skipped in --smoke mode)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        # Shrink to CI scale unless the caller pinned sizes explicitly.
+        if args.nodes == parser.get_default("nodes"):
+            args.nodes = 4_000
+        if args.requests == parser.get_default("requests"):
+            args.requests = 40
+        if args.pool_size == parser.get_default("pool_size"):
+            args.pool_size = 4
+        if args.mean_gap_ms == parser.get_default("mean_gap_ms"):
+            args.mean_gap_ms = 5.0
+        if args.burst_period_s == parser.get_default("burst_period_s"):
+            args.burst_period_s = 1.0
+        if args.max_p99_s == parser.get_default("max_p99_s"):
+            args.max_p99_s = 120.0
+
+    started = time.perf_counter()
+    csr = build_csr(args.nodes, args.attachment, args.seed)
+    build_seconds = time.perf_counter() - started
+    print(
+        f"instance: BA(n={args.nodes:,}, m={args.attachment}) streamed into "
+        f"CSR ({csr.num_edges:,} edges) in {build_seconds:.1f}s — "
+        "no dict graph materialized",
+        flush=True,
+    )
+
+    pool = make_pool(args.nodes, args.pool_size, args.query_size, args.seed)
+    trace = synthesize(
+        pool,
+        args.requests,
+        mean_gap_ms=args.mean_gap_ms,
+        zipf=args.zipf,
+        burst_amplitude=args.burst_amplitude,
+        burst_period_s=args.burst_period_s,
+        seed=args.seed,
+        meta={"instance": f"ba-{args.nodes}-{args.attachment}"},
+    )
+    print(
+        f"trace: {len(trace)} requests over {trace.duration:.1f}s "
+        f"({len(pool)} distinct queries of size {args.query_size}, "
+        f"zipf={args.zipf}, burst ±{args.burst_amplitude:.0%})",
+        flush=True,
+    )
+
+    slo = SLO(
+        max_p99_ms=args.max_p99_s * 1000.0,
+        max_shed_rate=0.05,
+        max_error_rate=0.0,
+    )
+
+    tower_started = time.perf_counter()
+    service = ShardedConnectorService(None, csr=csr, n_shards=args.shards)
+    with service:
+        spinup_seconds = time.perf_counter() - tower_started
+        print(
+            f"tower: {args.shards} shards over bare CSR arrays "
+            f"(spin-up {spinup_seconds:.1f}s); replaying...",
+            flush=True,
+        )
+        report, stats = asyncio.run(
+            drive_tower(
+                service, trace,
+                max_batch=args.max_batch, max_wait_ms=args.max_wait_ms,
+            )
+        )
+        summary = report.summary()
+        print(
+            f"replay: {summary['completed']}/{summary['requests']} answered "
+            f"in {summary['duration_s']:.1f}s "
+            f"({summary['throughput_rps']:.1f} req/s, "
+            f"{summary['errors']} errors)",
+            flush=True,
+        )
+        print(
+            f"latency p50/p95/p99: {summary['p50_ms']:.0f}/"
+            f"{summary['p95_ms']:.0f}/{summary['p99_ms']:.0f} ms; "
+            f"shed {summary['shed']} ({report.shed_rate:.1%}), "
+            f"coalesced {summary['coalesced']} ({report.coalesce_rate:.1%}), "
+            f"{stats.windows_dispatched} windows "
+            f"(mean size {stats.mean_window_size:.1f})",
+            flush=True,
+        )
+
+        verdict = slo.evaluate(report)
+        print(verdict.describe(), flush=True)
+
+        checked, all_identical = spot_check(
+            csr, trace, report, args.spot_checks
+        )
+        print(
+            f"spot check: {checked} distinct replayed answers vs cold "
+            f"one-shot solves — identical: {all_identical}",
+            flush=True,
+        )
+
+    if not all_identical:
+        print("FAIL: replayed connectors differ from one-shot solves",
+              file=sys.stderr)
+        return 1
+    if not verdict.ok:
+        for check in verdict.violations:
+            print(f"FAIL: SLO {check.describe()}", file=sys.stderr)
+        return 1
+    if args.smoke:
+        print("smoke OK")
+        return 0
+
+    record = {
+        "benchmark": ("million-node scenario: stream-built BA host, sharded "
+                      "tower, replayed trace, SLO gates"),
+        "instance": {
+            "model": "barabasi_albert (edge stream -> CSR, no dict graph)",
+            "num_nodes": args.nodes,
+            "num_edges": int(csr.num_edges),
+            "attachment": args.attachment,
+            "build_seconds": round(build_seconds, 2),
+            "seed": args.seed,
+        },
+        "tower": {
+            "shards": args.shards,
+            "spinup_seconds": round(spinup_seconds, 2),
+            "max_batch": args.max_batch,
+            "max_wait_ms": args.max_wait_ms,
+            "windows_dispatched": stats.windows_dispatched,
+            "mean_window_size": round(stats.mean_window_size, 2),
+        },
+        "workload": {
+            "requests": len(trace),
+            "distinct_queries": len(pool),
+            "query_size": args.query_size,
+            "mean_gap_ms": args.mean_gap_ms,
+            "zipf": args.zipf,
+            "burst_amplitude": args.burst_amplitude,
+            "burst_period_s": args.burst_period_s,
+        },
+        "replay": summary,
+        "slo": {
+            "envelope": {
+                "max_p99_ms": slo.max_p99_ms,
+                "max_shed_rate": slo.max_shed_rate,
+                "max_error_rate": slo.max_error_rate,
+            },
+            **verdict.to_payload(),
+        },
+        "spot_check": {"checked": checked, "identical": all_identical},
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+    }
+    output = pathlib.Path(args.output)
+    output.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"wrote {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,138 @@
+"""Scenario-harness walkthrough: synth a trace, replay it at a live server.
+
+The loadgen loop end to end, entirely through the CLI surface:
+
+1. ``repro trace synth`` — write a deterministic JSONL trace: a
+   Zipf-skewed pool of solvable queries over a dataset, Poisson
+   arrival offsets with a diurnal-style burst envelope;
+2. ``repro serve`` — launch the JSON-lines TCP daemon as a real
+   subprocess and parse its ``listening on`` line for the bound port;
+3. ``repro replay`` — fire the trace open-loop at the live server at
+   8x recorded speed, gated by an SLO envelope, and read back the
+   latency percentiles plus the gateway's shed/coalesce counters.
+
+Everything is driven through ``python -m repro`` subprocesses — the
+same commands you would run by hand against a production tower.
+
+Run with::
+
+    python examples/scale_harness.py
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import pathlib
+import re
+import subprocess
+import sys
+import tempfile
+
+# Self-bootstrap (same pattern as the benchmarks): make `repro` importable
+# here and in the spawned subprocesses, however this script is invoked.
+_SRC = pathlib.Path(__file__).resolve().parent.parent / "src"
+if _SRC.is_dir() and str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+_ENV = dict(os.environ)
+_ENV["PYTHONPATH"] = str(_SRC) + os.pathsep + _ENV.get("PYTHONPATH", "")
+
+SLO = {
+    "max_p99_ms": 60_000.0,   # generous: first solves warm the caches
+    "max_shed_rate": 0.1,
+    "max_error_rate": 0.0,
+    "min_throughput_rps": 0.1,
+}
+
+
+def repro(*argv: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *argv],
+        capture_output=True, text=True, env=_ENV,
+    )
+
+
+def shutdown(port: int) -> None:
+    from repro.serving.server import AsyncConnectorClient
+
+    async def ask():
+        async with await AsyncConnectorClient.connect(port=port) as client:
+            await client.shutdown_server()
+
+    asyncio.run(ask())
+
+
+def main() -> None:
+    workdir = pathlib.Path(tempfile.mkdtemp(prefix="scale_harness_"))
+    trace_path = workdir / "football.jsonl"
+    slo_path = workdir / "slo.json"
+    slo_path.write_text(json.dumps(SLO, indent=2))
+
+    # 1. Synthesize a deterministic trace over the dataset.
+    print("$ repro trace synth", trace_path.name, "football ...")
+    synth = repro(
+        "trace", "synth", str(trace_path), "football",
+        "--requests", "60", "--pool-size", "6", "--query-size", "4",
+        "--mean-gap-ms", "100", "--zipf", "1.3",
+        "--burst-amplitude", "0.6", "--burst-period-s", "2",
+        "--seed", "7",
+    )
+    print(synth.stdout.rstrip() or synth.stderr.rstrip())
+    synth.check_returncode()
+
+    # 2. Serve the same dataset and grab the announced port.
+    server = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "football", "--port", "0"],
+        stdout=subprocess.PIPE, text=True, env=_ENV,
+    )
+    try:
+        port = None
+        for line in server.stdout:
+            print(f"[server] {line.rstrip()}")
+            match = re.search(r"listening on 127\.0\.0\.1:(\d+)", line)
+            if match:
+                port = int(match.group(1))
+                break
+        if port is None:
+            raise RuntimeError("repro serve never announced its port")
+
+        # 3. Replay the trace at the live server, gated by the SLO.
+        print(f"\n$ repro replay {trace_path.name} "
+              f"--target 127.0.0.1:{port} --slo {slo_path.name} "
+              "--speed 8 --json")
+        replay = repro(
+            "replay", str(trace_path),
+            "--target", f"127.0.0.1:{port}",
+            "--slo", str(slo_path), "--speed", "8", "--json",
+        )
+        if replay.returncode != 0:
+            print(replay.stdout.rstrip())
+            print(replay.stderr.rstrip())
+            raise RuntimeError("replay failed its SLO envelope")
+        document = json.loads(replay.stdout)
+        report = document["report"]
+        print(f"replayed {report['completed']}/{report['requests']} "
+              f"requests at {report['throughput_rps']:.1f} req/s")
+        print(f"latency p50/p95/p99: {report['p50_ms']:.0f}/"
+              f"{report['p95_ms']:.0f}/{report['p99_ms']:.0f} ms")
+        print(f"shed rate {report['shed_rate']:.1%}, "
+              f"coalesce rate {report['coalesce_rate']:.1%}")
+        for check in document["slo"]["checks"]:
+            flag = "ok" if check["ok"] else "VIOLATED"
+            print(f"  SLO {check['name']}: "
+                  f"{check['observed']:.4g} vs {check['bound']:.4g} [{flag}]")
+
+        print("\nasking the daemon to shut down...")
+        shutdown(port)
+        for line in server.stdout:
+            print(f"[server] {line.rstrip()}")
+        server.wait(timeout=30)
+        print(f"server exited with code {server.returncode}")
+    finally:
+        if server.poll() is None:
+            server.kill()
+
+
+if __name__ == "__main__":
+    main()

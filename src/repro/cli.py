@@ -19,6 +19,9 @@ Examples
     repro ping 10.0.0.5:8766            # health-probe a shard-host daemon
     repro mutate email --edges delta.txt           # offline delta dry-run
     repro mutate email --edges delta.txt --port 8765   # mutate a live server
+    repro trace synth t.jsonl email --requests 500     # synthesize a load trace
+    repro trace record t.jsonl --target 127.0.0.1:8765 # record live traffic
+    repro replay t.jsonl --target 127.0.0.1:8765 --slo slo.json  # fire + gate
 
 Ad-hoc queries are served through
 :class:`repro.core.service.ConnectorService`: the dataset is indexed once
@@ -41,6 +44,16 @@ identical in-flight queries) behind the JSON-lines TCP protocol of
 ``repro shard-host`` runs the other side of the shard transport: one
 service replica answering ``sweep`` requests for any router that passes
 the graph-digest handshake (see :mod:`repro.serving.remote`).
+
+``repro trace`` and ``repro replay`` are the scenario harness
+(:mod:`repro.loadgen`): ``trace synth`` writes a deterministic JSONL
+load trace (Zipf-skewed queries, Poisson arrivals with a burst
+envelope), ``trace record`` captures live server traffic through a
+transparent recording proxy, and ``replay`` fires a trace open-loop at a
+running daemon, reporting latency percentiles, throughput, and
+shed/coalesce rates — optionally gated by an ``--slo`` envelope (exit 1
+on violation).  ``repro query --batch`` also accepts a trace file
+directly: the offsets are ignored and the queries run as one batch.
 
 With ``--replication R`` (R ≥ 2) each key range is served by R distinct
 replicas on the ring: a dead shard degrades the deployment instead of
@@ -170,6 +183,74 @@ def build_parser() -> argparse.ArgumentParser:
     mutate.add_argument("--json", action="store_true", dest="as_json",
                         help="emit one JSON document instead of text")
 
+    trace = sub.add_parser(
+        "trace", help="synthesize or record JSONL load traces"
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command")
+
+    synth = trace_sub.add_parser(
+        "synth",
+        help="deterministically synthesize a trace from a dataset's "
+             "component-aware query pool",
+    )
+    synth.add_argument("out", help="trace file to write (JSONL)")
+    synth.add_argument("dataset",
+                       help="stand-in dataset name (see `repro list`)")
+    synth.add_argument("--requests", type=int, default=200,
+                       help="number of request records (default 200)")
+    synth.add_argument("--query-size", type=int, default=5,
+                       help="vertices per query (default 5)")
+    synth.add_argument("--pool-size", type=int, default=16,
+                       help="distinct queries in the popularity pool, "
+                            "hottest first (default 16)")
+    synth.add_argument("--mean-gap-ms", type=float, default=50.0,
+                       help="mean arrival gap in ms (default 50.0)")
+    synth.add_argument("--zipf", type=float, default=1.1,
+                       help="Zipf popularity exponent over the pool; 0 is "
+                            "uniform (default 1.1)")
+    synth.add_argument("--burst-amplitude", type=float, default=0.0,
+                       help="relative amplitude of the sinusoidal rate "
+                            "envelope, in [0, 1) (default 0: constant rate)")
+    synth.add_argument("--burst-period-s", type=float, default=60.0,
+                       help="period of the burst envelope in seconds "
+                            "(default 60)")
+    synth.add_argument("--seed", type=int, default=0,
+                       help="RNG seed; equal knobs give byte-equal traces "
+                            "(default 0)")
+
+    record = trace_sub.add_parser(
+        "record",
+        help="record live solve traffic through a transparent proxy",
+    )
+    record.add_argument("out", help="trace file to write (JSONL)")
+    record.add_argument("--target", required=True, metavar="HOST:PORT",
+                        help="address of the live `repro serve` daemon")
+    record.add_argument("--host", default="127.0.0.1",
+                        help="proxy bind address (default 127.0.0.1)")
+    record.add_argument("--port", type=int, default=0,
+                        help="proxy TCP port; 0 asks the OS for a free one "
+                             "(default 0)")
+    record.add_argument("--duration", type=float, default=0.0,
+                        metavar="SECONDS",
+                        help="stop recording after this long (default 0: "
+                             "record until Ctrl-C)")
+
+    replay = sub.add_parser(
+        "replay",
+        help="fire a trace open-loop at a live server and report/gate",
+    )
+    replay.add_argument("trace", help="trace file to replay (JSONL)")
+    replay.add_argument("--target", required=True, metavar="HOST:PORT",
+                        help="address of the live `repro serve` daemon")
+    replay.add_argument("--speed", type=float, default=1.0,
+                        help="time-scale the arrival schedule; 2.0 fires "
+                             "twice as fast (default 1.0)")
+    replay.add_argument("--slo", metavar="FILE",
+                        help="JSON SLO envelope to gate on; any violated "
+                             "bound exits 1")
+    replay.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit one JSON document instead of text")
+
     ping = sub.add_parser(
         "ping",
         help="health-probe a `repro shard-host` daemon (rtt + counters)",
@@ -231,6 +312,10 @@ def main(argv: list[str] | None = None) -> int:
         return _run_shard_host(args)
     if args.command == "mutate":
         return _run_mutate(args)
+    if args.command == "trace":
+        return _run_trace(args)
+    if args.command == "replay":
+        return _run_replay(args)
     if args.command == "ping":
         return _run_ping(args)
     EXPERIMENTS[args.command].main()
@@ -328,10 +413,23 @@ def _canonical_sort(values):
 
 
 def _read_batch(path: str) -> list[list[int]]:
-    """Parse a batch file: JSON list-of-lists or one query per line."""
+    """Parse a batch file: JSON list-of-lists, one query per line, or a
+    JSONL load trace (arrival offsets ignored; the queries run as one
+    batch)."""
     with open(path, encoding="utf-8") as handle:
         text = handle.read()
     stripped = text.lstrip()
+    first_line = stripped.splitlines()[0] if stripped else ""
+    if first_line.startswith("{"):
+        try:
+            head = json.loads(first_line)
+        except json.JSONDecodeError:
+            head = None
+        if isinstance(head, dict) and head.get("kind") == "header":
+            from repro.loadgen.trace import Trace
+
+            trace = Trace.loads(text)
+            return [[int(v) for v in record.query] for record in trace.records]
     if stripped.startswith(("[", "{")):
         payload = json.loads(text)
         if isinstance(payload, dict):
@@ -682,6 +780,231 @@ def _run_mutate(args: argparse.Namespace) -> int:
     else:
         print(f"{args.dataset!r} at epoch {epoch} after {delta.num_ops} ops "
               f"(digest {digest[:12]}, {service.num_nodes} vertices)")
+    return 0
+
+
+def _parse_address(value: str) -> tuple[str, int]:
+    """Parse ``HOST:PORT``; raises ``ValueError`` fit for stderr."""
+    host, sep, port_text = value.rpartition(":")
+    if not sep or not host:
+        raise ValueError(f"expected HOST:PORT, got {value!r}")
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ValueError(
+            f"port must be an integer, got {port_text!r}"
+        ) from None
+    if not 0 < port <= 65535:
+        raise ValueError(f"port must be in 1..65535, got {port}")
+    return host, port
+
+
+def _run_trace(args: argparse.Namespace) -> int:
+    if args.trace_command == "synth":
+        return _run_trace_synth(args)
+    if args.trace_command == "record":
+        return _run_trace_record(args)
+    print("usage: repro trace {synth,record} ...", file=sys.stderr)
+    return 2
+
+
+def _run_trace_synth(args: argparse.Namespace) -> int:
+    """``repro trace synth`` — a deterministic load trace from knobs.
+
+    The query pool is drawn component-aware
+    (:func:`repro.workloads.component_query`), hottest-first, so every
+    replayed query is solvable even on datasets with stragglers.  Equal
+    knobs (including ``--seed``) give byte-equal trace files.
+    """
+    import random
+
+    from repro.datasets import load_dataset
+    from repro.errors import InvalidQueryError
+    from repro.loadgen.trace import synthesize
+    from repro.workloads import component_query
+
+    if args.pool_size < 1:
+        print(f"--pool-size must be at least 1, got {args.pool_size}",
+              file=sys.stderr)
+        return 2
+    graph = load_dataset(args.dataset)
+    rng = random.Random(args.seed)
+    pool: list[tuple[int, ...]] = []
+    seen: set[frozenset] = set()
+    # Distinct queries only: a duplicate pool entry would silently skew
+    # the popularity curve.  Small components cap how many distinct
+    # queries exist, so give up after a bounded number of redraws.
+    attempts = 0
+    try:
+        while len(pool) < args.pool_size and attempts < 20 * args.pool_size:
+            attempts += 1
+            query = tuple(component_query(graph, args.query_size, rng))
+            key = frozenset(query)
+            if key not in seen:
+                seen.add(key)
+                pool.append(query)
+    except InvalidQueryError as exc:
+        print(f"cannot build a query pool on {args.dataset!r}: {exc}",
+              file=sys.stderr)
+        return 2
+    try:
+        trace = synthesize(
+            pool,
+            args.requests,
+            mean_gap_ms=args.mean_gap_ms,
+            zipf=args.zipf,
+            burst_amplitude=args.burst_amplitude,
+            burst_period_s=args.burst_period_s,
+            seed=args.seed,
+            meta={"dataset": args.dataset, "query_size": args.query_size},
+        )
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    try:
+        trace.save(args.out)
+    except OSError as exc:
+        print(f"cannot write {args.out!r}: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"wrote {len(trace)} requests over {trace.duration:.2f}s "
+        f"({len(pool)} distinct queries) to {args.out}"
+    )
+    return 0
+
+
+def _run_trace_record(args: argparse.Namespace) -> int:
+    """``repro trace record`` — capture live traffic as a trace.
+
+    Starts a transparent proxy in front of ``--target``; point clients at
+    the proxy's address (printed as the usual parseable ``listening on``
+    line) and their solve requests are recorded with arrival offsets
+    while being served normally.
+    """
+    import asyncio
+
+    from repro.loadgen.trace import RecordingProxy
+
+    try:
+        target_host, target_port = _parse_address(args.target)
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    if not 0 <= args.port <= 65535:
+        print(f"--port must be in 0..65535, got {args.port}", file=sys.stderr)
+        return 2
+    if args.duration < 0:
+        print(f"--duration must be non-negative, got {args.duration}",
+              file=sys.stderr)
+        return 2
+
+    async def run() -> int:
+        proxy = RecordingProxy(target_host, target_port, args.host, args.port)
+        try:
+            await proxy.start()
+        except OSError as exc:
+            print(f"cannot bind {args.host}:{args.port}: {exc}",
+                  file=sys.stderr)
+            return 2
+        bound_port = proxy.port
+        try:
+            print(f"recording traffic for {target_host}:{target_port}",
+                  flush=True)
+            # Same parseable shape as `repro serve`: clients (and tests)
+            # read the proxy's bound port from this line.
+            print(f"listening on {proxy.host}:{bound_port}", flush=True)
+            if args.duration:
+                await asyncio.sleep(args.duration)
+            else:  # pragma: no cover - interactive record until Ctrl-C
+                await asyncio.Event().wait()
+        finally:
+            await proxy.aclose()
+        trace = proxy.to_trace(meta={"bind": f"{args.host}:{bound_port}"})
+        trace.save(args.out)
+        print(f"wrote {len(trace)} requests over {trace.duration:.2f}s "
+              f"to {args.out}", flush=True)
+        return 0
+
+    try:
+        return asyncio.run(run())
+    except KeyboardInterrupt:  # pragma: no cover - interactive stop
+        return 0
+
+
+def _run_replay(args: argparse.Namespace) -> int:
+    """``repro replay`` — fire a trace at a live daemon, report, gate.
+
+    Exit 0: replay finished (and the SLO, if given, held).  Exit 1: the
+    server was unreachable or an ``--slo`` bound was violated.  Exit 2:
+    usage (unreadable trace/SLO file, bad address).
+    """
+    import asyncio
+
+    from repro.errors import TraceError
+    from repro.loadgen.replay import replay_trace
+    from repro.loadgen.slo import SLO
+    from repro.loadgen.trace import Trace
+
+    try:
+        target_host, target_port = _parse_address(args.target)
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    if args.speed <= 0:
+        print(f"--speed must be positive, got {args.speed}", file=sys.stderr)
+        return 2
+    try:
+        trace = Trace.load(args.trace)
+    except (OSError, TraceError) as exc:
+        print(f"cannot read trace {args.trace!r}: {exc}", file=sys.stderr)
+        return 2
+    slo = None
+    if args.slo:
+        try:
+            slo = SLO.from_file(args.slo)
+        except (OSError, ValueError) as exc:
+            print(f"cannot read SLO file {args.slo!r}: {exc}", file=sys.stderr)
+            return 2
+
+    try:
+        report = asyncio.run(
+            replay_trace(trace, target_host, target_port, speed=args.speed)
+        )
+    except (ConnectionError, OSError) as exc:
+        print(f"cannot replay against {target_host}:{target_port}: {exc}",
+              file=sys.stderr)
+        return 1
+
+    verdict = slo.evaluate(report) if slo is not None else None
+    if args.as_json:
+        document = {
+            "trace": args.trace,
+            "target": f"{target_host}:{target_port}",
+            "speed": args.speed,
+            "report": report.summary(),
+        }
+        if verdict is not None:
+            document["slo"] = verdict.to_payload()
+        print(json.dumps(document, indent=2))
+    else:
+        summary = report.summary()
+        print(
+            f"replayed {summary['requests']} requests in "
+            f"{summary['duration_s']:.2f}s "
+            f"({summary['throughput_rps']:.1f} req/s, "
+            f"{summary['errors']} errors)"
+        )
+        print(
+            f"latency p50/p95/p99: {summary['p50_ms']:.1f}/"
+            f"{summary['p95_ms']:.1f}/{summary['p99_ms']:.1f} ms; "
+            f"shed {summary['shed']} ({summary['shed_rate']:.1%}), "
+            f"coalesced {summary['coalesced']} "
+            f"({summary['coalesce_rate']:.1%})"
+        )
+        if verdict is not None:
+            print(verdict.describe())
+    if verdict is not None and not verdict.ok:
+        return 1
     return 0
 
 

@@ -29,7 +29,9 @@ gateway is the layer in between:
   sweep no matter how it interleaves with the windows;
 * **observability** — :meth:`stats` snapshots a :class:`GatewayStats`:
   queue depth, in-flight requests, coalesced/shed counters, windows
-  dispatched and their sizes;
+  dispatched and their sizes, and a bounded reservoir of per-request
+  latencies (admission to result) behind
+  :meth:`GatewayStats.percentile` for p50/p95/p99 SLO checks;
 * **graceful shutdown** — :meth:`aclose` stops admission, drains every
   queued request through normal windows, waits for in-flight windows,
   and resolves every outstanding future.  After ``aclose()`` the gateway
@@ -128,7 +130,9 @@ class GatewayStats:
     ``window_sizes`` holds only the most *recent* windows (bounded, so a
     long-lived daemon's snapshot stays small); ``window_size_sum`` and
     ``windows_dispatched`` carry the exact lifetime totals behind
-    :attr:`mean_window_size`.
+    :attr:`mean_window_size`.  ``latency_samples`` is a bounded reservoir
+    of the most recent per-request latencies in seconds (admission to
+    result), feeding :meth:`percentile` for p50/p95/p99 SLO checks.
     """
 
     queued: int
@@ -141,6 +145,7 @@ class GatewayStats:
     window_size_sum: int
     results_served: int
     failures: int
+    latency_samples: tuple[float, ...] = ()
 
     @property
     def mean_window_size(self) -> float:
@@ -149,17 +154,31 @@ class GatewayStats:
             return 0.0
         return self.window_size_sum / self.windows_dispatched
 
+    def percentile(self, p: float) -> float:
+        """The ``p``-th latency percentile in seconds (``0 <= p <= 1``).
+
+        Nearest-rank over the recent-sample reservoir; 0.0 when no
+        request has been served yet.
+        """
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"percentile fraction must be in [0, 1], got {p}")
+        if not self.latency_samples:
+            return 0.0
+        ordered = sorted(self.latency_samples)
+        return ordered[min(len(ordered) - 1, int(p * len(ordered)))]
+
 
 class _Request:
     """One admitted request: its key, payload, and the shared future."""
 
-    __slots__ = ("key", "query_set", "options", "future")
+    __slots__ = ("key", "query_set", "options", "future", "admitted_at")
 
-    def __init__(self, key, query_set, options, future) -> None:
+    def __init__(self, key, query_set, options, future, admitted_at) -> None:
         self.key = key
         self.query_set = query_set
         self.options = options
         self.future = future
+        self.admitted_at = admitted_at
 
 
 #: Queue sentinel telling the batcher to finish the current drain and exit.
@@ -246,6 +265,10 @@ class AsyncGateway:
         self._window_size_sum = 0
         self._served = 0
         self._failures = 0
+        # Recent per-request latencies (admission → result, seconds):
+        # the reservoir behind GatewayStats.percentile(), bounded for the
+        # same slow-leak reason as the window sizes.
+        self._latencies: deque[float] = deque(maxlen=512)
 
     @property
     def service(self):
@@ -334,9 +357,10 @@ class AsyncGateway:
         if existing is not None:
             self._coalesced += 1
             return None, existing
-        future = asyncio.get_running_loop().create_future()
+        loop = asyncio.get_running_loop()
+        future = loop.create_future()
         self._inflight[key] = future
-        return _Request(key, query_set, opts, future), future
+        return _Request(key, query_set, opts, future, loop.time()), future
 
     async def asolve(
         self, query: Iterable[Node], options: SolveOptions | None = None
@@ -556,6 +580,7 @@ class AsyncGateway:
                 if ok:
                     request.future.set_result(value[position])
                     self._served += 1
+                    self._latencies.append(loop.time() - request.admitted_at)
                 else:
                     request.future.set_exception(value)
                     # Consumed here in case every awaiter already timed
@@ -653,6 +678,7 @@ class AsyncGateway:
             window_size_sum=self._window_size_sum,
             results_served=self._served,
             failures=self._failures,
+            latency_samples=tuple(self._latencies),
         )
 
     async def aclose(self) -> None:

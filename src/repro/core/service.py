@@ -610,12 +610,12 @@ class ConnectorService:
         bit-identical for free) — treat ``result.metadata`` as read-only,
         since mutating it would alter every later response for the query.
         """
-        if self.graph is None:
-            raise GraphError(
-                "this service was built from bare CSR arrays; only sweeps "
-                "are available, not ConnectorResult construction"
-            )
         opts = self._merge(options)
+        if self.graph is None and opts.method != "ws-q":
+            raise GraphError(
+                f"method {opts.method!r} needs the original graph; a "
+                "service built from bare CSR arrays serves ws-q only"
+            )
         query_set = frozenset(query)
         result_key = (query_set, opts)
         cached = self._results.get(result_key)
@@ -867,12 +867,28 @@ class ConnectorService:
         if extra:
             metadata.update(extra)
         return ConnectorResult(
-            host=self.graph,
+            host=self.graph if self.graph is not None
+            else self._induced_host(solved.nodes),
             nodes=solved.nodes,
             query=query_set,
             method="ws-q",
             metadata=metadata,
         )
+
+    def _induced_host(self, nodes: frozenset) -> Graph:
+        """A dict host for results of a graph-less (bare-CSR) service.
+
+        ``ConnectorResult`` uses its host only through
+        ``host.subgraph(result.nodes)`` (Wiener index and density of the
+        connector), and the induced subgraph of an already-induced host is
+        itself — so materializing just ``G[S]`` from the CSR arrays gives
+        bit-identical derived metrics without ever building the full dict
+        graph.  Connectors are small (tens of vertices), so this stays
+        cheap even on a 10^6-node instance.
+        """
+        self._engine("csr")  # ensures self._csr exists
+        csr = self._csr
+        return csr.induced(csr.indices_for(nodes)).to_graph()
 
     # ------------------------------------------------------------------
     # Mutation: versioned epochs + scoped invalidation

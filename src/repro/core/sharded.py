@@ -695,7 +695,13 @@ class ShardedConnectorService:
         The host graph; the router keeps it for validation and result
         construction while shards receive only the payload arrays (or,
         for remote shards, nothing — the daemon loaded its own copy,
-        checked against ours by digest at connect time).
+        checked against ours by digest at connect time).  May be ``None``
+        when ``csr`` is given: the router then runs graph-less on the
+        bare arrays (the stream-constructed million-node path), serving
+        ``ws-q`` with results whose hosts are induced from the CSR.
+    csr:
+        A :class:`~repro.graphs.csr.CSRGraph` backing a graph-less
+        router; ignored when ``graph`` is given.
     options:
         Default :class:`SolveOptions`, overridable per call (the pair is
         the routing key, so the same query under different options may
@@ -764,9 +770,10 @@ class ShardedConnectorService:
 
     def __init__(
         self,
-        graph: Graph,
+        graph: Graph | None = None,
         options: SolveOptions | None = None,
         *,
+        csr=None,
         n_shards: int | None = None,
         shards: Sequence[str] | None = None,
         replication: int = 1,
@@ -818,6 +825,7 @@ class ShardedConnectorService:
         self._local = ConnectorService(
             graph,
             options,
+            csr=csr,
             max_cached_roots=max_cached_roots,
             max_cached_candidates=max_cached_candidates,
             max_cached_scores=max_cached_scores,

@@ -148,6 +148,14 @@ def wiener_steiner(
     # A throwaway service sweeps once and dies: an unbounded root cache is
     # right here (every root is revisited per λ pass), while the service
     # default LRU bound would thrash on sweeps with many hundreds of roots.
+    # A stream-constructed CSRGraph is accepted directly — the CSR-only
+    # service path, so 10^6+-node instances never need the dict form.
+    from repro.graphs.csr import CSRGraph
+
+    if isinstance(graph, CSRGraph):
+        return ConnectorService(
+            None, options, csr=graph, max_cached_roots=None
+        ).solve(query)
     return ConnectorService(graph, options, max_cached_roots=None).solve(query)
 
 

@@ -77,3 +77,7 @@ class ParseError(ReproError):
             message = f"line {line_number}: {message}"
         super().__init__(message)
         self.line_number = line_number
+
+
+class TraceError(ReproError):
+    """A load trace (JSONL) is malformed: bad header, record, or version."""

@@ -131,6 +131,93 @@ class CSRGraph:
         return cls(indptr, indices, node_of, index_of)
 
     @classmethod
+    def from_edge_stream(
+        cls,
+        num_nodes: int,
+        edges: Iterable[tuple[int, int]],
+        *,
+        chunk_size: int = 1 << 20,
+    ) -> "CSRGraph":
+        """Pack an edge *stream* straight into CSR arrays, no dict graph.
+
+        The scale-construction path of the load harness: a generator's
+        edge stream (``0 <= u, v < num_nodes`` integer endpoints) is
+        accumulated in bounded numpy chunks and packed directly, so a
+        10^6+-node instance costs two int64 arrays instead of a
+        dict-of-sets :class:`Graph` an order of magnitude larger.
+
+        Semantics match building a ``Graph(nodes=range(num_nodes))`` from
+        the same stream and calling :meth:`from_graph` on it, bit for
+        bit: self-loops are rejected (the graph is simple), duplicate
+        edges collapse silently, every row comes out sorted ascending
+        (the canonical adjacency order), and isolated vertices keep their
+        empty rows.  ``tests/test_scale_generators.py`` asserts the array
+        identity on every generator family.
+        """
+        _require_numpy()
+        if num_nodes < 0:
+            raise GraphError(f"num_nodes must be non-negative, got {num_nodes}")
+        if chunk_size < 1:
+            raise GraphError(f"chunk_size must be positive, got {chunk_size}")
+        src_chunks: list = []
+        dst_chunks: list = []
+        buffer_u: list[int] = []
+        buffer_v: list[int] = []
+
+        def flush() -> None:
+            if buffer_u:
+                src_chunks.append(np.asarray(buffer_u, dtype=np.int64))
+                dst_chunks.append(np.asarray(buffer_v, dtype=np.int64))
+                buffer_u.clear()
+                buffer_v.clear()
+
+        for u, v in edges:
+            buffer_u.append(u)
+            buffer_v.append(v)
+            if len(buffer_u) >= chunk_size:
+                flush()
+        flush()
+        if src_chunks:
+            src = np.concatenate(src_chunks)
+            dst = np.concatenate(dst_chunks)
+        else:
+            src = np.empty(0, dtype=np.int64)
+            dst = np.empty(0, dtype=np.int64)
+        if src.size:
+            if bool((src == dst).any()):
+                position = int(np.flatnonzero(src == dst)[0])
+                raise GraphError(
+                    f"self-loop ({int(src[position])}, {int(dst[position])}) "
+                    "in the edge stream; the graph is simple"
+                )
+            lo = min(int(src.min()), int(dst.min()))
+            hi = max(int(src.max()), int(dst.max()))
+            if lo < 0 or hi >= num_nodes:
+                raise GraphError(
+                    f"edge endpoint outside 0..{num_nodes - 1}: "
+                    f"stream spans [{lo}, {hi}]"
+                )
+        # Both arc directions, sorted by (tail, head) and deduplicated —
+        # exactly the rows from_graph emits for the equivalent dict graph.
+        tails = np.concatenate([src, dst])
+        heads = np.concatenate([dst, src])
+        order = np.lexsort((heads, tails))
+        tails = tails[order]
+        heads = heads[order]
+        if tails.size:
+            keep = np.empty(len(tails), dtype=bool)
+            keep[0] = True
+            np.logical_or(
+                tails[1:] != tails[:-1], heads[1:] != heads[:-1], out=keep[1:]
+            )
+            tails = tails[keep]
+            heads = heads[keep]
+        counts = np.bincount(tails, minlength=num_nodes)
+        indptr = np.zeros(num_nodes + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        return cls(indptr, heads)
+
+    @classmethod
     def from_weighted_graph(cls, graph: WeightedGraph):
         """Pack a :class:`WeightedGraph`; returns ``(csr, weights)``.
 
@@ -372,6 +459,23 @@ class CSRGraph:
         np.cumsum(counts, out=indptr[1:])
         node_of = self.labels_for(idx)
         return CSRGraph(indptr, sub_heads, node_of)
+
+    def to_graph(self) -> Graph:
+        """Materialize the equivalent dict :class:`Graph` (labels preserved).
+
+        Nodes are added in index (= canonical) order, so
+        ``CSRGraph.from_graph(csr.to_graph())`` round-trips to the same
+        arrays.  Intended for *small* CSRs — result hosts, induced
+        subgraphs — not for a million-node instance (whose whole point is
+        never materializing the dict form).
+        """
+        graph = Graph(nodes=self.node_of)
+        node_of = self.node_of
+        positions, tails, heads = self.half_arcs
+        del positions
+        for tail, head in zip(tails.tolist(), heads.tolist()):
+            graph.add_edge(node_of[tail], node_of[head])
+        return graph
 
     def __repr__(self) -> str:  # pragma: no cover - debugging nicety
         return f"CSRGraph(|V|={self.num_nodes}, |E|={self.num_edges})"

@@ -5,10 +5,26 @@ Two families live here:
 * classic deterministic topologies (paths, cycles, stars, grids, hypercubes,
   complete graphs) used by tests and by the SteinLib-like benchmark
   generators, plus the paper's Figure-2 gadget; and
-* random models (Erdős–Rényi, Barabási–Albert, planted partition, random
+* random models (Erdős–Rényi, Barabási–Albert, Watts–Strogatz,
+  stochastic Kronecker, configuration model, planted partition, random
   geometric) used to synthesize the experiment graphs (§6.6 uses ER and
   power-law explicitly; the planted-partition model stands in for the
   ground-truth-community datasets).
+
+Edge streams
+------------
+
+Every scale-relevant random family has an ``*_edges`` companion returning
+a deterministic edge *stream* (an iterator of ``(u, v)`` int pairs).  The
+dict builders consume the stream through ``Graph.add_edge``, and the load
+harness feeds the same stream to
+:meth:`~repro.graphs.csr.CSRGraph.from_edge_stream` — so a 10^6+-node
+instance packs straight into CSR arrays without ever materializing a dict
+:class:`Graph`, and both construction paths produce the *identical* graph
+for a given seed.  Streams draw from a caller-supplied
+``random.Random`` only (never the salted built-in ``hash``), so a seed
+pins the graph on every platform and ``PYTHONHASHSEED``
+(``tests/test_scale_generators.py`` regresses this in subprocesses).
 """
 
 from __future__ import annotations
@@ -184,30 +200,289 @@ def erdos_renyi_with_degree(n: int, average_degree: float,
     return erdos_renyi(n, p, rng=rng)
 
 
-def barabasi_albert(n: int, attachment: int, rng: random.Random | None = None) -> Graph:
-    """Return a Barabási–Albert preferential-attachment (power-law) graph.
+def barabasi_albert_edges(
+    n: int, attachment: int, rng: random.Random | None = None
+):
+    """The Barabási–Albert edge stream behind :func:`barabasi_albert`.
 
-    Each new node attaches to ``attachment`` existing nodes chosen
-    proportionally to degree.  This is the "PL" model of §6.6.
+    Yields every edge exactly once, duplicate-free, in the order the dict
+    builder inserts them, so both construction paths agree bit for bit.
+    The graph is connected by construction (every node attaches into the
+    existing component).
     """
     if attachment < 1 or attachment >= n:
         raise GraphError(f"need 1 <= attachment < n; got attachment={attachment}, n={n}")
     rng = rng or random.Random()
-    graph = Graph(nodes=range(n))
+    return _barabasi_albert_stream(n, attachment, rng)
+
+
+def _barabasi_albert_stream(n: int, attachment: int, rng: random.Random):
     # Seed with a star on the first attachment+1 nodes so every early node
-    # has positive degree.
+    # has positive degree.  ``targets`` holds only ints: int hashing is
+    # unsalted, so the set's iteration order is PYTHONHASHSEED-independent.
     repeated: list[int] = []
     for node in range(1, attachment + 1):
-        graph.add_edge(0, node)
+        yield 0, node
         repeated.extend((0, node))
     for node in range(attachment + 1, n):
         targets: set[int] = set()
         while len(targets) < attachment:
             targets.add(rng.choice(repeated))
         for target in targets:
-            graph.add_edge(node, target)
+            yield node, target
             repeated.extend((node, target))
+
+
+def barabasi_albert(n: int, attachment: int, rng: random.Random | None = None) -> Graph:
+    """Return a Barabási–Albert preferential-attachment (power-law) graph.
+
+    Each new node attaches to ``attachment`` existing nodes chosen
+    proportionally to degree.  This is the "PL" model of §6.6.
+    """
+    graph = Graph(nodes=range(n))
+    for u, v in barabasi_albert_edges(n, attachment, rng):
+        graph.add_edge(u, v)
     return graph
+
+
+def watts_strogatz_edges(
+    n: int, k: int, p: float, rng: random.Random | None = None
+):
+    """The Watts–Strogatz edge stream behind :func:`watts_strogatz`."""
+    if k < 2 or k % 2:
+        raise GraphError(f"k must be a positive even integer, got {k}")
+    if k >= n:
+        raise GraphError(f"need k < n; got k={k}, n={n}")
+    if not 0.0 <= p <= 1.0:
+        raise GraphError(f"rewiring probability {p} outside [0, 1]")
+    rng = rng or random.Random()
+    return _watts_strogatz_stream(n, k, p, rng)
+
+
+def _watts_strogatz_stream(n: int, k: int, p: float, rng: random.Random):
+    # Ring lattice (each node to its k/2 clockwise neighbors), each lattice
+    # edge rewired to a uniform non-neighbor with probability p.  Adjacency
+    # is tracked as one int key per edge — far lighter than dict-of-sets —
+    # and a node already adjacent to everyone keeps its lattice edge.
+    present: set[int] = set()
+    degree = [0] * n
+
+    def key(u: int, v: int) -> int:
+        return u * n + v if u < v else v * n + u
+
+    for offset in range(1, k // 2 + 1):
+        for u in range(n):
+            v = (u + offset) % n
+            if p > 0 and rng.random() < p and degree[u] < n - 1:
+                w = rng.randrange(n)
+                while w == u or key(u, w) in present:
+                    w = rng.randrange(n)
+                v = w
+            if v == u or key(u, v) in present:
+                continue
+            present.add(key(u, v))
+            degree[u] += 1
+            degree[v] += 1
+            yield u, v
+
+
+def watts_strogatz(
+    n: int, k: int, p: float, rng: random.Random | None = None
+) -> Graph:
+    """Return a Watts–Strogatz small-world graph.
+
+    A ring lattice where every node joins its ``k`` nearest ring
+    neighbors (``k`` even), each lattice edge rewired to a random
+    non-neighbor with probability ``p`` — high clustering with short
+    paths, the small-world regime between lattice (``p=0``) and
+    near-random (``p=1``).
+    """
+    graph = Graph(nodes=range(n))
+    for u, v in watts_strogatz_edges(n, k, p, rng):
+        graph.add_edge(u, v)
+    return graph
+
+
+#: Graph500's reference R-MAT initiator — skewed enough for power-law-ish
+#: degrees without degenerating at bench scales.
+KRONECKER_INITIATOR = (0.57, 0.19, 0.19, 0.05)
+
+
+def stochastic_kronecker_edges(
+    scale: int,
+    edge_factor: int,
+    initiator: Sequence[float] = KRONECKER_INITIATOR,
+    rng: random.Random | None = None,
+):
+    """The stochastic-Kronecker (R-MAT) stream behind :func:`stochastic_kronecker`."""
+    if scale < 1:
+        raise GraphError(f"scale must be at least 1, got {scale}")
+    if edge_factor < 1:
+        raise GraphError(f"edge_factor must be at least 1, got {edge_factor}")
+    probs = [float(value) for value in initiator]
+    if len(probs) != 4 or any(value < 0 for value in probs) or sum(probs) <= 0:
+        raise GraphError(
+            f"initiator must be 4 non-negative weights with positive sum, "
+            f"got {initiator!r}"
+        )
+    total = sum(probs)
+    probs = [value / total for value in probs]
+    rng = rng or random.Random()
+    return _kronecker_stream(scale, edge_factor, probs, rng)
+
+
+def _kronecker_stream(
+    scale: int, edge_factor: int, probs: list[float], rng: random.Random
+):
+    # Each sample descends the 2x2 initiator `scale` times, halving the
+    # adjacency matrix into quadrants — the standard R-MAT recursion.
+    # Self-loops and duplicates are re-drawn (bounded attempts, so a
+    # saturated quadrant cannot loop forever).
+    n = 1 << scale
+    target = edge_factor * n
+    threshold_a = probs[0]
+    threshold_b = probs[0] + probs[1]
+    threshold_c = probs[0] + probs[1] + probs[2]
+    present: set[int] = set()
+    attempts = 0
+    max_attempts = 20 * target
+    while len(present) < target and attempts < max_attempts:
+        attempts += 1
+        u = v = 0
+        for _ in range(scale):
+            draw = rng.random()
+            if draw < threshold_a:
+                row = col = 0
+            elif draw < threshold_b:
+                row, col = 0, 1
+            elif draw < threshold_c:
+                row, col = 1, 0
+            else:
+                row = col = 1
+            u = (u << 1) | row
+            v = (v << 1) | col
+        if u == v:
+            continue
+        edge_key = u * n + v if u < v else v * n + u
+        if edge_key in present:
+            continue
+        present.add(edge_key)
+        yield u, v
+
+
+def stochastic_kronecker(
+    scale: int,
+    edge_factor: int,
+    initiator: Sequence[float] = KRONECKER_INITIATOR,
+    rng: random.Random | None = None,
+) -> Graph:
+    """Return a stochastic-Kronecker (R-MAT) graph on ``2**scale`` nodes.
+
+    Samples ``edge_factor * 2**scale`` distinct edges by recursively
+    descending the 2x2 ``initiator`` probability matrix (default: the
+    Graph500 reference initiator) — heavy-tailed degrees and community
+    structure from four numbers.  Hub-heavy quadrants may leave isolated
+    vertices; :func:`connectify` stitches them when a single component is
+    required.
+    """
+    graph = Graph(nodes=range(1 << scale))
+    for u, v in stochastic_kronecker_edges(scale, edge_factor, initiator, rng):
+        graph.add_edge(u, v)
+    return graph
+
+
+def configuration_model_edges(
+    degrees: Sequence[int], rng: random.Random | None = None
+):
+    """The configuration-model stream behind :func:`configuration_model`."""
+    sequence = [int(degree) for degree in degrees]
+    if any(degree < 0 for degree in sequence):
+        raise GraphError("degrees must be non-negative")
+    if sum(sequence) % 2:
+        raise GraphError(
+            f"degree sum must be even, got {sum(sequence)}"
+        )
+    rng = rng or random.Random()
+    return _configuration_stream(sequence, rng)
+
+
+def _configuration_stream(degrees: list[int], rng: random.Random):
+    # The classic stub-matching construction: each node contributes
+    # ``degree`` stubs, a uniform shuffle pairs them, and the simple-graph
+    # projection drops self-loops and repeated pairs (so realized degrees
+    # may fall slightly short of the prescription — standard behavior).
+    n = len(degrees)
+    stubs: list[int] = []
+    for node, degree in enumerate(degrees):
+        stubs.extend([node] * degree)
+    rng.shuffle(stubs)
+    present: set[int] = set()
+    for position in range(0, len(stubs) - 1, 2):
+        u = stubs[position]
+        v = stubs[position + 1]
+        if u == v:
+            continue
+        edge_key = u * n + v if u < v else v * n + u
+        if edge_key in present:
+            continue
+        present.add(edge_key)
+        yield u, v
+
+
+def configuration_model(
+    degrees: Sequence[int], rng: random.Random | None = None
+) -> Graph:
+    """Return a configuration-model graph with the prescribed degrees.
+
+    Node ``i`` gets (up to) ``degrees[i]`` neighbors via uniform stub
+    matching; the simple-graph projection silently drops self-loops and
+    multi-edges.  Feed it a power-law sequence to get a scale-free graph
+    with *exact* degree control — the knob the BA growth process lacks.
+    """
+    graph = Graph(nodes=range(len(degrees)))
+    for u, v in configuration_model_edges(degrees, rng):
+        graph.add_edge(u, v)
+    return graph
+
+
+def powerlaw_degrees(
+    n: int,
+    exponent: float = 2.5,
+    min_degree: int = 1,
+    max_degree: int | None = None,
+    rng: random.Random | None = None,
+) -> list[int]:
+    """A power-law degree sequence for :func:`configuration_model`.
+
+    Degrees are drawn from ``P(d) ∝ d^-exponent`` over
+    ``[min_degree, max_degree]`` (default cap ``√n``, the standard
+    structural cutoff) by inverse-transform sampling; the last draw is
+    bumped by one when needed to make the sum even.
+    """
+    if n < 1:
+        raise GraphError(f"n must be at least 1, got {n}")
+    if exponent <= 1.0:
+        raise GraphError(f"exponent must exceed 1, got {exponent}")
+    if min_degree < 1:
+        raise GraphError(f"min_degree must be at least 1, got {min_degree}")
+    cap = max_degree if max_degree is not None else max(min_degree, int(math.isqrt(n)))
+    if cap < min_degree:
+        raise GraphError(
+            f"max_degree {cap} below min_degree {min_degree}"
+        )
+    rng = rng or random.Random()
+    # Inverse transform on the continuous Pareto tail, truncated and
+    # floored to ints — close enough to discrete power law for workloads.
+    alpha = 1.0 - exponent
+    lo = min_degree ** alpha
+    hi = (cap + 1) ** alpha
+    degrees = []
+    for _ in range(n):
+        draw = lo + (hi - lo) * rng.random()
+        degrees.append(min(cap, int(draw ** (1.0 / alpha))))
+    if sum(degrees) % 2:
+        degrees[-1] += 1
+    return degrees
 
 
 def planted_partition(

@@ -1,0 +1,38 @@
+"""Trace-driven load generation for the serving tower.
+
+The scenario harness (ROADMAP: million-node scenario harness) splits into
+three pieces, mirroring how production load tests are built:
+
+* :mod:`repro.loadgen.trace` — the versioned JSONL trace format, the
+  deterministic synthesizers (Zipf query skew, Poisson arrivals with a
+  diurnal burst envelope), and a recording proxy that captures live
+  ``repro serve`` traffic into the same format;
+* :mod:`repro.loadgen.replay` — an asyncio open-loop replayer that fires
+  a trace at a live gateway server at recorded (or time-scaled) offsets
+  and reports client- and server-side latency/throughput/shedding;
+* :mod:`repro.loadgen.slo` — declarative pass/fail envelopes over a
+  replay report, the gate CI and the scale benchmark enforce.
+"""
+
+from repro.loadgen.replay import ReplayReport, replay_trace
+from repro.loadgen.slo import SLO, SLOCheck, SLOReport
+from repro.loadgen.trace import (
+    TRACE_VERSION,
+    RecordingProxy,
+    Trace,
+    TraceRecord,
+    synthesize,
+)
+
+__all__ = [
+    "TRACE_VERSION",
+    "RecordingProxy",
+    "ReplayReport",
+    "SLO",
+    "SLOCheck",
+    "SLOReport",
+    "Trace",
+    "TraceRecord",
+    "replay_trace",
+    "synthesize",
+]

@@ -1,0 +1,396 @@
+"""Load traces: a versioned JSONL schema, synthesizers, and a recorder.
+
+A *trace* is the unit of exchange for the scenario harness — a replayable
+record of "what arrived when".  The on-disk format is JSON Lines so a
+trace can be streamed, grepped, truncated, and diffed:
+
+* line 1 is the **header**: ``{"kind": "header", "version": 1,
+  "meta": {...}}`` — ``meta`` carries free-form provenance (the
+  synthesizer's knobs, or the recorded server's address);
+* every other line is a **request record**: ``{"kind": "request",
+  "offset": 1.25, "query": [3, 17, 4], "options": {...} | null}`` —
+  ``offset`` is seconds since the trace epoch (the first request), and
+  ``options`` is a plain dict of :class:`SolveOptions` field overrides
+  exactly as the wire protocol takes them.
+
+Traces come from two places.  :func:`synthesize` builds one from knobs,
+deterministically: queries are drawn from a pool with Zipf skew (rank-1
+hottest), and arrivals follow an inhomogeneous Poisson process whose
+rate swings around the mean with a sinusoidal *burst envelope* — the
+diurnal pattern every production query log shows, compressed to whatever
+period the scenario wants.  :class:`RecordingProxy` captures the other
+kind: sat between a real client and a live ``repro serve`` socket, it
+relays traffic untouched while stamping every solve request with its
+arrival offset — record a production session once, replay it forever.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import math
+import random
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+
+from repro.errors import TraceError
+
+__all__ = [
+    "TRACE_VERSION",
+    "RecordingProxy",
+    "Trace",
+    "TraceRecord",
+    "synthesize",
+]
+
+#: Schema version written to (and required of) every trace header.
+TRACE_VERSION = 1
+
+#: Per-line buffer bound for the recording proxy (mirrors the server's).
+_LINE_LIMIT = 1 << 20
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One request in a trace: when it arrived and what it asked."""
+
+    offset: float
+    query: tuple
+    options: dict | None = None
+
+    def to_payload(self) -> dict:
+        return {
+            "kind": "request",
+            "offset": self.offset,
+            "query": list(self.query),
+            "options": self.options,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict, line_number: int) -> "TraceRecord":
+        if payload.get("kind") != "request":
+            raise TraceError(
+                f"line {line_number}: expected a request record, got "
+                f"kind={payload.get('kind')!r}"
+            )
+        offset = payload.get("offset")
+        if not isinstance(offset, (int, float)) or isinstance(offset, bool):
+            raise TraceError(
+                f"line {line_number}: offset must be a number, got {offset!r}"
+            )
+        if offset < 0 or not math.isfinite(offset):
+            raise TraceError(
+                f"line {line_number}: offset must be finite and non-negative, "
+                f"got {offset!r}"
+            )
+        query = payload.get("query")
+        if not isinstance(query, list) or not query:
+            raise TraceError(
+                f"line {line_number}: query must be a non-empty array"
+            )
+        options = payload.get("options")
+        if options is not None and not isinstance(options, dict):
+            raise TraceError(
+                f"line {line_number}: options must be an object or null"
+            )
+        return cls(float(offset), tuple(query), options)
+
+
+@dataclass(frozen=True)
+class Trace:
+    """An ordered sequence of request records plus free-form metadata."""
+
+    records: tuple[TraceRecord, ...]
+    meta: dict = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    @property
+    def duration(self) -> float:
+        """Seconds from the trace epoch to the last arrival (0.0 if empty)."""
+        return max((record.offset for record in self.records), default=0.0)
+
+    def scaled(self, speed: float) -> "Trace":
+        """The same trace with arrivals compressed by ``speed`` (> 1 is
+        faster); the replayer uses this for time-scaled runs."""
+        if speed <= 0:
+            raise ValueError(f"speed must be positive, got {speed}")
+        return Trace(
+            tuple(
+                TraceRecord(record.offset / speed, record.query, record.options)
+                for record in self.records
+            ),
+            dict(self.meta, time_scale=speed),
+        )
+
+    def dumps(self) -> str:
+        header = {"kind": "header", "version": TRACE_VERSION, "meta": self.meta}
+        lines = [json.dumps(header, sort_keys=True)]
+        lines.extend(
+            json.dumps(record.to_payload(), sort_keys=True)
+            for record in self.records
+        )
+        return "\n".join(lines) + "\n"
+
+    def save(self, path) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.dumps())
+
+    @classmethod
+    def loads(cls, text: str) -> "Trace":
+        lines = [line for line in text.splitlines() if line.strip()]
+        if not lines:
+            raise TraceError("empty trace: no header line")
+        try:
+            header = json.loads(lines[0])
+        except json.JSONDecodeError as exc:
+            raise TraceError(f"line 1: malformed JSON header: {exc}") from exc
+        if not isinstance(header, dict) or header.get("kind") != "header":
+            raise TraceError(
+                'line 1 must be the trace header {"kind": "header", ...}'
+            )
+        version = header.get("version")
+        if version != TRACE_VERSION:
+            raise TraceError(
+                f"unsupported trace version {version!r}; "
+                f"this reader speaks version {TRACE_VERSION}"
+            )
+        meta = header.get("meta") or {}
+        if not isinstance(meta, dict):
+            raise TraceError("header meta must be an object")
+        records = []
+        for line_number, line in enumerate(lines[1:], start=2):
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise TraceError(
+                    f"line {line_number}: malformed JSON: {exc}"
+                ) from exc
+            if not isinstance(payload, dict):
+                raise TraceError(
+                    f"line {line_number}: expected an object record"
+                )
+            records.append(TraceRecord.from_payload(payload, line_number))
+        return cls(tuple(records), meta)
+
+    @classmethod
+    def load(cls, path) -> "Trace":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.loads(handle.read())
+
+
+# ----------------------------------------------------------------------
+# Synthesis
+# ----------------------------------------------------------------------
+def synthesize(
+    pool: Sequence[Iterable],
+    requests: int,
+    *,
+    mean_gap_ms: float = 50.0,
+    zipf: float = 1.1,
+    burst_amplitude: float = 0.0,
+    burst_period_s: float = 60.0,
+    options: dict | None = None,
+    seed: int = 0,
+    meta: dict | None = None,
+) -> Trace:
+    """Deterministically synthesize a trace from a query pool.
+
+    ``pool`` orders queries hottest-first: request *k* draws pool entry
+    ``i`` with probability proportional to ``1 / (i + 1) ** zipf`` — the
+    classic Zipf popularity skew (``zipf=0`` is uniform), which is what
+    exercises the gateway's coalescer the way real traffic does.
+
+    Arrivals are an inhomogeneous Poisson process: the instantaneous
+    rate swings sinusoidally around ``1000 / mean_gap_ms`` requests per
+    second with relative amplitude ``burst_amplitude`` (in ``[0, 1)``)
+    and period ``burst_period_s`` — a compressed diurnal envelope, so a
+    single trace carries both its rush hour and its trough.  Everything
+    is driven by one seeded :class:`random.Random`, so equal knobs give
+    byte-equal traces on any platform and any ``PYTHONHASHSEED``.
+    """
+    if requests < 0:
+        raise ValueError(f"requests must be non-negative, got {requests}")
+    if requests and not pool:
+        raise ValueError("cannot synthesize requests from an empty pool")
+    if mean_gap_ms <= 0:
+        raise ValueError(f"mean_gap_ms must be positive, got {mean_gap_ms}")
+    if zipf < 0:
+        raise ValueError(f"zipf exponent must be non-negative, got {zipf}")
+    if not 0.0 <= burst_amplitude < 1.0:
+        raise ValueError(
+            f"burst_amplitude must be in [0, 1), got {burst_amplitude}"
+        )
+    if burst_period_s <= 0:
+        raise ValueError(
+            f"burst_period_s must be positive, got {burst_period_s}"
+        )
+    rng = random.Random(seed)
+    queries = [tuple(query) for query in pool]
+    weights = [1.0 / (rank + 1) ** zipf for rank in range(len(queries))]
+    base_rate = 1000.0 / mean_gap_ms  # requests per second
+    clock = 0.0
+    records = []
+    for index in range(requests):
+        if index:  # the epoch request arrives at offset 0 by definition
+            rate = base_rate * (
+                1.0
+                + burst_amplitude
+                * math.sin(2.0 * math.pi * clock / burst_period_s)
+            )
+            clock += rng.expovariate(rate)
+        query = rng.choices(queries, weights=weights)[0]
+        records.append(TraceRecord(clock, query, options))
+    trace_meta = {
+        "source": "synthesize",
+        "seed": seed,
+        "requests": requests,
+        "mean_gap_ms": mean_gap_ms,
+        "zipf": zipf,
+        "burst_amplitude": burst_amplitude,
+        "burst_period_s": burst_period_s,
+        "pool_size": len(queries),
+    }
+    if meta:
+        trace_meta.update(meta)
+    return Trace(tuple(records), trace_meta)
+
+
+# ----------------------------------------------------------------------
+# Recording
+# ----------------------------------------------------------------------
+class RecordingProxy:
+    """A transparent TCP relay that records solve traffic as a trace.
+
+    Sits between clients and a live :class:`GatewayServer`: every line is
+    forwarded verbatim in both directions (the wire protocol is what the
+    peers negotiate, not ours to interpret), but client lines that parse
+    as solve requests — a JSON object with a ``"query"`` array and no
+    ``"op"`` — are stamped with their arrival offset and appended to the
+    recording.  The trace epoch is the first recorded request, so a
+    recording replays head-aligned regardless of how long the proxy idled
+    before traffic started.
+    """
+
+    def __init__(
+        self,
+        target_host: str,
+        target_port: int,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self._target = (target_host, target_port)
+        self._host = host
+        self._port = port
+        self._server: asyncio.base_events.Server | None = None
+        self._pumps: set[asyncio.Task] = set()
+        self._records: list[TraceRecord] = []
+        self._epoch: float | None = None
+
+    @property
+    def port(self) -> int:
+        if self._server is None:
+            raise RuntimeError("proxy is not started")
+        return self._server.sockets[0].getsockname()[1]
+
+    @property
+    def host(self) -> str:
+        return self._host
+
+    async def start(self) -> "RecordingProxy":
+        if self._server is not None:
+            raise RuntimeError("proxy is already started")
+        self._server = await asyncio.start_server(
+            self._handle, self._host, self._port, limit=_LINE_LIMIT
+        )
+        return self
+
+    async def aclose(self) -> None:
+        if self._server is None:
+            return
+        self._server.close()
+        await self._server.wait_closed()
+        for task in tuple(self._pumps):
+            task.cancel()
+        if self._pumps:
+            await asyncio.gather(*tuple(self._pumps), return_exceptions=True)
+        self._server = None
+
+    async def __aenter__(self) -> "RecordingProxy":
+        return await self.start()
+
+    async def __aexit__(self, exc_type, exc_value, traceback) -> None:
+        await self.aclose()
+
+    def to_trace(self, meta: dict | None = None) -> Trace:
+        """Snapshot the recording so far as a :class:`Trace`."""
+        trace_meta = {
+            "source": "record",
+            "target": f"{self._target[0]}:{self._target[1]}",
+        }
+        if meta:
+            trace_meta.update(meta)
+        return Trace(tuple(self._records), trace_meta)
+
+    def _observe(self, line: bytes) -> None:
+        try:
+            message = json.loads(line)
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            return  # not ours to judge; the server will answer it
+        if not isinstance(message, dict) or "op" in message:
+            return  # control traffic (ping/stats/...) is not load
+        query = message.get("query")
+        if not isinstance(query, list) or not query:
+            return  # malformed solves get their error from the server
+        now = asyncio.get_running_loop().time()
+        if self._epoch is None:
+            self._epoch = now
+        options = message.get("options")
+        self._records.append(
+            TraceRecord(
+                now - self._epoch,
+                tuple(query),
+                dict(options) if isinstance(options, dict) else None,
+            )
+        )
+
+    async def _handle(self, reader, writer) -> None:
+        try:
+            up_reader, up_writer = await asyncio.open_connection(
+                *self._target, limit=_LINE_LIMIT
+            )
+        except OSError:
+            writer.close()
+            return
+
+        async def pump(src, dst, observe: bool) -> None:
+            try:
+                while True:
+                    line = await src.readline()
+                    if not line:
+                        break
+                    if observe:
+                        self._observe(line)
+                    dst.write(line)
+                    await dst.drain()
+            except (ConnectionError, OSError, ValueError):
+                pass
+            finally:
+                # Half-close propagates EOF so the opposite pump (and the
+                # real endpoints) see the hang-up they would have seen
+                # without the proxy in between.
+                dst.close()
+
+        loop = asyncio.get_running_loop()
+        tasks = (
+            loop.create_task(pump(reader, up_writer, True)),
+            loop.create_task(pump(up_reader, writer, False)),
+        )
+        for task in tasks:
+            self._pumps.add(task)
+            task.add_done_callback(self._pumps.discard)
+        await asyncio.gather(*tasks, return_exceptions=True)

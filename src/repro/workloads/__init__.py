@@ -9,6 +9,7 @@ from repro.workloads.community_queries import (
 )
 from repro.workloads.random_queries import (
     average_pairwise_distance,
+    component_query,
     query_with_distance,
     random_query,
     workload,
@@ -21,6 +22,7 @@ __all__ = [
     "different_communities_query",
     "same_community_query",
     "average_pairwise_distance",
+    "component_query",
     "query_with_distance",
     "random_query",
     "workload",

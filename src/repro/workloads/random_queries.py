@@ -17,6 +17,7 @@ import random
 from collections.abc import Iterable
 
 from repro.errors import InvalidQueryError
+from repro.graphs.components import connected_components
 from repro.graphs.graph import Graph, Node
 from repro.graphs.traversal import bfs_distances
 
@@ -29,6 +30,32 @@ def random_query(graph: Graph, size: int, rng: random.Random | None = None) -> l
         )
     rng = rng or random.Random()
     return rng.sample(list(graph.nodes()), size)
+
+
+def component_query(
+    graph: Graph, size: int, rng: random.Random | None = None
+) -> list[Node]:
+    """Return ``size`` distinct vertices from one connected component.
+
+    Sampling uniformly over a disconnected host (power-law generators
+    routinely leave stragglers) yields queries no connector can join; the
+    scenario harness instead samples inside the largest component that
+    can hold the query.  The pool is sorted by ``repr`` so the draw is a
+    pure function of the graph and the rng state, independent of
+    ``PYTHONHASHSEED``.
+    """
+    if size < 1 or size > graph.num_nodes:
+        raise InvalidQueryError(
+            f"query size {size} outside [1, {graph.num_nodes}]"
+        )
+    eligible = [c for c in connected_components(graph) if len(c) >= size]
+    if not eligible:
+        raise InvalidQueryError(
+            f"no connected component holds {size} vertices"
+        )
+    component = max(eligible, key=len)  # ties: first-seen order (max is stable)
+    rng = rng or random.Random()
+    return rng.sample(sorted(component, key=repr), size)
 
 
 def average_pairwise_distance(graph: Graph, nodes: Iterable[Node]) -> float:

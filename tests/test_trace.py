@@ -1,0 +1,211 @@
+"""Tests for the JSONL trace schema, the synthesizers, and the CLI verbs."""
+
+import json
+import random
+
+import pytest
+
+from repro.cli import main
+from repro.errors import TraceError
+from repro.loadgen.trace import TRACE_VERSION, Trace, TraceRecord, synthesize
+
+
+def toy_pool():
+    return [(0, 1, 2), (1, 2, 3), (4, 5, 6), (7, 8, 9)]
+
+
+class TestSchema:
+    def test_round_trip_in_memory(self):
+        trace = synthesize(toy_pool(), 25, seed=1)
+        loaded = Trace.loads(trace.dumps())
+        assert loaded.records == trace.records
+        assert loaded.meta == trace.meta
+
+    def test_round_trip_on_disk(self, tmp_path):
+        trace = synthesize(toy_pool(), 10, seed=2)
+        path = tmp_path / "t.jsonl"
+        trace.save(path)
+        assert Trace.load(path).records == trace.records
+
+    def test_header_first_line(self):
+        lines = synthesize(toy_pool(), 3, seed=0).dumps().splitlines()
+        header = json.loads(lines[0])
+        assert header["kind"] == "header"
+        assert header["version"] == TRACE_VERSION
+        assert len(lines) == 4  # header + 3 request records
+
+    def test_options_survive(self):
+        trace = Trace(
+            (TraceRecord(0.0, (1, 2), {"method": "ws-q", "beta": 2.0}),)
+        )
+        loaded = Trace.loads(trace.dumps())
+        assert loaded.records[0].options == {"method": "ws-q", "beta": 2.0}
+
+    def test_duration_and_len(self):
+        trace = Trace(
+            (TraceRecord(0.0, (1,)), TraceRecord(2.5, (2,)))
+        )
+        assert len(trace) == 2
+        assert trace.duration == 2.5
+        assert Trace(()).duration == 0.0
+
+    def test_scaled(self):
+        trace = Trace((TraceRecord(4.0, (1,)),))
+        assert trace.scaled(2.0).records[0].offset == 2.0
+        with pytest.raises(ValueError):
+            trace.scaled(0.0)
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",
+            '{"not": "a header"}\n',
+            '{"kind": "header", "version": 99}\n',
+            '{"kind": "header", "version": 1, "meta": 5}\n',
+            '{"kind": "header", "version": 1}\nnot json\n',
+            '{"kind": "header", "version": 1}\n{"kind": "bogus"}\n',
+            '{"kind": "header", "version": 1}\n'
+            '{"kind": "request", "offset": -1, "query": [1]}\n',
+            '{"kind": "header", "version": 1}\n'
+            '{"kind": "request", "offset": "soon", "query": [1]}\n',
+            '{"kind": "header", "version": 1}\n'
+            '{"kind": "request", "offset": 0, "query": []}\n',
+            '{"kind": "header", "version": 1}\n'
+            '{"kind": "request", "offset": 0, "query": [1], "options": 7}\n',
+        ],
+    )
+    def test_malformed_traces_raise(self, text):
+        with pytest.raises(TraceError):
+            Trace.loads(text)
+
+
+class TestSynthesize:
+    def test_deterministic(self):
+        a = synthesize(toy_pool(), 50, zipf=1.3, burst_amplitude=0.4,
+                       burst_period_s=2.0, seed=9)
+        b = synthesize(toy_pool(), 50, zipf=1.3, burst_amplitude=0.4,
+                       burst_period_s=2.0, seed=9)
+        assert a.dumps() == b.dumps()
+
+    def test_seed_matters(self):
+        a = synthesize(toy_pool(), 50, seed=1)
+        b = synthesize(toy_pool(), 50, seed=2)
+        assert a.records != b.records
+
+    def test_offsets_start_at_zero_and_increase(self):
+        trace = synthesize(toy_pool(), 40, seed=3)
+        offsets = [record.offset for record in trace.records]
+        assert offsets[0] == 0.0
+        assert offsets == sorted(offsets)
+
+    def test_zipf_skews_toward_head(self):
+        trace = synthesize(toy_pool(), 400, zipf=2.0, seed=4)
+        counts = {}
+        for record in trace.records:
+            counts[record.query] = counts.get(record.query, 0) + 1
+        hottest = toy_pool()[0]
+        assert counts[hottest] == max(counts.values())
+        assert counts[hottest] > 400 // len(toy_pool())
+
+    def test_mean_gap_controls_duration(self):
+        fast = synthesize(toy_pool(), 200, mean_gap_ms=1.0, seed=5)
+        slow = synthesize(toy_pool(), 200, mean_gap_ms=20.0, seed=5)
+        assert slow.duration > 5 * fast.duration
+
+    def test_options_attached_to_every_record(self):
+        trace = synthesize(toy_pool(), 5, options={"beta": 2.0}, seed=6)
+        assert all(r.options == {"beta": 2.0} for r in trace.records)
+
+    def test_knob_validation(self):
+        with pytest.raises(ValueError):
+            synthesize([], 5)
+        with pytest.raises(ValueError):
+            synthesize(toy_pool(), -1)
+        with pytest.raises(ValueError):
+            synthesize(toy_pool(), 5, mean_gap_ms=0)
+        with pytest.raises(ValueError):
+            synthesize(toy_pool(), 5, zipf=-1)
+        with pytest.raises(ValueError):
+            synthesize(toy_pool(), 5, burst_amplitude=1.0)
+        with pytest.raises(ValueError):
+            synthesize(toy_pool(), 5, burst_period_s=0)
+
+    def test_empty_pool_ok_for_zero_requests(self):
+        assert len(synthesize([], 0)) == 0
+
+
+class TestTraceCli:
+    def test_synth_writes_deterministic_trace(self, tmp_path, capsys):
+        out_a = tmp_path / "a.jsonl"
+        out_b = tmp_path / "b.jsonl"
+        argv = ["trace", "synth", None, "email", "--requests", "20",
+                "--pool-size", "4", "--seed", "5"]
+        for out in (out_a, out_b):
+            argv[2] = str(out)
+            assert main(list(argv)) == 0
+        assert out_a.read_text() == out_b.read_text()
+        trace = Trace.load(out_a)
+        assert len(trace) == 20
+        assert trace.meta["dataset"] == "email"
+
+    def test_synth_rejects_bad_knobs(self, tmp_path, capsys):
+        out = str(tmp_path / "t.jsonl")
+        assert main(["trace", "synth", out, "email",
+                     "--burst-amplitude", "1.5"]) == 2
+        assert main(["trace", "synth", out, "email",
+                     "--pool-size", "0"]) == 2
+
+    def test_trace_without_subcommand_is_usage(self, capsys):
+        assert main(["trace"]) == 2
+
+    def test_query_batch_accepts_trace_file(self, tmp_path, capsys):
+        """Satellite: `repro query --batch` takes a JSONL trace directly."""
+        trace_path = tmp_path / "t.jsonl"
+        assert main(["trace", "synth", str(trace_path), "email",
+                     "--requests", "6", "--pool-size", "2",
+                     "--query-size", "3", "--seed", "1"]) == 0
+        capsys.readouterr()
+        assert main(["query", "email", "--batch", str(trace_path),
+                     "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert len(document["results"]) == 6
+        trace = Trace.load(trace_path)
+        for record, payload in zip(trace.records, document["results"]):
+            assert set(record.query) <= set(payload["nodes"])
+
+    def test_query_batch_still_reads_plain_formats(self, tmp_path, capsys):
+        from repro.cli import _read_batch
+
+        plain = tmp_path / "plain.txt"
+        plain.write_text("# comment\n0 1 2\n3 4\n")
+        assert _read_batch(str(plain)) == [[0, 1, 2], [3, 4]]
+        as_json = tmp_path / "batch.json"
+        as_json.write_text('{"queries": [[0, 1], [2, 3]]}')
+        assert _read_batch(str(as_json)) == [[0, 1], [2, 3]]
+
+    def test_replay_usage_errors(self, tmp_path, capsys):
+        trace_path = tmp_path / "t.jsonl"
+        synthesize(toy_pool(), 2, seed=0).save(trace_path)
+        assert main(["replay", str(trace_path), "--target", "nope"]) == 2
+        assert main(["replay", str(tmp_path / "missing.jsonl"),
+                     "--target", "127.0.0.1:9"]) == 2
+        assert main(["replay", str(trace_path), "--target", "127.0.0.1:9",
+                     "--speed", "0"]) == 2
+        bad_slo = tmp_path / "slo.json"
+        bad_slo.write_text('{"max_p9_ms": 1}')
+        assert main(["replay", str(trace_path), "--target", "127.0.0.1:9",
+                     "--slo", str(bad_slo)]) == 2
+
+    def test_replay_unreachable_server_exits_1(self, tmp_path, capsys):
+        import socket
+
+        trace_path = tmp_path / "t.jsonl"
+        synthesize(toy_pool(), 2, seed=0).save(trace_path)
+        # An unbound port: grab one, close it, replay against it.
+        with socket.socket() as sock:
+            sock.bind(("127.0.0.1", 0))
+            port = sock.getsockname()[1]
+        assert main(["replay", str(trace_path),
+                     "--target", f"127.0.0.1:{port}"]) == 1

@@ -10,13 +10,19 @@ from repro.communities import make_community_graph
 from repro.workloads import (
     average_pairwise_distance,
     community_workload,
+    component_query,
     different_communities_query,
     query_with_distance,
     random_query,
     same_community_query,
     workload,
 )
-from repro.graphs.generators import path_graph
+from repro.graphs.generators import (
+    barabasi_albert,
+    configuration_model,
+    path_graph,
+    powerlaw_degrees,
+)
 
 
 class TestRandomQuery:
@@ -31,6 +37,56 @@ class TestRandomQuery:
             random_query(triangle, 0)
         with pytest.raises(InvalidQueryError):
             random_query(triangle, 4)
+
+
+class TestComponentQuery:
+    def test_power_law_host(self):
+        g = barabasi_albert(300, 2, random.Random(0))
+        q = component_query(g, 6, random.Random(1))
+        assert len(q) == len(set(q)) == 6
+        assert all(g.has_node(v) for v in q)
+
+    def test_single_component_on_disconnected_host(self):
+        from repro.graphs.components import connected_components
+
+        # Power-law configuration models routinely leave stragglers.
+        degrees = powerlaw_degrees(200, exponent=3.0, rng=random.Random(2))
+        g = configuration_model(degrees, random.Random(3))
+        components = connected_components(g)
+        for seed in range(5):
+            q = component_query(g, 5, random.Random(seed))
+            assert len(q) == len(set(q)) == 5
+            holders = [c for c in components if set(q) <= c]
+            assert len(holders) == 1, "query straddles components"
+
+    def test_queries_are_solvable(self):
+        from repro.core.wiener_steiner import wiener_steiner
+        from repro.graphs.graph import Graph
+
+        g = Graph([(0, 1), (1, 2), (2, 3), (10, 11), (11, 12)])
+        for seed in range(4):
+            q = component_query(g, 3, random.Random(seed))
+            result = wiener_steiner(g, q)
+            assert result.wiener_index < float("inf")
+
+    def test_deterministic(self):
+        g = barabasi_albert(100, 2, random.Random(4))
+        a = component_query(g, 5, random.Random(7))
+        b = component_query(g, 5, random.Random(7))
+        assert a == b
+
+    def test_size_validation(self, triangle):
+        with pytest.raises(InvalidQueryError):
+            component_query(triangle, 0)
+        with pytest.raises(InvalidQueryError):
+            component_query(triangle, 4)
+
+    def test_no_component_large_enough(self):
+        from repro.graphs.graph import Graph
+
+        g = Graph([(0, 1), (2, 3), (4, 5)])
+        with pytest.raises(InvalidQueryError):
+            component_query(g, 3, random.Random(0))
 
 
 class TestAveragePairwiseDistance:
