@@ -35,6 +35,16 @@ Quickstart
 True
 """
 
+from repro.core import (
+    AsyncGateway,
+    ConnectorResult,
+    ConnectorService,
+    ShardedConnectorService,
+    SolveOptions,
+    minimum_wiener_connector,
+    steiner_tree_unweighted,
+    wiener_steiner,
+)
 from repro.errors import (
     DisconnectedGraphError,
     EdgeNotFoundError,
@@ -46,16 +56,6 @@ from repro.errors import (
     SolverBudgetExceeded,
 )
 from repro.graphs import Graph, WeightedGraph, wiener_index
-from repro.core import (
-    AsyncGateway,
-    ConnectorResult,
-    ConnectorService,
-    ShardedConnectorService,
-    SolveOptions,
-    minimum_wiener_connector,
-    steiner_tree_unweighted,
-    wiener_steiner,
-)
 
 __version__ = "1.0.0"
 

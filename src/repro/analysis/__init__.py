@@ -1,0 +1,36 @@
+"""``repro.analysis`` — the project's AST-based invariant checker.
+
+See :mod:`repro.analysis.engine` for the framework and
+:mod:`repro.analysis.rules` for the rule battery.  The CLI entry point
+is ``repro lint`` (:func:`repro.cli._run_lint`).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.engine import (
+    Finding,
+    LintResult,
+    Registry,
+    Rule,
+    canonical_path,
+    default_registry,
+    iter_python_files,
+    lint_paths,
+    lint_source,
+)
+from repro.analysis.report import render_explain, render_json, render_text
+
+__all__ = [
+    "Finding",
+    "LintResult",
+    "Registry",
+    "Rule",
+    "canonical_path",
+    "default_registry",
+    "iter_python_files",
+    "lint_paths",
+    "lint_source",
+    "render_explain",
+    "render_json",
+    "render_text",
+]

@@ -1,0 +1,7 @@
+"""RPR001 bad: routing key derived from the salted builtin hash()."""
+
+
+def placement_slot(query, options, slots):
+    # PYTHONHASHSEED salts this differently in every process: the same
+    # request lands on different shards depending on who computes it.
+    return hash((tuple(query), options)) % slots

@@ -1,0 +1,15 @@
+"""RPR001 good: routing key from the stable digest."""
+
+
+def placement_slot(query, options, slots):
+    digest = options.stable_digest(query)
+    return int(digest[:8], 16) % slots
+
+
+class SlotKey:
+    def __init__(self, digest):
+        self.digest = digest
+
+    def __hash__(self):
+        # Delegating to hash() inside __hash__ is the protocol itself.
+        return hash(self.digest)

@@ -1,0 +1,11 @@
+"""RPR002 bad: blocking calls issued directly on the loop thread."""
+
+import time
+
+
+async def handle(request, service):
+    time.sleep(0.01)  # stalls every coroutine on the loop
+    apply = getattr(service, "apply_delta", None)
+    if apply is not None:
+        return apply(request.delta)  # blocking call through the alias
+    return service.solve_many([request.query], request.options)

@@ -1,0 +1,18 @@
+"""RPR002 good: blocking work leaves the loop via the executor."""
+
+import asyncio
+import time
+
+
+async def handle(request, service, executor):
+    loop = asyncio.get_running_loop()
+    await asyncio.sleep(0.01)
+    return await loop.run_in_executor(
+        executor, service.solve_many, [request.query], request.options
+    )
+
+
+def warm_up(service):
+    # Sync context: blocking calls are whatever the caller wants.
+    time.sleep(0.01)
+    return service.solve_many([], None)

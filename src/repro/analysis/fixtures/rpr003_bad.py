@@ -1,0 +1,12 @@
+"""RPR003 bad: pickle on the client-facing protocol path."""
+
+import pickle
+
+
+def decode_request(raw: bytes):
+    # Unpickling untrusted client bytes is arbitrary code execution.
+    return pickle.loads(raw)
+
+
+def encode_reply(payload) -> bytes:
+    return pickle.dumps(payload)

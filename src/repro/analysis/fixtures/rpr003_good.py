@@ -1,0 +1,11 @@
+"""RPR003 good: the client protocol speaks pure JSON."""
+
+import json
+
+
+def decode_request(raw: bytes):
+    return json.loads(raw.decode("utf-8"))
+
+
+def encode_reply(payload) -> bytes:
+    return json.dumps(payload, sort_keys=True).encode("utf-8")

@@ -1,0 +1,11 @@
+"""RPR004 bad: a serving class accumulating telemetry forever."""
+
+
+class Gateway:
+    def __init__(self):
+        self.window_sizes = []  # grows one entry per batch, never trimmed
+        self.results_by_key = {}
+
+    def record_batch(self, batch, key, result):
+        self.window_sizes.append(len(batch))
+        self.results_by_key[key] = result

@@ -1,0 +1,19 @@
+"""RPR004 good: bounded telemetry, LRU-bounded cache."""
+
+from collections import deque
+
+
+class Gateway:
+    def __init__(self, cache):
+        self.window_sizes = deque(maxlen=256)
+        self.results_by_key = cache  # an LRUCache from core/lru.py
+        self.pending = []
+
+    def record_batch(self, batch, key, result):
+        self.window_sizes.append(len(batch))
+        self.results_by_key.put(key, result)
+        self.pending.append(key)
+
+    def drain(self):
+        while self.pending:
+            yield self.pending.pop()

@@ -1,0 +1,13 @@
+"""RPR005 bad: lifecycle guards speaking in bare RuntimeError."""
+
+
+class ShardedService:
+    def __init__(self):
+        self.closed = False
+
+    def solve_many(self, queries, options):
+        if self.closed:
+            raise RuntimeError("service is closed")
+        if not queries:
+            raise Exception("empty batch")
+        return []

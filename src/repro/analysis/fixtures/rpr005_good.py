@@ -1,0 +1,15 @@
+"""RPR005 good: the typed taxonomy carries the failure class."""
+
+from repro.errors import InvalidQueryError, ServiceClosedError
+
+
+class ShardedService:
+    def __init__(self):
+        self.closed = False
+
+    def solve_many(self, queries, options):
+        if self.closed:
+            raise ServiceClosedError("service is closed")
+        if not queries:
+            raise InvalidQueryError("empty batch")
+        return []

@@ -1,0 +1,12 @@
+"""RPR006 bad: global-RNG calls nobody can replay."""
+
+import random
+
+
+def jitter(base):
+    return base * (1.0 + random.uniform(-0.1, 0.1))
+
+
+def pick_replica(replicas):
+    rng = random.Random()  # seeded from the OS: different every run
+    return rng.choice(replicas)

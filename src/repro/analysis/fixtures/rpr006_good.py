@@ -1,0 +1,19 @@
+"""RPR006 good: seeded or caller-injected randomness only."""
+
+import random
+
+
+def jitter(base, rng):
+    return base * (1.0 + rng.uniform(-0.1, 0.1))
+
+
+def pick_replica(replicas, seed):
+    rng = random.Random(seed)
+    return rng.choice(replicas)
+
+
+def synthesize(records, rng=None):
+    # Caller opt-in: passing rng=None is an explicit request for
+    # nondeterminism, the one sanctioned escape.
+    rng = rng or random.Random()
+    return [rng.random() for _ in records]

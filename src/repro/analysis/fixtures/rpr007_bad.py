@@ -1,0 +1,20 @@
+"""RPR007 bad: a dead replica swallowed into silence."""
+
+from repro.core.sharded import ShardConnectError, ShardTransportError
+
+_TRANSPORT_FAILURES = (EOFError, OSError, ShardTransportError)
+
+
+def call_replica(link, request, fallback):
+    try:
+        return link.request(request)
+    except ShardConnectError:
+        return fallback  # replica stays "live" and keeps failing
+
+
+def drain(links):
+    for link in links:
+        try:
+            link.flush()
+        except _TRANSPORT_FAILURES:
+            pass  # the tuple alias hides the same swallow

@@ -1,0 +1,21 @@
+"""RPR007 good: transport failures re-raise or mark the replica down."""
+
+from repro.core.sharded import ShardConnectError, ShardTransportError
+
+_TRANSPORT_FAILURES = (EOFError, OSError, ShardTransportError)
+
+
+def call_replica(ring, link, slot, request):
+    try:
+        return link.request(request)
+    except ShardConnectError:
+        ring.shard_down(slot)  # failover bookkeeping reroutes the slot
+        return ring.retry(slot, request)
+
+
+def drain(links):
+    for link in links:
+        try:
+            link.flush()
+        except _TRANSPORT_FAILURES:
+            raise  # let the caller's failover engine see it

@@ -1,0 +1,9 @@
+"""RPR008 bad: wall clock feeding latency math and trace offsets."""
+
+import time
+
+
+def timed_solve(service, query, options):
+    started = time.time()  # jumps under NTP slew
+    result = service.solve(query, options)
+    return result, (time.time() - started) * 1000.0

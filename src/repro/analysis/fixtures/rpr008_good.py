@@ -1,0 +1,13 @@
+"""RPR008 good: monotonic intervals, replayable offsets."""
+
+import time
+
+
+def timed_solve(service, query, options):
+    started = time.perf_counter()
+    result = service.solve(query, options)
+    return result, (time.perf_counter() - started) * 1000.0
+
+
+def deadline(timeout_s):
+    return time.monotonic() + timeout_s

@@ -1,0 +1,65 @@
+"""Reporters for ``repro lint`` — text for humans, JSON for gates.
+
+Both render the same pre-sorted findings (``(path, line, col, rule_id)``
+order from the engine) so diffs between runs are meaningful and the CI
+gate can archive the JSON as an artifact.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.engine import LintResult
+
+__all__ = ["render_text", "render_json", "render_explain"]
+
+
+def render_text(result: LintResult) -> str:
+    """The classic one-line-per-finding form: ``path:line:col: ID message``."""
+    lines = [
+        f"{f.path}:{f.line}:{f.col}: {f.rule_id} [{f.severity}] {f.message}"
+        for f in result.findings
+    ]
+    noun = "file" if result.files == 1 else "files"
+    if result.findings:
+        count = len(result.findings)
+        fnoun = "finding" if count == 1 else "findings"
+        lines.append(f"{count} {fnoun} in {result.files} {noun} checked")
+    else:
+        lines.append(f"clean: 0 findings in {result.files} {noun} checked")
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    """Machine-readable report: stable key order, stable finding order."""
+    payload = {
+        "files": result.files,
+        "findings": [f.to_json() for f in result.findings],
+        "count": len(result.findings),
+        "ok": result.ok,
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def render_explain(
+    rule_id: str,
+    description: str,
+    rationale: str,
+    bad_example: str | None,
+    good_example: str | None,
+) -> str:
+    """The ``--explain RPR00x`` card: contract, incident, and the fixture
+    pair showing the smallest code that trips / satisfies the rule."""
+    sections = [f"{rule_id}: {description}", "", rationale.strip()]
+    if bad_example:
+        sections += ["", "Fires on:", "", _indent(bad_example)]
+    if good_example:
+        sections += ["", "Stays silent on:", "", _indent(good_example)]
+    return "\n".join(sections)
+
+
+def _indent(block: str, prefix: str = "    ") -> str:
+    return "\n".join(
+        prefix + line if line.strip() else line
+        for line in block.strip("\n").splitlines()
+    )

@@ -1,0 +1,45 @@
+"""The built-in rule battery for ``repro lint``.
+
+One module per rule; ``BUILTIN_RULES`` is the ordered registry source.
+Adding a rule: write ``rules/<name>.py`` subclassing
+:class:`repro.analysis.engine.Rule`, give it the next ``RPR0xx`` id, a
+``rationale`` naming the incident or contract it encodes, add a
+``fixtures/rpr0xx_bad.py`` / ``fixtures/rpr0xx_good.py`` pair, list the
+class here, and extend ``tests/test_lint.py``'s fixture table (it
+asserts every registered rule has a firing bad example and a silent
+good twin).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.rules.async_blocking import AsyncBlockingRule
+from repro.analysis.rules.error_taxonomy import ErrorTaxonomyRule
+from repro.analysis.rules.pickle_scope import PickleScopeRule
+from repro.analysis.rules.salted_hash import SaltedHashRule
+from repro.analysis.rules.swallowed_transport import SwallowedTransportRule
+from repro.analysis.rules.unbounded_growth import UnboundedGrowthRule
+from repro.analysis.rules.unseeded_random import UnseededRandomRule
+from repro.analysis.rules.wall_clock import WallClockRule
+
+__all__ = [
+    "BUILTIN_RULES",
+    "AsyncBlockingRule",
+    "ErrorTaxonomyRule",
+    "PickleScopeRule",
+    "SaltedHashRule",
+    "SwallowedTransportRule",
+    "UnboundedGrowthRule",
+    "UnseededRandomRule",
+    "WallClockRule",
+]
+
+BUILTIN_RULES = (
+    SaltedHashRule,
+    AsyncBlockingRule,
+    PickleScopeRule,
+    UnboundedGrowthRule,
+    ErrorTaxonomyRule,
+    UnseededRandomRule,
+    SwallowedTransportRule,
+    WallClockRule,
+)

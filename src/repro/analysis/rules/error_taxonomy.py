@@ -1,0 +1,67 @@
+"""RPR005 — no bare ``RuntimeError``/``Exception`` raises in the tower.
+
+The sharding and serving layers have a typed taxonomy (``ShardConnectError``,
+``ShardLinkError``, ``GatewayOverloadedError``, ``ServiceClosedError``,
+``ServerStateError``, ...) precisely so callers can branch on failure
+class instead of string-matching messages.  A bare ``raise
+RuntimeError(...)`` in those layers forfeits that: the failover engine
+cannot tell "service is closed" from an arbitrary bug.  The rule flags
+``raise RuntimeError``/``raise Exception`` (called or bare) in
+``core/sharded.py`` and ``serving/`` — the files where the taxonomy
+exists and is the contract.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.engine import Finding, Rule
+
+__all__ = ["ErrorTaxonomyRule"]
+
+BARE_TYPES = {"RuntimeError", "Exception"}
+
+
+class ErrorTaxonomyRule(Rule):
+    id = "RPR005"
+    severity = "error"
+    description = (
+        "bare RuntimeError/Exception raise where the typed error "
+        "taxonomy exists"
+    )
+    scope = ("repro/core/sharded.py", "repro/serving/")
+    rationale = (
+        "The failover engine (PR 5) and every client branch on error "
+        "*types* — ShardConnectError retries another replica, "
+        "GatewayOverloadedError maps to a shed response, "
+        "ServiceClosedError means rebuild the ring.  A bare raise "
+        "RuntimeError(...) in these layers forces callers back to "
+        "string-matching messages, which is how the pre-PR-10 "
+        "lifecycle guards ('service is closed', 'server is not "
+        "started') were actually being consumed.  errors.py now has "
+        "ServiceClosedError and ServerStateError (both RuntimeError "
+        "subclasses, so existing except/raises contracts still hold); "
+        "raise those or another taxonomy type."
+    )
+
+    def visit(self, tree: ast.AST, source: str, path: str) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Raise) or node.exc is None:
+                continue
+            exc = node.exc
+            name = None
+            if isinstance(exc, ast.Call) and isinstance(exc.func, ast.Name):
+                name = exc.func.id
+            elif isinstance(exc, ast.Name):
+                name = exc.id
+            if name in BARE_TYPES:
+                findings.append(
+                    self.finding(
+                        path,
+                        node,
+                        f"bare raise {name}; use the typed taxonomy "
+                        "(errors.py / sharded.py define the classes)",
+                    )
+                )
+        return findings

@@ -1,0 +1,108 @@
+"""RPR003 — pickle stays on the trusted-cluster shard wire.
+
+The client-facing protocol (``serving/protocol.py``) is pure JSON by
+contract: clients are untrusted and ``pickle.loads`` on attacker bytes
+is arbitrary code execution.  Pickle is legal exactly where the wire is
+operator-controlled — the shard transport (``serving/remote.py``) and
+its codec module (``serving/pickled.py``).  The rule flags pickle-family
+imports, ``pickle.loads``/``dumps`` attribute use, and calls to the
+project's ``encode_pickled``/``decode_pickled`` helpers anywhere else in
+the package.  Re-exporting the helpers (a bare import for compatibility)
+is allowed; *calling* them outside the allowlist is not.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.engine import Finding, Rule
+
+__all__ = ["PickleScopeRule"]
+
+PICKLE_MODULES = {
+    "pickle",
+    "cPickle",
+    "_pickle",
+    "dill",
+    "cloudpickle",
+    "shelve",
+    "marshal",
+}
+
+PICKLE_HELPERS = {"encode_pickled", "decode_pickled"}
+
+
+class PickleScopeRule(Rule):
+    id = "RPR003"
+    severity = "error"
+    description = (
+        "pickle outside the trusted shard wire "
+        "(serving/pickled.py, serving/remote.py)"
+    )
+    scope = ("repro/",)
+    allow = ("repro/serving/pickled.py", "repro/serving/remote.py")
+    rationale = (
+        "Standing contract since PR 6: the client protocol is pure JSON "
+        "because clients are untrusted and unpickling attacker-supplied "
+        "bytes executes arbitrary code.  Pickle is confined to the "
+        "shard transport, where both endpoints are spawned by the same "
+        "operator — serving/pickled.py (the codec) and "
+        "serving/remote.py (the wire).  Everywhere else, importing a "
+        "pickle-family module or calling encode_pickled/decode_pickled "
+        "is a protocol-boundary violation."
+    )
+
+    def visit(self, tree: ast.AST, source: str, path: str) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    root = alias.name.split(".")[0]
+                    if root in PICKLE_MODULES:
+                        findings.append(
+                            self.finding(
+                                path,
+                                node,
+                                f"import of pickle-family module "
+                                f"{alias.name!r} outside the shard wire",
+                            )
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                root = (node.module or "").split(".")[0]
+                if root in PICKLE_MODULES:
+                    findings.append(
+                        self.finding(
+                            path,
+                            node,
+                            f"import from pickle-family module "
+                            f"{node.module!r} outside the shard wire",
+                        )
+                    )
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id in PICKLE_MODULES
+                ):
+                    findings.append(
+                        self.finding(
+                            path,
+                            node,
+                            f"{func.value.id}.{func.attr}() outside the "
+                            "shard wire; the client protocol is pure JSON",
+                        )
+                    )
+                elif (
+                    isinstance(func, ast.Name) and func.id in PICKLE_HELPERS
+                ):
+                    findings.append(
+                        self.finding(
+                            path,
+                            node,
+                            f"{func.id}() call outside the shard wire; "
+                            "pickle framing is for operator-controlled "
+                            "links only",
+                        )
+                    )
+        return findings

@@ -1,0 +1,67 @@
+"""RPR001 — the builtin ``hash()`` is banned in package code.
+
+``hash()`` is salted per-process by PYTHONHASHSEED, so any routing or
+cache key built from it places the same request on different shards in
+different processes — the exact bug PR 3 fixed by introducing
+``SolveOptions.stable_digest()`` / ``stable_repr``.  Rather than guess
+which ``hash()`` calls feed keys, the rule bans the builtin outright in
+``repro/``: every legitimate need is served by ``stable_digest`` (and
+``__hash__`` protocol implementations, which are exempt, may still call
+it for delegation).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.engine import Finding, Rule
+
+__all__ = ["SaltedHashRule"]
+
+
+class SaltedHashRule(Rule):
+    id = "RPR001"
+    severity = "error"
+    description = (
+        "builtin hash() is PYTHONHASHSEED-salted; use "
+        "SolveOptions.stable_digest() / stable_repr for keys"
+    )
+    scope = ("repro/",)
+    rationale = (
+        "PR 3 incident: ring placement keyed on hash((query, options)) "
+        "routed the same request to different shards in different "
+        "processes because PYTHONHASHSEED salts str/bytes hashing per "
+        "interpreter.  The fix — core/options.py stable_repr + "
+        "SolveOptions.stable_digest() — is the only sanctioned way to "
+        "derive a routing or cache key.  The rule bans the builtin "
+        "everywhere in the package except inside __hash__ "
+        "implementations, where delegating to hash() is the protocol."
+    )
+
+    def visit(self, tree: ast.AST, source: str, path: str) -> list[Finding]:
+        findings: list[Finding] = []
+        # Track whether each call site sits inside a __hash__ def.
+        hash_defs: set[ast.AST] = set()
+        for node in ast.walk(tree):
+            if (
+                isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and node.name == "__hash__"
+            ):
+                hash_defs.update(ast.walk(node))
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (isinstance(func, ast.Name) and func.id == "hash"):
+                continue
+            if node in hash_defs:
+                continue
+            findings.append(
+                self.finding(
+                    path,
+                    node,
+                    "salted builtin hash() on package code; derive keys "
+                    "from stable_digest()/stable_repr instead",
+                )
+            )
+        return findings

@@ -1,0 +1,136 @@
+"""RPR007 — transport failures must re-raise or record a failover.
+
+The replicated ring heals because every ``ShardTransportError`` (and
+subclass) either propagates to a caller that can retry another replica
+or lands in ``_shard_down``-style bookkeeping that marks the replica
+dead and reroutes its slots.  An ``except ShardConnectError: pass``
+breaks the healing loop silently: the replica stays "live", keeps
+winning placements, and keeps failing.  The rule inspects every
+``except`` handler whose caught type set includes a ``Shard*Error``
+(resolving module-level tuple aliases like ``_TRANSPORT_FAILURES``) and
+requires the handler body to either contain a ``raise`` or mention a
+failover-bookkeeping identifier (``_shard_down``, ``failover``,
+``suspect``, ``mark_dead``, ...).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from repro.analysis.engine import Finding, Rule
+
+__all__ = ["SwallowedTransportRule"]
+
+TRANSPORT_NAMES = re.compile(r"^Shard\w*Error$")
+
+# Identifiers whose appearance in a handler body counts as recording
+# the failure for the healing loop.
+FAILOVER_EVIDENCE = re.compile(
+    r"(failover|shard_down|mark_dead|suspect|reconnect|heal|_down\b|dead)",
+    re.IGNORECASE,
+)
+
+
+def _alias_tuples(tree: ast.AST) -> dict[str, list[str]]:
+    """Module-level ``NAME = (Exc, Exc, ...)`` aliases -> member names."""
+    aliases: dict[str, list[str]] = {}
+    body = getattr(tree, "body", [])
+    for node in body:
+        if not (isinstance(node, ast.Assign) and len(node.targets) == 1):
+            continue
+        target = node.targets[0]
+        if not isinstance(target, ast.Name):
+            continue
+        if not isinstance(node.value, ast.Tuple):
+            continue
+        names = []
+        for element in node.value.elts:
+            if isinstance(element, ast.Name):
+                names.append(element.id)
+            elif isinstance(element, ast.Attribute):
+                names.append(element.attr)
+        aliases[target.id] = names
+    return aliases
+
+
+def _caught_names(
+    handler_type: ast.expr | None, aliases: dict[str, list[str]]
+) -> list[str]:
+    if handler_type is None:
+        return []
+    names: list[str] = []
+    elements = (
+        handler_type.elts
+        if isinstance(handler_type, ast.Tuple)
+        else [handler_type]
+    )
+    for element in elements:
+        if isinstance(element, ast.Name):
+            if element.id in aliases:
+                names.extend(aliases[element.id])
+            else:
+                names.append(element.id)
+        elif isinstance(element, ast.Attribute):
+            names.append(element.attr)
+    return names
+
+
+class SwallowedTransportRule(Rule):
+    id = "RPR007"
+    severity = "error"
+    description = (
+        "except swallows ShardTransportError without re-raising or "
+        "recording failover"
+    )
+    scope = ("repro/core/", "repro/serving/")
+    rationale = (
+        "The ring heals (PR 5) because every transport failure either "
+        "propagates to a caller that retries another replica or lands "
+        "in _shard_down bookkeeping that marks the replica dead and "
+        "reroutes its slots.  `except ShardConnectError: pass` leaves "
+        "a dead replica marked live — it keeps winning placements and "
+        "keeps failing, which is an outage that looks like latency.  "
+        "Handlers catching any Shard*Error (including through the "
+        "_TRANSPORT_FAILURES tuple alias) must re-raise or touch the "
+        "failover bookkeeping (_shard_down / mark_dead / suspect / "
+        "reconnect ...)."
+    )
+
+    def visit(self, tree: ast.AST, source: str, path: str) -> list[Finding]:
+        aliases = _alias_tuples(tree)
+        findings: list[Finding] = []
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            caught = _caught_names(node.type, aliases)
+            if not any(TRANSPORT_NAMES.match(name) for name in caught):
+                continue
+            if self._handler_ok(node):
+                continue
+            findings.append(
+                self.finding(
+                    path,
+                    node,
+                    "Shard*Error swallowed: handler neither re-raises nor "
+                    "records failover (_shard_down/mark_dead/...); a dead "
+                    "replica will stay in the ring",
+                )
+            )
+        return findings
+
+    @staticmethod
+    def _handler_ok(handler: ast.ExceptHandler) -> bool:
+        for node in ast.walk(handler):
+            if isinstance(node, ast.Raise):
+                return True
+            if isinstance(node, ast.Name) and FAILOVER_EVIDENCE.search(node.id):
+                return True
+            if isinstance(node, ast.Attribute) and FAILOVER_EVIDENCE.search(
+                node.attr
+            ):
+                return True
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if FAILOVER_EVIDENCE.search(node.name):
+                    return True
+        return False

@@ -1,0 +1,179 @@
+"""RPR004 — long-lived serving classes must bound their containers.
+
+PR 4 shipped a gateway whose ``window_sizes`` list grew one entry per
+batch forever; a day of traffic was an OOM.  The fix (``deque(maxlen=
+...)``, ``core/lru.py``) is now the standing pattern: anything a
+serving-layer class accumulates per-request must be bounded or visibly
+drained.  The rule looks at classes in the long-lived layers (gateway,
+sharded service, serving, loadgen), finds instance attributes
+initialised in ``__init__`` to an unbounded container (list/dict/set
+literal or constructor, ``deque()`` without ``maxlen``), and flags those
+that any method grows (``append``/``add``/``extend``/subscript-assign/
+``setdefault``) when *no* method shrinks or replaces them (``pop``/
+``popleft``/``popitem``/``clear``/``del``/reassignment).  Shrink
+evidence anywhere in the class is accepted — the rule catches the
+"never drained" shape, not sizing policy.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.engine import Finding, Rule
+
+__all__ = ["UnboundedGrowthRule"]
+
+GROW_METHODS = {"append", "appendleft", "add", "extend", "insert", "setdefault", "update"}
+SHRINK_METHODS = {"pop", "popleft", "popitem", "clear", "remove", "discard"}
+
+UNBOUNDED_CONSTRUCTORS = {"list", "dict", "set", "OrderedDict", "defaultdict", "Counter"}
+
+
+def _self_attr(node: ast.expr) -> str | None:
+    """``self.name`` -> ``name`` (None for anything else)."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _is_unbounded_container(value: ast.expr) -> bool:
+    if isinstance(value, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(value, ast.Call):
+        func = value.func
+        name = None
+        if isinstance(func, ast.Name):
+            name = func.id
+        elif isinstance(func, ast.Attribute):
+            name = func.attr
+        if name in UNBOUNDED_CONSTRUCTORS:
+            return True
+        if name == "deque":
+            has_maxlen = any(kw.arg == "maxlen" for kw in value.keywords)
+            return not has_maxlen
+    return False
+
+
+class UnboundedGrowthRule(Rule):
+    id = "RPR004"
+    severity = "error"
+    description = (
+        "per-request growth into an unbounded container in a "
+        "long-lived serving class; bound it (deque maxlen, core/lru.py) "
+        "or drain it"
+    )
+    scope = (
+        "repro/core/gateway.py",
+        "repro/core/sharded.py",
+        "repro/core/service.py",
+        "repro/serving/",
+        "repro/loadgen/",
+    )
+    rationale = (
+        "PR 4 incident: AsyncGateway._window_sizes was a plain list "
+        "appended once per batch and never trimmed — a day of traffic "
+        "was an OOM.  The fix (deque(maxlen=256) for telemetry, "
+        "core/lru.py for caches) became the standing pattern for every "
+        "long-lived serving object.  The rule flags instance containers "
+        "initialised unbounded in __init__ and grown in any method with "
+        "no shrink/replace evidence anywhere in the class.  Genuinely "
+        "session-bounded accumulators (a trace recorder that lives for "
+        "one recording) carry a checked suppression saying so."
+    )
+
+    def visit(self, tree: ast.AST, source: str, path: str) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ClassDef):
+                findings.extend(self._check_class(node, path))
+        return findings
+
+    def _check_class(self, cls: ast.ClassDef, path: str) -> list[Finding]:
+        init = next(
+            (
+                item
+                for item in cls.body
+                if isinstance(item, ast.FunctionDef) and item.name == "__init__"
+            ),
+            None,
+        )
+        if init is None:
+            return []
+
+        # Unbounded instance containers born in __init__, with the node
+        # that created them (for the finding location).
+        candidates: dict[str, ast.AST] = {}
+        for node in ast.walk(init):
+            target: ast.expr | None = None
+            value: ast.expr | None = None
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target, value = node.targets[0], node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                target, value = node.target, node.value
+            if target is None or value is None:
+                continue
+            attr = _self_attr(target)
+            if attr and _is_unbounded_container(value):
+                candidates[attr] = node
+
+        if not candidates:
+            return []
+
+        grown: dict[str, ast.AST] = {}
+        shrunk: set[str] = set()
+        for method in cls.body:
+            if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            in_init = method.name == "__init__"
+            for node in ast.walk(method):
+                # A bare reference to a shrink method counts too:
+                # task.add_done_callback(self._inflight.discard) drains
+                # deferredly and is the standard asyncio bookkeeping shape.
+                if isinstance(node, ast.Attribute) and node.attr in SHRINK_METHODS:
+                    attr = _self_attr(node.value)
+                    if attr in candidates:
+                        shrunk.add(attr)
+                if isinstance(node, ast.Call) and isinstance(
+                    node.func, ast.Attribute
+                ):
+                    attr = _self_attr(node.func.value)
+                    if attr in candidates:
+                        if node.func.attr in GROW_METHODS and not in_init:
+                            grown.setdefault(attr, node)
+                elif isinstance(node, ast.Assign) and not in_init:
+                    for tgt in node.targets:
+                        # self.x[k] = v grows; self.x = ... replaces.
+                        if isinstance(tgt, ast.Subscript):
+                            attr = _self_attr(tgt.value)
+                            if attr in candidates:
+                                grown.setdefault(attr, node)
+                        else:
+                            attr = _self_attr(tgt)
+                            if attr in candidates:
+                                shrunk.add(attr)
+                elif isinstance(node, ast.Delete):
+                    for tgt in node.targets:
+                        base = (
+                            tgt.value if isinstance(tgt, ast.Subscript) else tgt
+                        )
+                        attr = _self_attr(base)
+                        if attr in candidates:
+                            shrunk.add(attr)
+
+        findings = []
+        for attr, node in sorted(grown.items()):
+            if attr in shrunk:
+                continue
+            findings.append(
+                self.finding(
+                    path,
+                    node,
+                    f"self.{attr} grows per call and is never drained; "
+                    "bound it with deque(maxlen=...) or core/lru.py",
+                )
+            )
+        return findings

@@ -1,0 +1,78 @@
+"""RPR008 — wall clock is banned in the serving and measurement layers.
+
+``time.time()`` jumps under NTP slews and never appears twice the same
+across replicas, so anything derived from it — latency measurements,
+trace offsets, heartbeat deadlines, cache keys — is either wrong under
+clock adjustment or non-reproducible across processes.  The tower uses
+``time.monotonic()`` / ``time.perf_counter()`` / ``loop.time()`` for
+intervals and *recorded* offsets for replay.  The rule flags
+``time.time``/``time.time_ns`` and ``datetime.now``/``utcnow``/``today``
+calls in ``core/``, ``serving/``, and ``loadgen/``.  (Digest inputs are
+covered transitively: a digest can only become time-dependent by calling
+one of these.)
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.engine import Finding, Rule
+
+__all__ = ["WallClockRule"]
+
+WALL_CLOCK_CALLS = {
+    ("time", "time"),
+    ("time", "time_ns"),
+    ("datetime", "now"),
+    ("datetime", "utcnow"),
+    ("datetime", "today"),
+    ("date", "today"),
+}
+
+
+class WallClockRule(Rule):
+    id = "RPR008"
+    severity = "error"
+    description = (
+        "wall clock (time.time/datetime.now) in serving or measurement "
+        "code; use monotonic/recorded time"
+    )
+    scope = ("repro/core/", "repro/serving/", "repro/loadgen/")
+    rationale = (
+        "Wall clock jumps under NTP slews and differs across replicas, "
+        "so latency math computed from time.time() can go negative and "
+        "trace offsets recorded from it cannot be replayed bit-"
+        "identically.  The tower's convention: time.monotonic() / "
+        "time.perf_counter() for intervals, loop.time() inside asyncio, "
+        "and offsets recorded in the trace itself for replay.  Nothing "
+        "fed into a digest or cache key may read any clock at all."
+    )
+
+    def visit(self, tree: ast.AST, source: str, path: str) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            base = func.value
+            dotted = None
+            if isinstance(base, ast.Name):
+                dotted = (base.id, func.attr)
+            elif isinstance(base, ast.Attribute) and isinstance(
+                base.value, ast.Name
+            ):
+                # datetime.datetime.now(...)
+                dotted = (base.attr, func.attr)
+            if dotted in WALL_CLOCK_CALLS:
+                findings.append(
+                    self.finding(
+                        path,
+                        node,
+                        f"wall-clock {dotted[0]}.{dotted[1]}(); use "
+                        "time.monotonic()/perf_counter()/loop.time() or "
+                        "recorded offsets",
+                    )
+                )
+        return findings

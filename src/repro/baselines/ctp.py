@@ -30,10 +30,10 @@ from collections.abc import Iterable
 from repro.baselines.common import validate_query
 from repro.core.result import ConnectorResult
 from repro.errors import DisconnectedGraphError
+from repro.graphs.components import connected_components
 from repro.graphs.cores import max_core_component_with
 from repro.graphs.graph import Graph, Node
 from repro.graphs.traversal import bfs_distances
-from repro.graphs.components import connected_components
 
 
 def ctp_connector(graph: Graph, query: Iterable[Node]) -> ConnectorResult:

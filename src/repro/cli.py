@@ -262,6 +262,35 @@ def build_parser() -> argparse.ArgumentParser:
     ping.add_argument("--timeout", type=float, default=5.0,
                       help="seconds to wait for the pong (default 5.0); a "
                            "hung daemon counts as unreachable")
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the project's AST invariant checker (repro.analysis)",
+    )
+    lint.add_argument(
+        "paths", nargs="*", metavar="PATH",
+        help="files or directories to lint (default: src/repro, falling "
+             "back to the current directory)",
+    )
+    lint.add_argument(
+        "--select", metavar="IDS",
+        help="comma-separated rule ids to run (e.g. RPR001,RPR003); "
+             "default runs every registered rule",
+    )
+    lint.add_argument(
+        "--ignore", metavar="IDS",
+        help="comma-separated rule ids to skip",
+    )
+    lint.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit the machine-readable report (stable ordering) "
+             "instead of text",
+    )
+    lint.add_argument(
+        "--explain", metavar="RPR00x",
+        help="print a rule's rationale and its minimal bad/good fixture "
+             "pair, then exit",
+    )
     return parser
 
 
@@ -318,6 +347,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_replay(args)
     if args.command == "ping":
         return _run_ping(args)
+    if args.command == "lint":
+        return _run_lint(args)
     EXPERIMENTS[args.command].main()
     return 0
 
@@ -1096,6 +1127,80 @@ def _run_shard_host(args: argparse.Namespace) -> int:
         server.close()
     print(f"served {server.sweeps_served} sweeps", flush=True)
     return 0
+
+
+def _run_lint(args: argparse.Namespace) -> int:
+    """``repro lint``: the AST invariant checker as a CI-gateable verb.
+
+    Exit codes: 0 clean, 1 findings, 2 usage error (unknown rule id or
+    nonexistent path) — the convention CI's lint-gate job keys on.
+    """
+    from pathlib import Path
+
+    from repro.analysis import (
+        default_registry,
+        lint_paths,
+        render_explain,
+        render_json,
+        render_text,
+    )
+
+    registry = default_registry()
+
+    if args.explain:
+        rule_id = args.explain.strip().upper()
+        try:
+            rule = registry.get(rule_id)
+        except KeyError as exc:
+            print(f"error: {exc.args[0]}; known rules: "
+                  f"{', '.join(registry.ids())}")
+            return 2
+        fixtures = Path(__file__).parent / "analysis" / "fixtures"
+        stem = rule_id.lower()
+        bad = fixtures / f"{stem}_bad.py"
+        good = fixtures / f"{stem}_good.py"
+        try:
+            print(render_explain(
+                rule.id,
+                rule.description,
+                rule.rationale or "(no recorded rationale)",
+                bad.read_text(encoding="utf-8") if bad.is_file() else None,
+                good.read_text(encoding="utf-8") if good.is_file() else None,
+            ))
+        except BrokenPipeError:  # the reader (a pager, head) hung up
+            pass
+        return 0
+
+    def split_ids(raw: str | None) -> list[str] | None:
+        if not raw:
+            return None
+        return [part.strip().upper() for part in raw.split(",") if part.strip()]
+
+    paths = list(args.paths)
+    if not paths:
+        default = Path("src/repro")
+        paths = [str(default)] if default.is_dir() else ["."]
+    for path in paths:
+        if not Path(path).exists():
+            print(f"error: no such path: {path}")
+            return 2
+
+    try:
+        result = lint_paths(
+            paths,
+            registry,
+            select=split_ids(args.select),
+            ignore=split_ids(args.ignore),
+        )
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}; known rules: {', '.join(registry.ids())}")
+        return 2
+
+    try:
+        print(render_json(result) if args.as_json else render_text(result))
+    except BrokenPipeError:  # the reader (a pager, head) hung up
+        pass
+    return 0 if result.ok else 1
 
 
 if __name__ == "__main__":

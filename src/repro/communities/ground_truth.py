@@ -12,8 +12,8 @@ import random
 from collections.abc import Sequence
 from dataclasses import dataclass, field
 
-from repro.graphs.graph import Graph, Node
 from repro.graphs.generators import connectify, planted_partition
+from repro.graphs.graph import Graph, Node
 
 
 @dataclass

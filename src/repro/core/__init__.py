@@ -9,20 +9,18 @@ requests into ``solve_many`` windows over either of them.
 """
 
 from repro.core.adjust import ALPHA, adjust_distances, verify_lemma2
-from repro.core.gateway import (
-    AsyncGateway,
-    GatewayClosedError,
-    GatewayOverloadedError,
-    GatewayStats,
-)
-from repro.core.options import FunctionMethod, Method, SolveOptions
-from repro.core.service import ConnectorService, ServiceStats, SweepOutcome
-from repro.core.sharded import ShardedConnectorService, ShardedStats
 from repro.core.exact import (
     brute_force,
     exact_pair,
     exact_pivot,
     optimal_wiener_index,
+)
+from repro.core.fastpath import CSRWienerSteinerEngine, mehlhorn_steiner_csr
+from repro.core.gateway import (
+    AsyncGateway,
+    GatewayClosedError,
+    GatewayOverloadedError,
+    GatewayStats,
 )
 from repro.core.objectives import (
     a_objective,
@@ -33,8 +31,11 @@ from repro.core.objectives import (
     weak_a_objective,
     wiener_of_nodes,
 )
+from repro.core.options import FunctionMethod, Method, SolveOptions
+from repro.core.parallel import parallel_wiener_steiner, sharded_batch
 from repro.core.result import ConnectorResult
-from repro.core.fastpath import CSRWienerSteinerEngine, mehlhorn_steiner_csr
+from repro.core.service import ConnectorService, ServiceStats, SweepOutcome
+from repro.core.sharded import ShardedConnectorService, ShardedStats
 from repro.core.steiner import (
     mehlhorn_steiner_tree,
     minimum_spanning_tree,
@@ -44,7 +45,6 @@ from repro.core.steiner import (
     tree_total_weight,
     voronoi_dijkstra_canonical,
 )
-from repro.core.parallel import parallel_wiener_steiner, sharded_batch
 from repro.core.weighted import (
     WeightedConnectorResult,
     weighted_wiener_index,

@@ -25,10 +25,10 @@ import itertools
 import math
 from collections.abc import Iterable
 
-from repro.errors import DisconnectedGraphError, InvalidQueryError
 from repro.core.result import ConnectorResult
-from repro.graphs.graph import Graph, Node
+from repro.errors import DisconnectedGraphError, InvalidQueryError
 from repro.graphs.components import nodes_connect
+from repro.graphs.graph import Graph, Node
 from repro.graphs.traversal import bfs_distances, shortest_path
 from repro.graphs.wiener import wiener_index
 

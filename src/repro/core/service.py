@@ -59,12 +59,6 @@ from collections.abc import Iterable, Sequence
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 
-from repro.errors import (
-    DeltaError,
-    DisconnectedGraphError,
-    GraphError,
-    InvalidQueryError,
-)
 from repro.core.lru import LRUCache
 from repro.core.options import SolveOptions
 from repro.core.pruning import candidate_bound, root_bound
@@ -81,6 +75,12 @@ from repro.core.wiener_steiner import (
     _resolve_backend,
     _score,
     _validate_query,
+)
+from repro.errors import (
+    DeltaError,
+    DisconnectedGraphError,
+    GraphError,
+    InvalidQueryError,
 )
 from repro.graphs.csr import HAS_NUMPY, CSRGraph
 from repro.graphs.graph import Graph, Node
@@ -346,7 +346,9 @@ class ConnectorService:
                 engine = _make_engine(
                     backend_name, self.graph, self._max_cached_roots
                 )
-            self._engines[backend_name] = engine
+            # Keyed by backend name, so the ceiling is the number of
+            # engine backends (three) — bounded by the key domain.
+            self._engines[backend_name] = engine  # repro-lint: disable=RPR004
         return engine
 
     def _merge(self, options: SolveOptions | None) -> SolveOptions:

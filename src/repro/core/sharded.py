@@ -139,9 +139,9 @@ import multiprocessing
 import os
 import time
 from bisect import bisect_right
-from multiprocessing import connection as mp_connection
 from collections.abc import Iterable, Sequence
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from multiprocessing import connection as mp_connection
 from typing import Protocol, runtime_checkable
 
 from repro.core.options import SolveOptions, stable_repr
@@ -153,6 +153,7 @@ from repro.core.service import (
     cache_hit_rate,
     service_from_payload,
 )
+from repro.errors import ServiceClosedError
 from repro.graphs.graph import Graph, Node
 
 __all__ = [
@@ -950,7 +951,7 @@ class ShardedConnectorService:
         space pinned to them.
         """
         if self._closed:
-            raise RuntimeError("service is closed")
+            raise ServiceClosedError("service is closed")
         if isinstance(shards, int):
             if shards < 1:
                 raise ValueError(f"n_shards must be at least 1, got {shards}")
@@ -1006,7 +1007,7 @@ class ShardedConnectorService:
         around the backoff timer).
         """
         if self._closed:
-            raise RuntimeError("service is closed")
+            raise ServiceClosedError("service is closed")
         if shard_id not in self._specs:
             raise ValueError(
                 f"no shard slot {shard_id}; slots are {sorted(self._specs)}"
@@ -1034,7 +1035,7 @@ class ShardedConnectorService:
         across failures and heals.
         """
         if self._closed:
-            raise RuntimeError("service is closed")
+            raise ServiceClosedError("service is closed")
         opts = self._local._merge(options)
         return self._route(request_digest(frozenset(query), opts))[0]
 
@@ -1076,7 +1077,7 @@ class ShardedConnectorService:
             return  # already handled by an earlier failure this batch
         if self._replication == 1:
             self.close()
-            raise RuntimeError(
+            raise ServiceClosedError(
                 f"shard {shard_id} died{' mid-batch' if mid_batch else ''}; "
                 "the sharded service was closed and must be rebuilt"
             ) from None
@@ -1123,7 +1124,7 @@ class ShardedConnectorService:
             if self._revive(shard_id):
                 return shard_id
         self.close()
-        raise RuntimeError(
+        raise ServiceClosedError(
             f"no live replicas for a key range (slots {record.replicas} are "
             "all down); the sharded service was closed and must be rebuilt"
         )
@@ -1217,7 +1218,7 @@ class ShardedConnectorService:
         service with the same answers.
         """
         if self._closed:
-            raise RuntimeError("service is closed")
+            raise ServiceClosedError("service is closed")
         opts = self._local._merge(options)
         query_sets = [frozenset(query) for query in queries]
         if opts.method != "ws-q" or (
@@ -1403,7 +1404,7 @@ class ShardedConnectorService:
         daemon too far behind (or on a diverged graph) stays refused.
         """
         if self._closed:
-            raise RuntimeError("service is closed")
+            raise ServiceClosedError("service is closed")
         # Heal first so every replica that *can* take the delta live does,
         # instead of burning a cold respawn/catch-up on the next batch.
         self._heal()
@@ -1474,7 +1475,7 @@ class ShardedConnectorService:
         single replica the historical close-on-death applies here too).
         """
         if self._closed:
-            raise RuntimeError("service is closed")
+            raise ServiceClosedError("service is closed")
         self._heal()
         state = _BatchState()
         ordered: list[tuple[int, int]] = []  # (shard id, request id)

@@ -35,10 +35,9 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
-from collections.abc import Iterable
 
-from repro.errors import DeltaError, GraphError
 from repro.core.options import stable_repr
+from repro.errors import DeltaError, GraphError
 from repro.graphs.graph import Graph, Node, WeightedGraph
 
 __all__ = [

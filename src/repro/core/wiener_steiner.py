@@ -56,10 +56,10 @@ import math
 import random
 from collections.abc import Iterable, Mapping
 
-from repro.errors import GraphError, InvalidQueryError
 from repro.core.adjust import adjust_distances
 from repro.core.lru import LRUCache
 from repro.core.steiner import mehlhorn_steiner_tree
+from repro.errors import GraphError, InvalidQueryError
 from repro.graphs.csr import HAS_NUMPY, order_map
 from repro.graphs.graph import Graph, Node, WeightedGraph
 from repro.graphs.traversal import bfs_distances, bfs_tree_canonical

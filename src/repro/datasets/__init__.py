@@ -9,6 +9,12 @@ from repro.datasets.karate import (
     karate_club,
     karate_factions,
 )
+from repro.datasets.ppi import (
+    HUB_GENES,
+    QUERY_GENES,
+    PPIDataset,
+    ppi_network,
+)
 from repro.datasets.registry import (
     GROUND_TRUTH_DATASETS,
     SPECS,
@@ -23,12 +29,6 @@ from repro.datasets.steinlib import (
     puc_suite,
     vienna_like,
     vienna_suite,
-)
-from repro.datasets.ppi import (
-    HUB_GENES,
-    QUERY_GENES,
-    PPIDataset,
-    ppi_network,
 )
 from repro.datasets.twitter import (
     FIGURE7_QUERY_ONE,

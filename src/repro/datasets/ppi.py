@@ -23,8 +23,8 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 
-from repro.graphs.graph import Graph
 from repro.graphs.generators import connectify, erdos_renyi
+from repro.graphs.graph import Graph
 
 #: Query proteins (grey in Figure 6) and their planted hub (white).
 QUERY_GENES: tuple[str, ...] = ("BMP1", "JAK2", "PSEN", "SLC6A4")

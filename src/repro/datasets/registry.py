@@ -21,9 +21,9 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
-from repro.graphs.graph import Graph
-from repro.graphs.generators import barabasi_albert, connectify
 from repro.communities.ground_truth import CommunityGraph, make_community_graph
+from repro.graphs.generators import barabasi_albert, connectify
+from repro.graphs.graph import Graph
 
 
 @dataclass(frozen=True)

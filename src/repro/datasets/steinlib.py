@@ -20,12 +20,12 @@ from __future__ import annotations
 
 import random
 
-from repro.graphs.graph import WeightedGraph
 from repro.graphs.generators import (
     connectify,
     hypercube_graph,
     random_geometric,
 )
+from repro.graphs.graph import WeightedGraph
 from repro.graphs.io import SteinerInstance
 from repro.graphs.traversal import bfs_limited
 

@@ -18,8 +18,8 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 
-from repro.graphs.graph import Graph
 from repro.graphs.generators import connectify, erdos_renyi
+from repro.graphs.graph import Graph
 
 #: Follower counts reported in Table 5.
 FOLLOWERS: dict[str, int] = {

@@ -81,3 +81,26 @@ class ParseError(ReproError):
 
 class TraceError(ReproError):
     """A load trace (JSONL) is malformed: bad header, record, or version."""
+
+
+class ServiceClosedError(ReproError, RuntimeError):
+    """An operation hit a sharded service that is (or just became) closed.
+
+    Raised by every post-close entry point of the sharded service and by
+    the unrecoverable failover paths (a shard died mid-batch with no
+    replica, no live replicas for a key range) — the conditions after
+    which the ring must be rebuilt.  Subclasses :class:`RuntimeError`
+    because a decade of call sites and tests catch ``RuntimeError`` with
+    the exact message strings; the type adds a branchable class without
+    breaking that contract.
+    """
+
+
+class ServerStateError(ReproError, RuntimeError):
+    """A lifecycle method was called in the wrong state.
+
+    ``start()`` on a started server, ``stop()``/``port`` on one that was
+    never started — for the TCP gateway server, the socket shard host,
+    and the recording proxy alike.  Subclasses :class:`RuntimeError` for
+    the same compatibility reason as :class:`ServiceClosedError`.
+    """

@@ -16,9 +16,9 @@ from dataclasses import dataclass
 from repro.core.exact import brute_force
 from repro.core.steiner import steiner_tree_unweighted
 from repro.core.wiener_steiner import wiener_steiner
+from repro.experiments.reporting import render_table
 from repro.graphs.generators import figure2_gadget, line_with_universal_root
 from repro.graphs.wiener import wiener_index
-from repro.experiments.reporting import render_table
 
 
 @dataclass(frozen=True)

@@ -15,9 +15,9 @@ from dataclasses import dataclass
 
 from repro.core.wiener_steiner import wiener_steiner
 from repro.datasets.registry import load_dataset
+from repro.experiments.reporting import render_table
 from repro.graphs.generators import barabasi_albert, connectify, erdos_renyi_with_degree
 from repro.graphs.graph import Graph
-from repro.experiments.reporting import render_table
 from repro.workloads.random_queries import random_query
 from repro.workloads.seeding import stable_seed
 

@@ -10,8 +10,13 @@ BFS frontiers.  ``HAS_NUMPY`` gates it; every caller falls back to the
 dict implementations when numpy is absent.
 """
 
-from repro.graphs.graph import Graph, WeightedGraph, Node, Edge
-from repro.graphs.csr import CSRGraph, HAS_NUMPY, order_map
+from repro.graphs.centrality import (
+    average_betweenness,
+    betweenness_centrality,
+    closeness_centrality,
+    pagerank,
+    random_walk_with_restart,
+)
 from repro.graphs.components import (
     connected_components,
     is_connected,
@@ -20,6 +25,20 @@ from repro.graphs.components import (
     largest_component_subgraph,
     nodes_connect,
     require_connected,
+)
+from repro.graphs.cores import core_numbers, k_core_nodes, max_core_component_with
+from repro.graphs.csr import CSRGraph, HAS_NUMPY, order_map
+from repro.graphs.graph import Graph, WeightedGraph, Node, Edge
+from repro.graphs.landmarks import LandmarkIndex
+from repro.graphs.metrics import (
+    GraphSummary,
+    average_clustering,
+    average_degree,
+    degree_histogram,
+    density,
+    effective_diameter,
+    local_clustering,
+    summarize,
 )
 from repro.graphs.traversal import (
     bfs_distances,
@@ -34,8 +53,6 @@ from repro.graphs.traversal import (
     shortest_path,
 )
 from repro.graphs.unionfind import UnionFind
-from repro.graphs.cores import core_numbers, k_core_nodes, max_core_component_with
-from repro.graphs.landmarks import LandmarkIndex
 from repro.graphs.wiener import (
     average_distance,
     distance_sum_lower_bound,
@@ -43,23 +60,6 @@ from repro.graphs.wiener import (
     wiener_index,
     wiener_index_of_subset,
     wiener_index_sampled,
-)
-from repro.graphs.metrics import (
-    GraphSummary,
-    average_clustering,
-    average_degree,
-    degree_histogram,
-    density,
-    effective_diameter,
-    local_clustering,
-    summarize,
-)
-from repro.graphs.centrality import (
-    average_betweenness,
-    betweenness_centrality,
-    closeness_centrality,
-    pagerank,
-    random_walk_with_restart,
 )
 
 __all__ = [

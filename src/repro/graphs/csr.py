@@ -40,7 +40,7 @@ distance matrices for Wiener scoring) so it can never change an answer.
 
 from __future__ import annotations
 
-from collections.abc import Iterable, Sequence
+from collections.abc import Iterable
 
 from repro.errors import GraphError, NodeNotFoundError
 from repro.graphs.graph import Graph, Node, WeightedGraph

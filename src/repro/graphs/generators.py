@@ -34,8 +34,8 @@ import random
 from collections.abc import Sequence
 
 from repro.errors import GraphError
-from repro.graphs.graph import Graph
 from repro.graphs.components import connected_components
+from repro.graphs.graph import Graph
 
 
 # ----------------------------------------------------------------------

@@ -33,7 +33,7 @@ import random
 from collections.abc import Iterable, Sequence
 from dataclasses import dataclass, field
 
-from repro.errors import TraceError
+from repro.errors import ServerStateError, TraceError
 
 __all__ = [
     "TRACE_VERSION",
@@ -294,7 +294,7 @@ class RecordingProxy:
     @property
     def port(self) -> int:
         if self._server is None:
-            raise RuntimeError("proxy is not started")
+            raise ServerStateError("proxy is not started")
         return self._server.sockets[0].getsockname()[1]
 
     @property
@@ -303,7 +303,7 @@ class RecordingProxy:
 
     async def start(self) -> "RecordingProxy":
         if self._server is not None:
-            raise RuntimeError("proxy is already started")
+            raise ServerStateError("proxy is already started")
         self._server = await asyncio.start_server(
             self._handle, self._host, self._port, limit=_LINE_LIMIT
         )
@@ -350,7 +350,9 @@ class RecordingProxy:
         if self._epoch is None:
             self._epoch = now
         options = message.get("options")
-        self._records.append(
+        # The recording IS the product: one record per solve for the
+        # lifetime of one capture session, drained by trace()/stop().
+        self._records.append(  # repro-lint: disable=RPR004
             TraceRecord(
                 now - self._epoch,
                 tuple(query),

@@ -1,0 +1,40 @@
+"""The trusted-cluster pickle codec of the shard transport.
+
+These two helpers are the *only* sanctioned pickle surface in the tower,
+quarantined in their own module so the boundary is a file boundary:
+``repro lint``'s RPR003 allowlists exactly this module and
+:mod:`repro.serving.remote`, and flags pickle anywhere else.  The
+client-facing gateway protocol (:mod:`repro.serving.protocol`) stays
+pure JSON — unpickling attacker-supplied bytes executes arbitrary code,
+so this codec is for operator-controlled links between a sharded router
+and the shard-host daemons it spawned, never for untrusted peers.
+"""
+
+from __future__ import annotations
+
+import base64
+import pickle
+
+__all__ = ["decode_pickled", "encode_pickled"]
+
+
+def encode_pickled(value) -> str:
+    """A Python value as a JSON-safe string (pickle + base64).
+
+    The carrier of the shard transport's non-JSON payloads:
+    ``SolveOptions`` (tuples survive), query labels (any hashable), and
+    :class:`~repro.core.service.SweepOutcome` / exception objects, all
+    bit-faithfully.  Trusted-cluster only — see the module docstring.
+    """
+    return base64.b64encode(
+        pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+    ).decode("ascii")
+
+
+def decode_pickled(text: str):
+    """Inverse of :func:`encode_pickled` (trusted peers only)."""
+    if not isinstance(text, str):
+        raise ValueError(
+            f"a pickled payload must be a base64 string, got {type(text).__name__}"
+        )
+    return pickle.loads(base64.b64decode(text.encode("ascii")))

@@ -76,14 +76,17 @@ only that request, never the connection.
 
 from __future__ import annotations
 
-import base64
 import dataclasses
 import json
 import math
-import pickle
 
 from repro.core.options import SolveOptions
 from repro.core.result import ConnectorResult
+
+# Compatibility re-export: the pickle codec moved to its own module
+# (repro.serving.pickled) so the trusted-cluster boundary is a file
+# boundary the linter can police; older callers imported it from here.
+from repro.serving.pickled import decode_pickled, encode_pickled
 
 __all__ = [
     "canonical_sort",
@@ -165,23 +168,3 @@ def decode_line(line: bytes) -> dict:
     return message
 
 
-def encode_pickled(value) -> str:
-    """A Python value as a JSON-safe string (pickle + base64).
-
-    The carrier of the shard transport's non-JSON payloads:
-    ``SolveOptions`` (tuples survive), query labels (any hashable), and
-    :class:`~repro.core.service.SweepOutcome` / exception objects, all
-    bit-faithfully.  Trusted-cluster only — see the module docstring.
-    """
-    return base64.b64encode(
-        pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
-    ).decode("ascii")
-
-
-def decode_pickled(text: str):
-    """Inverse of :func:`encode_pickled` (trusted peers only)."""
-    if not isinstance(text, str):
-        raise ValueError(
-            f"a pickled payload must be a base64 string, got {type(text).__name__}"
-        )
-    return pickle.loads(base64.b64decode(text.encode("ascii")))

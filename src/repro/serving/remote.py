@@ -119,12 +119,9 @@ from repro.core.options import SolveOptions
 from repro.core.service import ConnectorService, ServiceStats
 from repro.core.sharded import ShardConnectError, ShardLinkError
 from repro.core.versioned import GraphDelta
-from repro.serving.protocol import (
-    decode_line,
-    decode_pickled,
-    encode_line,
-    encode_pickled,
-)
+from repro.errors import ServerStateError
+from repro.serving.pickled import decode_pickled, encode_pickled
+from repro.serving.protocol import decode_line, encode_line
 
 __all__ = [
     "RemoteShardTransport",
@@ -235,7 +232,7 @@ class ShardHostServer:
     def port(self) -> int:
         """The bound port (the OS-assigned one when constructed with 0)."""
         if self._server is None:
-            raise RuntimeError("shard host is not started")
+            raise ServerStateError("shard host is not started")
         return self._server.server_address[1]
 
     @property
@@ -245,7 +242,7 @@ class ShardHostServer:
     def start(self) -> "ShardHostServer":
         """Bind and start accepting connections; returns ``self``."""
         if self._server is not None:
-            raise RuntimeError("shard host is already started")
+            raise ServerStateError("shard host is already started")
         self._shutdown = threading.Event()
         self._server = _ShardHostTCPServer(
             (self._host, self._port), _ShardHostHandler

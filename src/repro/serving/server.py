@@ -31,6 +31,7 @@ import dataclasses
 from repro.core.gateway import service_health
 from repro.core.options import SolveOptions
 from repro.core.versioned import GraphDelta
+from repro.errors import ServerStateError
 from repro.serving.protocol import (
     decode_line,
     encode_line,
@@ -111,7 +112,7 @@ class GatewayServer:
         ``127.0.0.1``) when asking the OS to pick the port.
         """
         if self._server is None:
-            raise RuntimeError("server is not started")
+            raise ServerStateError("server is not started")
         return self._server.sockets[0].getsockname()[1]
 
     @property
@@ -119,7 +120,7 @@ class GatewayServer:
         """``(host, port)`` of every bound socket (dual-stack hosts may
         hold several, with *different* ephemeral ports under ``port=0``)."""
         if self._server is None:
-            raise RuntimeError("server is not started")
+            raise ServerStateError("server is not started")
         return [sock.getsockname()[:2] for sock in self._server.sockets]
 
     @property
@@ -129,7 +130,7 @@ class GatewayServer:
     async def start(self) -> "GatewayServer":
         """Bind and start accepting connections; returns ``self``."""
         if self._server is not None:
-            raise RuntimeError("server is already started")
+            raise ServerStateError("server is already started")
         # A fresh event per run: aclose() latches the old one to release
         # its waiters, and a restarted server must not inherit that.
         self._shutdown = asyncio.Event()

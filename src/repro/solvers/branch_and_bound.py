@@ -31,11 +31,11 @@ import time
 from collections.abc import Iterable
 from dataclasses import dataclass
 
-from repro.errors import InvalidQueryError
 from repro.core.result import ConnectorResult
 from repro.core.wiener_steiner import wiener_steiner
-from repro.graphs.graph import Graph, Node
+from repro.errors import InvalidQueryError
 from repro.graphs.components import nodes_connect
+from repro.graphs.graph import Graph, Node
 from repro.graphs.traversal import bfs_distances
 from repro.graphs.wiener import wiener_index
 from repro.solvers.bounds import (
